@@ -1,0 +1,207 @@
+(* Bechamel benchmarks: one measured workload per paper artefact
+   (tables 1 and 2, the figure-1 pathologies, the section-6.1 baseline)
+   plus microbenchmarks of every substrate the artefacts are built on.
+
+     dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Satg_logic
+open Satg_bdd
+open Satg_circuit
+open Satg_fault
+open Satg_sim
+open Satg_sg
+open Satg_stg
+open Satg_core
+open Satg_bench
+
+let get_entry name = Option.get (Suite.find name)
+
+let get_circuit synth name =
+  match synth (get_entry name) with
+  | Ok c -> c
+  | Error m -> failwith m
+
+(* --- substrate microbenches ---------------------------------------------- *)
+
+let bench_bdd =
+  Test.make ~name:"bdd/relational-product"
+    (Staged.stage (fun () ->
+         let m = Bdd.create ~nvars:24 () in
+         let rel = ref (Bdd.one m) in
+         for i = 0 to 7 do
+           rel :=
+             Bdd.and_ m !rel
+               (Bdd.iff m (Bdd.var m (3 * i)) (Bdd.var m ((3 * i) + 1)))
+         done;
+         let src = Bdd.var m 0 in
+         ignore
+           (Bdd.and_exists m
+              ~vars:(List.init 8 (fun i -> 3 * i))
+              src !rel)))
+
+let bench_qm =
+  Test.make ~name:"logic/quine-mccluskey"
+    (Staged.stage (fun () ->
+         ignore (Qm.minimize ~n:4 ~on:[ 4; 8; 10; 11; 12; 15 ] ~dc:[ 9; 14 ]);
+         ignore
+           (Qm.minimize ~n:6
+              ~on:[ 0; 3; 5; 9; 17; 21; 29; 33; 41; 45; 53; 61; 62 ]
+              ~dc:[ 2; 12; 22; 32; 42; 52 ])))
+
+let bench_ternary =
+  let c = get_circuit Suite.speed_independent "master-read" in
+  let reset = Option.get (Circuit.initial c) in
+  Test.make ~name:"sim/ternary-test-cycle"
+    (Staged.stage (fun () ->
+         ignore
+           (Ternary_sim.apply_vector c
+              (Ternary_sim.of_bool_state reset)
+              [| true; false; false |])))
+
+let bench_parallel =
+  let c = get_circuit Suite.speed_independent "master-read" in
+  let reset = Option.get (Circuit.initial c) in
+  let faults = Array.of_list (Fault.universe_input_sa c) in
+  let faults = Array.sub faults 0 (min 62 (Array.length faults)) in
+  Test.make ~name:"sim/parallel-fault-pack"
+    (Staged.stage (fun () ->
+         let pack = Parallel_sim.create c faults ~reset in
+         Parallel_sim.apply_vector pack [| true; false; false |];
+         Parallel_sim.apply_vector pack [| true; true; false |]))
+
+let bench_exact_exploration =
+  let c = Figures.mutex_latch () in
+  let reset = Option.get (Circuit.initial c) in
+  Test.make ~name:"sim/exact-exploration"
+    (Staged.stage (fun () ->
+         ignore (Async_sim.apply_vector c ~k:24 reset [| true; true |])))
+
+let bench_stg =
+  let e = get_entry "ebergen" in
+  Test.make ~name:"stg/explore+synthesize"
+    (Staged.stage (fun () ->
+         match Synth.complex_gate e.Suite.stg with
+         | Ok _ -> ()
+         | Error m -> failwith m))
+
+let bench_symbolic =
+  let c = Figures.celem_handshake () in
+  Test.make ~name:"sg/symbolic-cssg"
+    (Staged.stage (fun () -> ignore (Symbolic.build c)))
+
+(* --- figure artefacts ------------------------------------------------------ *)
+
+let bench_fig1a =
+  let c = Figures.fig1a () in
+  let reset = Option.get (Circuit.initial c) in
+  Test.make ~name:"fig1a/non-confluence-detection"
+    (Staged.stage (fun () ->
+         match Async_sim.apply_vector c ~k:64 reset [| true; false |] with
+         | Async_sim.Non_confluent _ -> ()
+         | _ -> failwith "fig1a misclassified"))
+
+let bench_fig1b =
+  let c = Figures.fig1b () in
+  let reset = Option.get (Circuit.initial c) in
+  Test.make ~name:"fig1b/oscillation-detection"
+    (Staged.stage (fun () ->
+         match Async_sim.classify_vector c ~k:64 reset [| true |] with
+         | Async_sim.C_invalid _ -> ()
+         | _ -> failwith "fig1b misclassified"))
+
+let bench_fig2 =
+  let c = Figures.mutex_latch () in
+  Test.make ~name:"fig2/cssg-construction"
+    (Staged.stage (fun () -> ignore (Explicit.build c)))
+
+(* --- table artefacts ------------------------------------------------------- *)
+
+(* One full table row (synthesis done): CSSG + ATPG on both universes. *)
+let table_row circuit () =
+  let g = Explicit.build circuit in
+  let out_r =
+    Engine.run ~cssg:g circuit ~faults:(Fault.universe_output_sa circuit)
+  in
+  let in_r =
+    Engine.run ~cssg:g circuit ~faults:(Fault.universe_input_sa circuit)
+  in
+  ignore (Engine.detected out_r + Engine.detected in_r)
+
+let bench_table1_small =
+  let c = get_circuit Suite.speed_independent "vbe6a" in
+  Test.make ~name:"table1/row-vbe6a" (Staged.stage (table_row c))
+
+let bench_table1_large =
+  let c = get_circuit Suite.speed_independent "master-read" in
+  Test.make ~name:"table1/row-master-read" (Staged.stage (table_row c))
+
+let bench_table2_clean =
+  let c = get_circuit Suite.bounded_delay "hazard" in
+  Test.make ~name:"table2/row-hazard" (Staged.stage (table_row c))
+
+let bench_table2_redundant =
+  (* the redundancy showcase: undetectable-fault searches dominate *)
+  let c = get_circuit Suite.bounded_delay "vbe6a" in
+  Test.make ~name:"table2/row-vbe6a-redundant" (Staged.stage (table_row c))
+
+let bench_timed_replay =
+  let c = get_circuit Suite.speed_independent "ebergen" in
+  let reset = Option.get (Circuit.initial c) in
+  let delays = Timed_sim.random_delays c ~seed:9 in
+  Test.make ~name:"sim/timed-burst-replay"
+    (Staged.stage (fun () ->
+         let sim = Timed_sim.create c ~delays reset in
+         ignore (Timed_sim.apply_vector sim [| true; false |]);
+         ignore (Timed_sim.apply_vector sim [| false; false |])))
+
+let bench_delay_fault =
+  let c = get_circuit Suite.speed_independent "vbe6a" in
+  let g = Explicit.build c in
+  Test.make ~name:"delay/row-vbe6a"
+    (Staged.stage (fun () -> ignore (Delay_fault.run g)))
+
+let bench_baseline =
+  let c = get_circuit Suite.speed_independent "vbe6a" in
+  let g = Explicit.build c in
+  let faults = Fault.universe_output_sa c in
+  Test.make ~name:"baseline/row-vbe6a"
+    (Staged.stage (fun () -> ignore (Baseline.run c ~cssg:g ~faults)))
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let tests =
+  Test.make_grouped ~name:"satg"
+    [
+      bench_bdd; bench_qm; bench_ternary; bench_parallel;
+      bench_exact_exploration; bench_stg; bench_symbolic; bench_fig1a;
+      bench_fig1b; bench_fig2; bench_table1_small; bench_table1_large;
+      bench_table2_clean; bench_table2_redundant; bench_timed_replay;
+      bench_delay_fault; bench_baseline;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let pretty ns =
+    if ns >= 1e9 then Printf.sprintf "%10.3f s " (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+    else Printf.sprintf "%10.1f ns" ns
+  in
+  Printf.printf "%-42s %12s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 56 '-');
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some (t :: _) -> Printf.printf "%-42s %12s\n" name (pretty t)
+         | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")

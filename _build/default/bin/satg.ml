@@ -1,0 +1,327 @@
+(* Command-line front end.
+
+     satg synth   SPEC.g   [--backend complex|decomposed|redundant] [-o OUT]
+     satg cssg    FILE.cct [-k N] [--engine explicit|symbolic] [--dump]
+     satg atpg    FILE.cct [--universe input|output|both] [-k N] [--no-random]
+     satg program FILE.cct emit a synchronous tester program
+     satg delay   FILE.cct gross gate-delay fault ATPG
+     satg dft     FILE.cct recommend + evaluate observation points
+     satg dot     FILE     graphviz (netlist .cct, spec .g, or --cssg)
+     satg bench   [NAME]   list bundled benchmark STGs / print one
+     satg check   FILE.cct validate a netlist and print structural stats *)
+
+open Cmdliner
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+open Satg_stg
+open Satg_core
+open Satg_bench
+
+let read_circuit path =
+  match Parser.parse_file path with
+  | Ok c -> Ok c
+  | Error m -> Error (Printf.sprintf "%s: %s" path m)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("error: " ^ m);
+    exit 1
+
+(* --- synth ---------------------------------------------------------------- *)
+
+let synth_cmd =
+  let spec =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC.g")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("complex", `Complex); ("decomposed", `Decomposed);
+                    ("redundant", `Redundant) ])
+          `Complex
+      & info [ "backend"; "b" ] ~doc:"Synthesis backend.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT")
+  in
+  let run spec backend output =
+    let stg = or_die (Stg.parse_file spec) in
+    let circuit =
+      or_die
+        (match backend with
+        | `Complex -> Synth.complex_gate stg
+        | `Decomposed -> Synth.decomposed stg
+        | `Redundant -> Synth.decomposed ~redundant:true stg)
+    in
+    let text = Parser.to_string circuit in
+    match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%s)\n" path
+        (Format.asprintf "%a" Circuit.pp_stats circuit)
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize an STG specification into a netlist.")
+    Term.(const run $ spec $ backend $ output)
+
+(* --- cssg ----------------------------------------------------------------- *)
+
+let k_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "k" ] ~docv:"K" ~doc:"Test-cycle budget in gate firings.")
+
+let cssg_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("explicit", `Explicit); ("symbolic", `Symbolic) ]) `Explicit
+      & info [ "engine"; "e" ] ~doc:"State-graph engine.")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print every state and edge.")
+  in
+  let run file engine dump =
+    let c = or_die (read_circuit file) in
+    let g =
+      match engine with
+      | `Explicit -> fun k -> Explicit.build ?k c
+      | `Symbolic -> fun k -> Symbolic.to_cssg (Symbolic.build ?k c)
+    in
+    let run_with k =
+      let g = g k in
+      if dump then Format.printf "%a@." Cssg.pp g
+      else Format.printf "%a@." Cssg.pp_stats g
+    in
+    fun k -> run_with k
+  in
+  Cmd.v
+    (Cmd.info "cssg"
+       ~doc:"Build the Confluent Stable State Graph of a netlist.")
+    Term.(const run $ file $ engine $ dump $ k_arg)
+
+(* --- atpg ----------------------------------------------------------------- *)
+
+let atpg_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let universe =
+    Arg.(
+      value
+      & opt (enum [ ("input", `Input); ("output", `Output); ("both", `Both) ])
+          `Input
+      & info [ "universe"; "u" ] ~doc:"Fault universe.")
+  in
+  let no_random =
+    Arg.(value & flag & info [ "no-random" ] ~doc:"Skip the random TPG phase.")
+  in
+  let seed =
+    Arg.(value & opt int Random_tpg.default_config.Random_tpg.seed
+         & info [ "seed" ] ~docv:"N")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
+  in
+  let run file universe no_random seed verbose k =
+    let c = or_die (read_circuit file) in
+    let faults =
+      match universe with
+      | `Input -> Fault.universe_input_sa c
+      | `Output -> Fault.universe_output_sa c
+      | `Both -> Fault.universe_input_sa c @ Fault.universe_output_sa c
+    in
+    let config =
+      {
+        Engine.default_config with
+        k;
+        enable_random = not no_random;
+        random = { Random_tpg.default_config with seed };
+      }
+    in
+    let r = Engine.run ~config c ~faults in
+    if verbose then
+      List.iter
+        (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
+        r.Engine.outcomes;
+    Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
+    Format.printf "%a@." Engine.pp_summary r
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Generate synchronous test patterns for a netlist.")
+    Term.(const run $ file $ universe $ no_random $ seed $ verbose $ k_arg)
+
+(* --- bench ---------------------------------------------------------------- *)
+
+let bench_cmd =
+  let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let run = function
+    | None ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-16s %d inputs, %d outputs, %d transitions\n"
+            e.Suite.name
+            (List.length (Stg.input_signals e.Suite.stg))
+            (List.length (Stg.output_signals e.Suite.stg))
+            (Array.length e.Suite.stg.Stg.transitions))
+        (Suite.all ())
+    | Some nm -> (
+      match Suite.find nm with
+      | Some e -> print_string (Stg.to_string e.Suite.stg)
+      | None ->
+        prerr_endline ("unknown benchmark " ^ nm);
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"List the bundled benchmark STGs or print one.")
+    Term.(const run $ name_arg)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let run file =
+    let c = or_die (read_circuit file) in
+    (match Circuit.validate c with
+    | Ok () -> ()
+    | Error m -> or_die (Error m));
+    Format.printf "%a@." Circuit.pp_stats c;
+    let cyclic = Structure.cyclic_gates c in
+    Format.printf "feedback gates: %d; longest acyclic path: %d; default k: %d@."
+      (List.length cyclic) (Structure.longest_path c) (Structure.default_k c);
+    match Circuit.initial c with
+    | Some s ->
+      Format.printf "reset state: %s (stable)@." (Circuit.state_to_string c s)
+    | None -> Format.printf "no reset state@."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate a netlist and print structural stats.")
+    Term.(const run $ file)
+
+(* --- program --------------------------------------------------------------- *)
+
+let program_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let run file k =
+    let c = or_die (read_circuit file) in
+    let config = { Engine.default_config with k } in
+    let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+    let r = Engine.run ~config c ~faults in
+    print_string (Tester.to_string (Tester.of_result r))
+  in
+  Cmd.v
+    (Cmd.info "program"
+       ~doc:"Generate tests and emit them as a synchronous tester program.")
+    Term.(const run $ file $ k_arg)
+
+(* --- delay ----------------------------------------------------------------- *)
+
+let delay_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let run file k =
+    let c = or_die (read_circuit file) in
+    let g = Explicit.build ?k c in
+    let r = Delay_fault.run g in
+    List.iter
+      (fun (f, seq) ->
+        match seq with
+        | Some seq ->
+          Format.printf "%s: detected by [%s]@." (Delay_fault.to_string c f)
+            (Testset.sequence_to_string seq)
+        | None -> Format.printf "%s: UNDETECTED@." (Delay_fault.to_string c f))
+      r.Delay_fault.outcomes;
+    Format.printf "%a@." Delay_fault.pp_summary r
+  in
+  Cmd.v
+    (Cmd.info "delay" ~doc:"Gross gate-delay fault test generation.")
+    Term.(const run $ file $ k_arg)
+
+(* --- dft ------------------------------------------------------------------- *)
+
+let dft_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let budget =
+    Arg.(value & opt int 2 & info [ "budget" ] ~docv:"N"
+         ~doc:"Maximum observation points to insert.")
+  in
+  let control =
+    Arg.(value & opt_all string [] & info [ "control" ] ~docv:"SIGNAL"
+         ~doc:"Insert a control point (test-mode mux) on the signal and \
+               re-run ATPG; repeatable.")
+  in
+  let run file budget control =
+    let c = or_die (read_circuit file) in
+    let faults = Fault.universe_input_sa c in
+    if control = [] then begin
+      let imp = Dft.evaluate ~budget c ~faults in
+      Format.printf "coverage before: %d/%d@." imp.Dft.before_detected imp.Dft.total;
+      match imp.Dft.points with
+      | [] -> Format.printf "no observation points needed@."
+      | points ->
+        Format.printf "observation points:%s@."
+          (String.concat ""
+             (List.map (fun p -> " " ^ Circuit.node_name c p) points));
+        Format.printf "coverage after:  %d/%d@." imp.Dft.after_detected imp.Dft.total
+    end
+    else begin
+      let nodes =
+        List.map
+          (fun nm ->
+            match Circuit.find_node c nm with
+            | Some id -> id
+            | None -> or_die (Error ("unknown signal " ^ nm)))
+          control
+      in
+      let before = Engine.run c ~faults in
+      let cp = Dft.insert_control_points c nodes in
+      let after = Engine.run cp ~faults:(Fault.universe_input_sa cp) in
+      Format.printf "before: %d/%d; with control points: %d/%d@."
+        (Engine.detected before) (Engine.total before)
+        (Engine.detected after) (Engine.total after)
+    end
+  in
+  Cmd.v
+    (Cmd.info "dft"
+       ~doc:"Recommend and evaluate test observation/control points.")
+    Term.(const run $ file $ budget $ control)
+
+(* --- dot ------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("circuit", `Circuit); ("cssg", `Cssg); ("stg", `Stg) ])
+          `Circuit
+      & info [ "view" ] ~doc:"What to render: circuit, cssg, or stg.")
+  in
+  let run file what k =
+    match what with
+    | `Stg ->
+      let stg = or_die (Stg.parse_file file) in
+      print_string (Stg.to_dot stg)
+    | `Circuit ->
+      let c = or_die (read_circuit file) in
+      print_string (Dot.circuit c)
+    | `Cssg ->
+      let c = or_die (read_circuit file) in
+      print_string (Cssg.to_dot (Explicit.build ?k c))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Graphviz export of a netlist, its CSSG, or an STG.")
+    Term.(const run $ file $ what $ k_arg)
+
+let () =
+  let doc = "Synchronous test pattern generation for asynchronous circuits" in
+  let info = Cmd.info "satg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; cssg_cmd; atpg_cmd; program_cmd; delay_cmd; dft_cmd;
+            dot_cmd; bench_cmd; check_cmd ]))

@@ -1,0 +1,38 @@
+(* Developer utility: one-line ATPG report per benchmark.
+
+     dune exec dev/check_suite.exe [si|bd]       coverage + phase split
+     dune exec dev/check_suite.exe undetected    list undetected faults *)
+
+let report_row which e =
+  let open Satg_bench in
+  let name = e.Suite.name in
+  let syn =
+    if which = "bd" then Suite.bounded_delay else Suite.speed_independent
+  in
+  match syn e with
+  | Error m -> Printf.printf "%-16s SYNTH FAIL: %s\n%!" name m
+  | Ok c ->
+    let t0 = Sys.time () in
+    let module F = Satg_fault.Fault in
+    let module E = Satg_core.Engine in
+    let g = Satg_sg.Explicit.build c in
+    let out_r = E.run ~cssg:g c ~faults:(F.universe_output_sa c) in
+    let in_r = E.run ~cssg:g c ~faults:(F.universe_input_sa c) in
+    Printf.printf
+      "%-16s cssg:%3d/%4d  out %3d/%3d  in %3d/%3d  rnd %3d 3ph %3d sim %3d  %.2fs\n%!"
+      name
+      (Satg_sg.Cssg.n_states g)
+      (Satg_sg.Cssg.n_edges g)
+      (E.detected out_r) (E.total out_r) (E.detected in_r) (E.total in_r)
+      (E.detected_by in_r Satg_core.Testset.Random)
+      (E.detected_by in_r Satg_core.Testset.Three_phase)
+      (E.detected_by in_r Satg_core.Testset.Fault_simulation)
+      (Sys.time () -. t0);
+    if which = "undetected" then
+      List.iter
+        (fun f -> Printf.printf "      undetected %s\n" (F.to_string c f))
+        (E.undetected_faults in_r @ E.undetected_faults out_r)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "si" in
+  List.iter (report_row which) (Satg_bench.Suite.all ())

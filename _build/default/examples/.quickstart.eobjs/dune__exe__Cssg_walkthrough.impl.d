@@ -1,0 +1,1 @@
+examples/cssg_walkthrough.ml: Array Async_sim Circuit Cssg Explicit Figures Format List Option Printf Satg_bench Satg_circuit Satg_sg Satg_sim String Structure

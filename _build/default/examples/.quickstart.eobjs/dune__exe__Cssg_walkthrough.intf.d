@@ -1,0 +1,1 @@
+examples/cssg_walkthrough.mli:

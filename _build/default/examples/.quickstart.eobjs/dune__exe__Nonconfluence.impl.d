@@ -1,0 +1,1 @@
+examples/nonconfluence.ml: Array Async_sim Circuit Cssg Explicit Figures Format List Option Satg_bench Satg_circuit Satg_logic Satg_sg Satg_sim String Ternary_sim

@@ -1,0 +1,1 @@
+examples/oscillation.ml: Async_sim Circuit Cssg Explicit Figures Format List Option Satg_bench Satg_circuit Satg_logic Satg_sg Satg_sim Ternary_sim Unit_delay

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Circuit Compose Cssg Engine Explicit Fault Format Option Parser Satg_bench Satg_circuit Satg_core Satg_fault Satg_sg String Suite Tester

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Cssg Engine Explicit Fault Format Gatefunc List Satg_circuit Satg_core Satg_fault Satg_sg Testset

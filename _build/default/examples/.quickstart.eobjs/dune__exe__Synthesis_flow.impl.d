@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Array Cssg Engine Explicit Fault Format List Parser Satg_bench Satg_circuit Satg_core Satg_fault Satg_logic Satg_sg Satg_stg Stg String Suite Synth Sys

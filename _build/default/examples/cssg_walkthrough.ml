@@ -1,0 +1,69 @@
+(* Figure 2 of the paper: from the test-mode state graph to the CSSG.
+
+   We use the cross-coupled NOR latch: most vectors are valid, but
+   releasing both requests at once races the latch, so that edge is
+   pruned.  States reachable only through pruned vectors remain nodes
+   of the graph (like s1 in the paper's figure), and state
+   justification routes around them.
+
+     dune exec examples/cssg_walkthrough.exe *)
+
+open Satg_circuit
+open Satg_sim
+open Satg_sg
+open Satg_bench
+
+let vec_to_string v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let () =
+  let c = Figures.mutex_latch () in
+  let reset = Option.get (Circuit.initial c) in
+  Format.printf "circuit: %a@." Circuit.pp_stats c;
+
+  (* Classify every vector from every stable state: the TCSG view. *)
+  let k = Structure.default_k c in
+  let stables = Async_sim.reachable_stable_states c ~k ~from:[ reset ] in
+  Format.printf "@.test-mode classification of every (state, vector) pair:@.";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun mask ->
+          let v = Array.init 2 (fun i -> mask land (1 lsl i) <> 0) in
+          if v <> Circuit.input_vector_of_state c s then begin
+            let verdict =
+              match Async_sim.apply_vector c ~k s v with
+              | Async_sim.Settles s' ->
+                Printf.sprintf "settles to %s" (Circuit.state_to_string c s')
+              | Async_sim.Non_confluent finals ->
+                Printf.sprintf "NON-CONFLUENT (%d outcomes) - pruned"
+                  (List.length finals)
+              | Async_sim.Exceeds_budget -> "unstable at k - pruned"
+            in
+            Format.printf "   %s --%s--> %s@."
+              (Circuit.state_to_string c s)
+              (vec_to_string v) verdict
+          end)
+        [ 0; 1; 2; 3 ])
+    stables;
+
+  (* The surviving graph. *)
+  let g = Explicit.build c in
+  Format.printf "@.the resulting CSSG:@.%a@." Cssg.pp g;
+
+  (* Justification: drive the latch to Q=0, QB=1 with both inputs low.
+     The shortest route needs two vectors. *)
+  let q = Option.get (Circuit.find_node c "Q") in
+  let qb = Option.get (Circuit.find_node c "QB") in
+  let target i =
+    let s = Cssg.state g i in
+    (not s.(q)) && s.(qb)
+    && not (Circuit.input_vector_of_state c s).(0)
+    && not (Circuit.input_vector_of_state c s).(1)
+  in
+  match Cssg.justify g ~target () with
+  | Some (vectors, goal) ->
+    Format.printf "justifying Q=0 QB=1 R=S=0: apply %s -> state %s@."
+      (String.concat " then " (List.map vec_to_string vectors))
+      (Circuit.state_to_string c (Cssg.state g goal))
+  | None -> Format.printf "justification failed@."

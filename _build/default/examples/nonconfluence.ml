@@ -1,0 +1,55 @@
+(* Figure 1(a) of the paper: non-confluence of the settling state.
+
+   The circuit races a rising input against a falling one through an
+   AND gate into a set-dominant latch.  Depending on gate delays, the
+   latch may or may not capture the pulse: the final stable state is
+   delay-dependent, so the vector is unusable by a synchronous tester
+   and the CSSG prunes it.
+
+     dune exec examples/nonconfluence.exe *)
+
+open Satg_circuit
+open Satg_sim
+open Satg_sg
+open Satg_bench
+
+let () =
+  let c = Figures.fig1a () in
+  let reset = Option.get (Circuit.initial c) in
+  Format.printf "circuit: %a@." Circuit.pp_stats c;
+  Format.printf "reset state: %s@." (Circuit.state_to_string c reset);
+
+  (* Exact unbounded-delay exploration of the racing vector (1,0). *)
+  (match Async_sim.apply_vector c ~k:64 reset [| true; false |] with
+  | Async_sim.Non_confluent finals ->
+    Format.printf "@.vector A=1 B=0: NON-CONFLUENT, %d possible outcomes:@."
+      (List.length finals);
+    List.iter
+      (fun s -> Format.printf "   %s@." (Circuit.state_to_string c s))
+      finals
+  | Async_sim.Settles _ | Async_sim.Exceeds_budget ->
+    Format.printf "unexpected@.");
+
+  (* Ternary simulation reaches the same verdict conservatively. *)
+  let t =
+    Ternary_sim.apply_vector c
+      (Ternary_sim.of_bool_state reset)
+      [| true; false |]
+  in
+  Format.printf "@.ternary simulation of the same vector: %s@."
+    (Satg_logic.Ternary.vector_to_string t);
+  Format.printf "(X marks the delay-dependent signals)@.";
+
+  (* The CSSG therefore contains no (1,0) edge out of reset. *)
+  let g = Explicit.build c in
+  let reset_id = List.hd (Cssg.initial g) in
+  Format.printf "@.CSSG: %a@." Cssg.pp_stats g;
+  Format.printf "valid vectors at reset:";
+  List.iter
+    (fun e ->
+      Format.printf " %s"
+        (String.init
+           (Array.length e.Cssg.vector)
+           (fun i -> if e.Cssg.vector.(i) then '1' else '0')))
+    (Cssg.successors g reset_id);
+  Format.printf "@."

@@ -1,0 +1,45 @@
+(* Figure 1(b) of the paper: oscillation.
+
+   A NAND loop enabled by the primary input never settles once the
+   input rises.  The exact engine exhausts its firing budget, ternary
+   simulation floods the loop with X, and the CSSG ends up with no
+   valid vectors at all — the circuit cannot be exercised by a
+   synchronous tester (only reset-state observation remains).
+
+     dune exec examples/oscillation.exe *)
+
+open Satg_circuit
+open Satg_sim
+open Satg_sg
+open Satg_bench
+
+let () =
+  let c = Figures.fig1b () in
+  let reset = Option.get (Circuit.initial c) in
+  Format.printf "circuit: %a@." Circuit.pp_stats c;
+
+  (* Watch the unit-delay trace cycle. *)
+  (match Unit_delay.apply_vector c ~max_steps:16 reset [| true |] with
+  | Unit_delay.Oscillates cycle ->
+    Format.printf "@.unit-delay trace after A+ (repeats):@.";
+    List.iter
+      (fun s -> Format.printf "   %s@." (Circuit.state_to_string c s))
+      cycle
+  | Unit_delay.Settled _ -> Format.printf "unexpected@.");
+
+  (* The exact engine classifies the vector as exceeding any budget. *)
+  (match Async_sim.apply_vector c ~k:128 reset [| true |] with
+  | Async_sim.Exceeds_budget ->
+    Format.printf "@.exact exploration: still unstable after 128 firings@."
+  | _ -> Format.printf "unexpected@.");
+
+  let t =
+    Ternary_sim.apply_vector c (Ternary_sim.of_bool_state reset) [| true |]
+  in
+  Format.printf "ternary simulation:       %s@."
+    (Satg_logic.Ternary.vector_to_string t);
+
+  let g = Explicit.build c in
+  Format.printf "@.CSSG: %a@." Cssg.pp_stats g;
+  Format.printf
+    "no valid vectors: only faults visible in the reset state are testable@."

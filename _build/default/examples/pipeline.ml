@@ -1,0 +1,53 @@
+(* Hierarchy (paper §7): compose two Muller-pipeline stages into one
+   circuit and test the composite.  The stage controllers come from the
+   bundled "ebergen" STG; stage1's request output drives stage2's
+   request input and stage2's acknowledge drives stage1's ack input —
+   the internal handshake becomes wire-delayed internal logic, invisible
+   to the tester, yet the composite remains fully testable.
+
+     dune exec examples/pipeline.exe *)
+
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+open Satg_core
+open Satg_bench
+
+let stage name =
+  let e = Option.get (Suite.find "ebergen") in
+  match Suite.speed_independent e with
+  | Error m -> failwith m
+  | Ok c -> (
+    (* give each instance its own name by round-tripping the text *)
+    let text = Parser.to_string c in
+    let renamed =
+      "circuit " ^ name
+      ^ String.sub text (String.index text '\n')
+          (String.length text - String.index text '\n')
+    in
+    match Parser.parse_string renamed with
+    | Ok c -> c
+    | Error m -> failwith m)
+
+let () =
+  let s1 = stage "stage1" and s2 = stage "stage2" in
+  Format.printf "stage: %a@." Circuit.pp_stats s1;
+  match
+    Compose.pair ~name:"pipe2"
+      ~connect_ab:[ ("ro", "ri") ]  (* stage1 request -> stage2 *)
+      ~connect_ba:[ ("ai", "ao") ]  (* stage2 ack     -> stage1 *)
+      s1 s2
+  with
+  | Error m -> failwith m
+  | Ok pipe ->
+    Format.printf "composite: %a@." Circuit.pp_stats pipe;
+    Format.printf "tester-visible inputs: %s@."
+      (String.concat " " (Array.to_list (Circuit.input_names pipe)));
+    let g = Explicit.build pipe in
+    Format.printf "%a@." Cssg.pp_stats g;
+    let faults = Fault.universe_input_sa pipe in
+    let r = Engine.run ~cssg:g pipe ~faults in
+    Format.printf "%a@." Engine.pp_summary r;
+    (* The deliverable: a program for a synchronous tester. *)
+    let program = Tester.of_result r in
+    Format.printf "@.%a@." Tester.pp program

@@ -1,0 +1,38 @@
+(* Quickstart: build an asynchronous circuit, abstract it as a
+   synchronous FSM (the CSSG), and generate synchronous test patterns
+   for every input stuck-at fault.
+
+     dune exec examples/quickstart.exe *)
+
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+open Satg_core
+
+let () =
+  (* A Muller C-element joining two request lines.  Primary inputs get
+     delay buffers automatically; the netlist reads the buffer outputs. *)
+  let b = Circuit.Builder.create "quickstart" in
+  let a = Circuit.Builder.add_input b "a" in
+  let b_in = Circuit.Builder.add_input b "b" in
+  let c = Circuit.Builder.add_gate b ~name:"c" Gatefunc.Celem [ a; b_in ] in
+  Circuit.Builder.mark_output b c;
+  let circuit = Circuit.Builder.finalize b in
+
+  (* Attach a reset state: everything low. *)
+  let circuit =
+    Circuit.with_initial circuit (Array.make (Circuit.n_nodes circuit) false)
+  in
+  Format.printf "%a@." Circuit.pp_stats circuit;
+
+  (* The synchronous abstraction: stable states + valid input vectors. *)
+  let g = Explicit.build circuit in
+  Format.printf "%a@." Cssg.pp g;
+
+  (* ATPG for the input stuck-at universe. *)
+  let faults = Fault.universe_input_sa circuit in
+  let result = Engine.run ~cssg:g circuit ~faults in
+  List.iter
+    (fun o -> Format.printf "  %a@." (Testset.pp_outcome circuit) o)
+    result.Engine.outcomes;
+  Format.printf "%a@." Engine.pp_summary result

@@ -1,0 +1,60 @@
+(* End-to-end flow: STG specification -> logic synthesis (both
+   backends) -> CSSG -> ATPG, on one of the bundled benchmarks.
+
+     dune exec examples/synthesis_flow.exe [benchmark-name] *)
+
+open Satg_circuit
+open Satg_fault
+open Satg_stg
+open Satg_sg
+open Satg_core
+open Satg_bench
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "vbe6a" in
+  let entry =
+    match Suite.find name with
+    | Some e -> e
+    | None ->
+      prerr_endline ("unknown benchmark " ^ name ^ "; try: "
+                     ^ String.concat " " Suite.names);
+      exit 1
+  in
+  Format.printf "=== specification ===@.%s@." (Stg.to_string entry.Suite.stg);
+
+  (* The state graph and the next-state functions behind synthesis. *)
+  (match Stg.explore entry.Suite.stg with
+  | Error m -> failwith m
+  | Ok sg ->
+    Format.printf "reachable STG states: %d; CSC: %s@.@."
+      (Array.length sg.Stg.states)
+      (match Stg.check_csc sg with Ok () -> "ok" | Error m -> m);
+    List.iter
+      (fun (nm, cover) ->
+        Format.printf "  NS(%s) = %a@." nm Satg_logic.Cover.pp cover)
+      (Synth.next_state_covers sg);
+    List.iter
+      (fun (nm, cover) ->
+        Format.printf "  primes(%s) = %a@." nm Satg_logic.Cover.pp cover)
+      (Synth.prime_covers sg));
+
+  let run label circuit =
+    Format.printf "@.=== %s ===@." label;
+    Format.printf "%s" (Parser.to_string circuit);
+    let g = Explicit.build circuit in
+    Format.printf "%a@." Cssg.pp_stats g;
+    let r = Engine.run ~cssg:g circuit ~faults:(Fault.universe_input_sa circuit) in
+    Format.printf "%a@." Engine.pp_summary r;
+    List.iter
+      (fun f -> Format.printf "  undetectable: %s@." (Fault.to_string circuit f))
+      (Engine.undetected_faults r)
+  in
+  (match Suite.speed_independent entry with
+  | Ok c -> run "speed-independent (complex gate)" c
+  | Error m -> Format.printf "synthesis failed: %s@." m);
+  (match Synth.decomposed entry.Suite.stg with
+  | Ok c -> run "bounded-delay (decomposed, irredundant)" c
+  | Error m -> Format.printf "synthesis failed: %s@." m);
+  match Suite.bounded_delay entry with
+  | Ok c -> run "bounded-delay (decomposed, all-primes redundant)" c
+  | Error m -> Format.printf "synthesis failed: %s@." m

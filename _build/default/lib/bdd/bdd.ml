@@ -1,0 +1,443 @@
+(* Hash-consed ROBDDs, struct-of-arrays node store.  Node ids:
+   0 = terminal false, 1 = terminal true, >= 2 internal.  The variable
+   of a terminal is [terminal_var], larger than any real variable. *)
+
+type t = int
+
+let terminal_var = max_int
+
+type man = {
+  mutable var_of : int array;
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable n_nodes : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  mutable bin_cache : (int * int * int, int) Hashtbl.t;
+      (* key: (op_tag, a, b) with a normalised first for commutative ops *)
+  mutable ite_cache : (int * int * int, int) Hashtbl.t;
+  mutable not_cache : (int, int) Hashtbl.t;
+  mutable n_vars : int;
+}
+
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+
+let create ?(unique_size = 1024) ~nvars () =
+  let cap = 1024 in
+  let man =
+    {
+      var_of = Array.make cap terminal_var;
+      low_of = Array.make cap (-1);
+      high_of = Array.make cap (-1);
+      n_nodes = 2;
+      unique = Hashtbl.create unique_size;
+      bin_cache = Hashtbl.create unique_size;
+      ite_cache = Hashtbl.create 256;
+      not_cache = Hashtbl.create 256;
+      n_vars = nvars;
+    }
+  in
+  man
+
+let nvars m = m.n_vars
+
+let add_var m =
+  let v = m.n_vars in
+  m.n_vars <- v + 1;
+  v
+
+let zero (_ : man) = 0
+let one (_ : man) = 1
+let is_zero t = t = 0
+let is_one t = t = 1
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (t : t) = t
+let var_id m id = m.var_of.(id)
+
+let grow m =
+  let cap = Array.length m.var_of in
+  if m.n_nodes >= cap then begin
+    let cap' = cap * 2 in
+    let extend a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    m.var_of <- extend m.var_of terminal_var;
+    m.low_of <- extend m.low_of (-1);
+    m.high_of <- extend m.high_of (-1)
+  end
+
+let mk m v l h =
+  if l = h then l
+  else
+    let key = (v, l, h) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      grow m;
+      let id = m.n_nodes in
+      m.n_nodes <- id + 1;
+      m.var_of.(id) <- v;
+      m.low_of.(id) <- l;
+      m.high_of.(id) <- h;
+      Hashtbl.replace m.unique key id;
+      id
+
+let var m v =
+  if v < 0 || v >= m.n_vars then invalid_arg "Bdd.var: out of range";
+  mk m v 0 1
+
+let nvar m v =
+  if v < 0 || v >= m.n_vars then invalid_arg "Bdd.nvar: out of range";
+  mk m v 1 0
+
+let top_var m t =
+  if t < 2 then invalid_arg "Bdd.top_var: terminal";
+  m.var_of.(t)
+
+let low m t =
+  if t < 2 then invalid_arg "Bdd.low: terminal";
+  m.low_of.(t)
+
+let high m t =
+  if t < 2 then invalid_arg "Bdd.high: terminal";
+  m.high_of.(t)
+
+let rec not_ m t =
+  if t = 0 then 1
+  else if t = 1 then 0
+  else
+    match Hashtbl.find_opt m.not_cache t with
+    | Some r -> r
+    | None ->
+      let r = mk m m.var_of.(t) (not_ m m.low_of.(t)) (not_ m m.high_of.(t)) in
+      Hashtbl.replace m.not_cache t r;
+      r
+
+(* Generic binary APPLY for and/or/xor with shared cache. *)
+let rec apply m op a b =
+  let shortcut =
+    if op = op_and then
+      if a = 0 || b = 0 then Some 0
+      else if a = 1 then Some b
+      else if b = 1 then Some a
+      else if a = b then Some a
+      else None
+    else if op = op_or then
+      if a = 1 || b = 1 then Some 1
+      else if a = 0 then Some b
+      else if b = 0 then Some a
+      else if a = b then Some a
+      else None
+    else if a = b then Some 0
+    else if a = 0 then Some b
+    else if b = 0 then Some a
+    else if a = 1 then Some (not_ m b)
+    else if b = 1 then Some (not_ m a)
+    else None
+  in
+  match shortcut with
+  | Some r -> r
+  | None ->
+    let a, b = if a <= b then (a, b) else (b, a) in
+    let key = (op, a, b) in
+    (match Hashtbl.find_opt m.bin_cache key with
+    | Some r -> r
+    | None ->
+      let va = m.var_of.(a) and vb = m.var_of.(b) in
+      let v = min va vb in
+      let a0, a1 = if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a) in
+      let b0, b1 = if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b) in
+      let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
+      Hashtbl.replace m.bin_cache key r;
+      r)
+
+let and_ m a b = apply m op_and a b
+let or_ m a b = apply m op_or a b
+let xor_ m a b = apply m op_xor a b
+let imp m a b = or_ m (not_ m a) b
+let iff m a b = not_ m (xor_ m a b)
+let diff m a b = and_ m a (not_ m b)
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else if g = 0 && h = 1 then not_ m f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let var_or t = if t < 2 then terminal_var else m.var_of.(t) in
+      let v = min (var_or f) (min (var_or g) (var_or h)) in
+      let branch t value =
+        if t < 2 || m.var_of.(t) <> v then t
+        else if value then m.high_of.(t)
+        else m.low_of.(t)
+      in
+      let r =
+        mk m v
+          (ite m (branch f false) (branch g false) (branch h false))
+          (ite m (branch f true) (branch g true) (branch h true))
+      in
+      Hashtbl.replace m.ite_cache key r;
+      r
+
+let and_list m ts = List.fold_left (and_ m) 1 ts
+let or_list m ts = List.fold_left (or_ m) 0 ts
+
+let cofactor m t ~var ~value =
+  let cache = Hashtbl.create 64 in
+  let rec go t =
+    if t < 2 then t
+    else if m.var_of.(t) > var then t
+    else
+      match Hashtbl.find_opt cache t with
+      | Some r -> r
+      | None ->
+        let r =
+          if m.var_of.(t) = var then
+            if value then m.high_of.(t) else m.low_of.(t)
+          else mk m m.var_of.(t) (go m.low_of.(t)) (go m.high_of.(t))
+        in
+        Hashtbl.replace cache t r;
+        r
+  in
+  go t
+
+let compose m f ~var g =
+  let cache = Hashtbl.create 64 in
+  let rec go f =
+    if f < 2 then f
+    else if m.var_of.(f) > var then f
+    else
+      match Hashtbl.find_opt cache f with
+      | Some r -> r
+      | None ->
+        let r =
+          if m.var_of.(f) = var then ite m g m.high_of.(f) m.low_of.(f)
+          else
+            (* Rebuild through ITE: children may now start above this
+               variable after substitution deeper down. *)
+            ite m
+              (mk m m.var_of.(f) 0 1)
+              (go m.high_of.(f))
+              (go m.low_of.(f))
+        in
+        Hashtbl.replace cache f r;
+        r
+  in
+  go f
+
+let quantify m ~vars ~disjunct t =
+  if vars = [] then t
+  else begin
+    let max_v = List.fold_left max 0 vars in
+    let in_set = Array.make (max_v + 1) false in
+    List.iter
+      (fun v ->
+        if v < 0 || v >= m.n_vars then invalid_arg "Bdd.quantify: bad var";
+        in_set.(v) <- true)
+      vars;
+    let cache = Hashtbl.create 256 in
+    let rec go t =
+      if t < 2 then t
+      else if m.var_of.(t) > max_v then t
+      else
+        match Hashtbl.find_opt cache t with
+        | Some r -> r
+        | None ->
+          let v = m.var_of.(t) in
+          let l = go m.low_of.(t) and h = go m.high_of.(t) in
+          let r =
+            if in_set.(v) then
+              if disjunct then or_ m l h else and_ m l h
+            else mk m v l h
+          in
+          Hashtbl.replace cache t r;
+          r
+    in
+    go t
+  end
+
+let exists m ~vars t = quantify m ~vars ~disjunct:true t
+let forall m ~vars t = quantify m ~vars ~disjunct:false t
+
+let and_exists m ~vars a b =
+  if vars = [] then and_ m a b
+  else begin
+    let max_v = List.fold_left max 0 vars in
+    let in_set = Array.make (max_v + 1) false in
+    List.iter
+      (fun v ->
+        if v < 0 || v >= m.n_vars then invalid_arg "Bdd.and_exists: bad var";
+        in_set.(v) <- true)
+      vars;
+    let cache = Hashtbl.create 1024 in
+    let rec go a b =
+      if a = 0 || b = 0 then 0
+      else if a = 1 && b = 1 then 1
+      else
+        let a, b = if a <= b then (a, b) else (b, a) in
+        match Hashtbl.find_opt cache (a, b) with
+        | Some r -> r
+        | None ->
+          let var_or t = if t < 2 then terminal_var else m.var_of.(t) in
+          let va = var_or a and vb = var_or b in
+          let v = min va vb in
+          let r =
+            if v > max_v then
+              (* No quantified variable below: plain conjunction. *)
+              and_ m a b
+            else begin
+              let a0, a1 =
+                if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a)
+              and b0, b1 =
+                if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b)
+              in
+              if in_set.(v) then begin
+                let r0 = go a0 b0 in
+                if r0 = 1 then 1 else or_ m r0 (go a1 b1)
+              end
+              else mk m v (go a0 b0) (go a1 b1)
+            end
+          in
+          Hashtbl.replace cache (a, b) r;
+          r
+    in
+    go a b
+  end
+
+let permute m p t =
+  let cache = Hashtbl.create 256 in
+  let rec go t =
+    if t < 2 then t
+    else
+      match Hashtbl.find_opt cache t with
+      | Some r -> r
+      | None ->
+        let v' = p m.var_of.(t) in
+        if v' < 0 || v' >= m.n_vars then invalid_arg "Bdd.permute: bad image";
+        let r = ite m (mk m v' 0 1) (go m.high_of.(t)) (go m.low_of.(t)) in
+        Hashtbl.replace cache t r;
+        r
+  in
+  go t
+
+let support m t =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go t =
+    if t >= 2 && not (Hashtbl.mem seen t) then begin
+      Hashtbl.replace seen t ();
+      Hashtbl.replace vars m.var_of.(t) ();
+      go m.low_of.(t);
+      go m.high_of.(t)
+    end
+  in
+  go t;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort Stdlib.compare
+
+let eval m t assign =
+  let rec go t =
+    if t = 0 then false
+    else if t = 1 then true
+    else if assign m.var_of.(t) then go m.high_of.(t)
+    else go m.low_of.(t)
+  in
+  go t
+
+let sat_count m ~nvars t =
+  let cache = Hashtbl.create 256 in
+  (* count over variables [var..nvars-1] *)
+  let rec go t var =
+    if var >= nvars then if t = 1 then 1.0 else 0.0
+    else if t = 0 then 0.0
+    else if t = 1 then 2.0 ** Float.of_int (nvars - var)
+    else
+      let v = m.var_of.(t) in
+      if v > var then 2.0 *. go t (var + 1)
+      else
+        match Hashtbl.find_opt cache (t, var) with
+        | Some r -> r
+        | None ->
+          let r = go m.low_of.(t) (var + 1) +. go m.high_of.(t) (var + 1) in
+          Hashtbl.replace cache (t, var) r;
+          r
+  in
+  go t 0
+
+let any_sat m t =
+  if t = 0 then raise Not_found;
+  let rec go t acc =
+    if t = 1 then List.rev acc
+    else
+      let v = m.var_of.(t) in
+      if m.low_of.(t) <> 0 then go m.low_of.(t) ((v, false) :: acc)
+      else go m.high_of.(t) ((v, true) :: acc)
+  in
+  go t []
+
+let fold_sat m t ~init ~f =
+  let rec go t acc path =
+    if t = 0 then acc
+    else if t = 1 then f acc (List.rev path)
+    else
+      let v = m.var_of.(t) in
+      let acc = go m.low_of.(t) acc ((v, false) :: path) in
+      go m.high_of.(t) acc ((v, true) :: path)
+  in
+  go t init []
+
+let all_sat m t =
+  List.rev (fold_sat m t ~init:[] ~f:(fun acc cube -> cube :: acc))
+
+let size m t =
+  let seen = Hashtbl.create 64 in
+  let rec go t acc =
+    if t < 2 || Hashtbl.mem seen t then acc
+    else begin
+      Hashtbl.replace seen t ();
+      go m.low_of.(t) (go m.high_of.(t) (acc + 1))
+    end
+  in
+  go t 0
+
+let node_count m = m.n_nodes
+
+let clear_caches m =
+  m.bin_cache <- Hashtbl.create 1024;
+  m.ite_cache <- Hashtbl.create 256;
+  m.not_cache <- Hashtbl.create 256
+
+let pp m fmt t =
+  let rec go fmt t =
+    if t = 0 then Format.pp_print_string fmt "F"
+    else if t = 1 then Format.pp_print_string fmt "T"
+    else
+      Format.fprintf fmt "@[<hv 1>(x%d?%a:%a)@]" (var_id m t) go
+        m.high_of.(t) go m.low_of.(t)
+  in
+  go fmt t
+
+let transfer ~src ~dst map t =
+  let cache = Hashtbl.create 256 in
+  let rec go t =
+    if t < 2 then t
+    else
+      match Hashtbl.find_opt cache t with
+      | Some r -> r
+      | None ->
+        let v = map src.var_of.(t) in
+        if v < 0 || v >= dst.n_vars then
+          invalid_arg "Bdd.transfer: mapped variable out of range";
+        let r = ite dst (mk dst v 0 1) (go src.high_of.(t)) (go src.low_of.(t)) in
+        Hashtbl.replace cache t r;
+        r
+  in
+  go t

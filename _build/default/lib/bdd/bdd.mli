@@ -1,0 +1,109 @@
+(** Reduced Ordered Binary Decision Diagrams with hash-consing.
+
+    A {!man} (manager) owns the node store, the unique table and the
+    operation caches.  BDD values of different managers must never be
+    mixed; this is checked with assertions in debug builds only.
+
+    Variables are dense integers [0 .. nvars-1]; the variable order is
+    the integer order.  Terminals and all operations are the textbook
+    Bryant constructions (APPLY / ITE with memoization). *)
+
+type man
+type t
+(** A BDD node handle.  Handles are canonical: two handles of the same
+    manager represent the same function iff they are [equal]. *)
+
+val create : ?unique_size:int -> nvars:int -> unit -> man
+(** [create ~nvars ()] makes a manager with variables [0..nvars-1]. *)
+
+val nvars : man -> int
+
+val add_var : man -> int
+(** Append a fresh variable at the bottom of the order; returns its
+    index. *)
+
+val zero : man -> t
+val one : man -> t
+val var : man -> int -> t
+val nvar : man -> int -> t
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val top_var : man -> t -> int
+(** Variable at the root. @raise Invalid_argument on terminals. *)
+
+val low : man -> t -> t
+val high : man -> t -> t
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val imp : man -> t -> t -> t
+val iff : man -> t -> t -> t
+val diff : man -> t -> t -> t
+(** [diff m a b] is [a ∧ ¬b]. *)
+
+val ite : man -> t -> t -> t -> t
+
+val and_list : man -> t list -> t
+val or_list : man -> t list -> t
+
+val cofactor : man -> t -> var:int -> value:bool -> t
+
+val compose : man -> t -> var:int -> t -> t
+(** [compose m f ~var g] substitutes [g] for [var] in [f]. *)
+
+val exists : man -> vars:int list -> t -> t
+val forall : man -> vars:int list -> t -> t
+
+val and_exists : man -> vars:int list -> t -> t -> t
+(** Relational product: [∃ vars. a ∧ b], computed without building the
+    full conjunction. *)
+
+val permute : man -> (int -> int) -> t -> t
+(** [permute m p f] renames every variable [v] of [f] to [p v].  The
+    mapping need not be order-preserving. *)
+
+val support : man -> t -> int list
+(** Variables on which the function depends, ascending. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+
+val sat_count : man -> nvars:int -> t -> float
+(** Number of satisfying assignments over the given variable count. *)
+
+val any_sat : man -> t -> (int * bool) list
+(** One satisfying path as (variable, value) pairs, ascending variable
+    order; variables absent from the list are unconstrained.
+    @raise Not_found on the zero BDD. *)
+
+val all_sat : man -> t -> (int * bool) list list
+(** All satisfying paths (cubes).  Exponential in the worst case. *)
+
+val fold_sat : man -> t -> init:'a -> f:('a -> (int * bool) list -> 'a) -> 'a
+(** Fold {!all_sat} without materialising the list. *)
+
+val size : man -> t -> int
+(** Number of internal DAG nodes reachable from the handle. *)
+
+val node_count : man -> int
+(** Total nodes ever allocated in the manager (monotone). *)
+
+val clear_caches : man -> unit
+(** Drop operation caches (unique table is kept). *)
+
+val pp : man -> Format.formatter -> t -> unit
+(** Render as nested ITE text; debugging aid for small BDDs. *)
+
+val transfer : src:man -> dst:man -> (int -> int) -> t -> t
+(** Rebuild a function of [src] inside [dst], renaming every variable
+    [v] to [map v].  The target order may be arbitrary (the rebuild
+    goes through ITE), which makes this the primitive for reordering:
+    build a fresh manager with the candidate order and transfer the
+    live roots.
+    @raise Invalid_argument if a mapped variable is outside [dst]. *)

@@ -1,0 +1,1 @@
+lib/bench_circuits/figures.ml: Parser Satg_circuit

@@ -1,0 +1,1 @@
+lib/bench_circuits/figures.mli: Circuit Satg_circuit

@@ -1,0 +1,1 @@
+lib/bench_circuits/suite.ml: Lazy List Printf Satg_stg Stg Synth

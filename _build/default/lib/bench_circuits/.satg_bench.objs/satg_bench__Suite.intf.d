@@ -1,0 +1,1 @@
+lib/bench_circuits/suite.mli: Circuit Satg_circuit Satg_stg Stg

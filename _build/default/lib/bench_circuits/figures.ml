@@ -1,0 +1,45 @@
+open Satg_circuit
+
+let parse_exn text =
+  match Parser.parse_string text with
+  | Ok c -> c
+  | Error m -> invalid_arg ("Figures: bad builtin circuit: " ^ m)
+
+let fig1a () =
+  parse_exn
+    {|circuit fig1a
+input A B
+gate c AND A B
+sop y ( c y ) 1- -1     # set-dominant latch: y = c + y
+output y
+initial A=0 B=1 c=0 y=0
+end|}
+
+let fig1b () =
+  parse_exn
+    {|circuit fig1b
+input A
+gate c NAND A d
+gate d BUF c
+output d
+initial A=0 c=1 d=1
+end|}
+
+let celem_handshake () =
+  parse_exn
+    {|circuit celem_handshake
+input A B
+celem c A B
+output c
+initial A=0 B=0 c=0
+end|}
+
+let mutex_latch () =
+  parse_exn
+    {|circuit mutex_latch
+input R S
+gate Q NOR R QB
+gate QB NOR S Q
+output Q QB
+initial R=0 S=0 Q=1 QB=0
+end|}

@@ -1,0 +1,28 @@
+(** Small circuits reproducing the paper's illustrative figures.
+
+    The netlists are reconstructions with the same observable
+    behaviour as the figures (the paper prints waveform-level traces,
+    not complete netlists): {!fig1a} shows non-confluence of the
+    settling state, {!fig1b} shows oscillation, {!celem_handshake} is a
+    well-behaved speed-independent fragment whose TCSG equals its CSSG
+    (figure 2 walkthrough). *)
+
+open Satg_circuit
+
+val fig1a : unit -> Circuit.t
+(** Inputs [A B]; an AND gate [c] feeds a set-dominant latch [y].
+    From the reset state (A,B) = (0,1), applying (1,0) races the
+    rising [a] against the falling [b]: if [a] wins, a pulse on [c]
+    sets [y].  Two stable outcomes — non-confluent. *)
+
+val fig1b : unit -> Circuit.t
+(** Input [A]; [c = NAND(a, d)], [d = BUF(c)].  Raising [A]
+    from the reset state starts the oscillation [c- d- c+ d+ ...]. *)
+
+val celem_handshake : unit -> Circuit.t
+(** Inputs [A B]; output [c = CELEM(a, b)].  Every input vector is
+    valid from every stable state: the CSSG keeps the full TCSG. *)
+
+val mutex_latch : unit -> Circuit.t
+(** Inputs [R S]; cross-coupled NOR latch with outputs [Q QB].  Has
+    both valid vectors and an invalid one ((1,1) -> (0,0) races). *)

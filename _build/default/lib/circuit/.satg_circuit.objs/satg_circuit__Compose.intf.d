@@ -1,0 +1,1 @@
+lib/circuit/compose.mli: Circuit

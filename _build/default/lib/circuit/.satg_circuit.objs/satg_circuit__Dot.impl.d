@@ -1,0 +1,1 @@
+lib/circuit/dot.ml: Array Buffer Circuit Gatefunc List Printf String Structure

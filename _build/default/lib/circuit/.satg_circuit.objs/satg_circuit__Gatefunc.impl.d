@@ -1,0 +1,1 @@
+lib/circuit/gatefunc.ml: Array Cover Format Fun Satg_logic Ternary

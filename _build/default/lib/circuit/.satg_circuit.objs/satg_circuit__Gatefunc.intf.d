@@ -1,0 +1,1 @@
+lib/circuit/gatefunc.mli: Cover Format Satg_logic Ternary

@@ -1,0 +1,1 @@
+lib/circuit/parser.ml: Array Buffer Circuit Cover Cube Gatefunc Hashtbl List Printf Satg_logic String

@@ -1,0 +1,1 @@
+lib/circuit/structure.mli: Circuit

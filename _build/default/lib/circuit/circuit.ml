@@ -1,0 +1,370 @@
+type node =
+  | Env
+  | Gate of {
+      func : Gatefunc.t;
+      fanin : int array;
+    }
+
+type t = {
+  name : string;
+  nodes : node array;
+  node_name : string array;
+  inputs : int array;
+  buffer_of : int array;
+  outputs : int array;
+  gate_ids : int array;
+  fanout : int list array;  (* gate readers of each node *)
+  by_name : (string, int) Hashtbl.t;
+  initial : bool array option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type pending =
+    | P_env
+    | P_gate of Gatefunc.t * int array
+    | P_declared
+
+  type t = {
+    cname : string;
+    mutable rev_nodes : (string * pending) list;  (* reversed *)
+    mutable count : int;
+    mutable b_inputs : int list;  (* reversed env ids *)
+    mutable b_buffers : int list;  (* reversed buffer ids *)
+    mutable b_outputs : int list;  (* reversed *)
+    names : (string, int) Hashtbl.t;
+  }
+
+  let create cname =
+    {
+      cname;
+      rev_nodes = [];
+      count = 0;
+      b_inputs = [];
+      b_buffers = [];
+      b_outputs = [];
+      names = Hashtbl.create 32;
+    }
+
+  let fresh b nm pending =
+    if Hashtbl.mem b.names nm then
+      invalid_arg (Printf.sprintf "Builder: duplicate node name %S" nm);
+    let id = b.count in
+    b.count <- id + 1;
+    Hashtbl.replace b.names nm id;
+    b.rev_nodes <- (nm, pending) :: b.rev_nodes;
+    id
+
+  let add_input b nm =
+    let env = fresh b (nm ^ "$env") P_env in
+    let buf = fresh b nm (P_gate (Gatefunc.Buf, [| env |])) in
+    b.b_inputs <- env :: b.b_inputs;
+    b.b_buffers <- buf :: b.b_buffers;
+    buf
+
+  let add_gate b ~name func ins =
+    fresh b name (P_gate (func, Array.of_list ins))
+
+  let declare_gate b ~name = fresh b name P_declared
+
+  let define_gate b id func ins =
+    (* rev_nodes is reversed: node [id] sits at position [count - 1 - id]
+       from the front. *)
+    let rec update_rev i = function
+      | [] -> invalid_arg "Builder.define_gate: unknown node"
+      | ((nm, pending) as entry) :: rest ->
+        if i = id then
+          match pending with
+          | P_declared -> (nm, P_gate (func, Array.of_list ins)) :: rest
+          | P_env | P_gate _ ->
+            invalid_arg "Builder.define_gate: node already defined"
+        else entry :: update_rev (i - 1) rest
+    in
+    b.rev_nodes <- update_rev (b.count - 1) b.rev_nodes
+
+  let mark_output b id =
+    if id < 0 || id >= b.count then invalid_arg "Builder.mark_output: bad id";
+    b.b_outputs <- id :: b.b_outputs
+
+  let finalize b =
+    let nodes_list = List.rev b.rev_nodes in
+    let n = b.count in
+    let nodes = Array.make n Env in
+    let node_name = Array.make n "" in
+    List.iteri
+      (fun i (nm, pending) ->
+        node_name.(i) <- nm;
+        match pending with
+        | P_env -> nodes.(i) <- Env
+        | P_declared ->
+          invalid_arg (Printf.sprintf "Builder: gate %S never defined" nm)
+        | P_gate (func, fanin) ->
+          if not (Gatefunc.arity_ok func (Array.length fanin)) then
+            invalid_arg
+              (Printf.sprintf "Builder: gate %S has bad arity %d for %s" nm
+                 (Array.length fanin) (Gatefunc.name func));
+          Array.iter
+            (fun src ->
+              if src < 0 || src >= n then
+                invalid_arg
+                  (Printf.sprintf "Builder: gate %S reads bad node %d" nm src))
+            fanin;
+          nodes.(i) <- Gate { func; fanin })
+      nodes_list;
+    let gate_ids =
+      Array.of_list
+        (List.filteri
+           (fun i _ -> match nodes.(i) with Gate _ -> true | Env -> false)
+           (List.init n Fun.id))
+    in
+    let fanout = Array.make n [] in
+    Array.iter
+      (fun gid ->
+        match nodes.(gid) with
+        | Gate { fanin; _ } ->
+          Array.iter (fun src -> fanout.(src) <- gid :: fanout.(src)) fanin
+        | Env -> assert false)
+      gate_ids;
+    Array.iteri (fun i l -> fanout.(i) <- List.rev l) fanout;
+    {
+      name = b.cname;
+      nodes;
+      node_name;
+      inputs = Array.of_list (List.rev b.b_inputs);
+      buffer_of = Array.of_list (List.rev b.b_buffers);
+      outputs = Array.of_list (List.rev b.b_outputs);
+      gate_ids;
+      fanout;
+      by_name = Hashtbl.copy b.names;
+      initial = None;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let name t = t.name
+let n_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let node_name t i = t.node_name.(i)
+let find_node t nm = Hashtbl.find_opt t.by_name nm
+let inputs t = t.inputs
+let buffer_of_input t k = t.buffer_of.(k)
+
+let input_names t =
+  Array.map (fun buf -> t.node_name.(buf)) t.buffer_of
+
+let outputs t = t.outputs
+let gates t = t.gate_ids
+let n_inputs t = Array.length t.inputs
+let n_gates t = Array.length t.gate_ids
+let initial t = t.initial
+let is_env t i = match t.nodes.(i) with Env -> true | Gate _ -> false
+
+let fanins t i =
+  match t.nodes.(i) with
+  | Gate { fanin; _ } -> fanin
+  | Env -> invalid_arg "Circuit.fanins: environment node"
+
+let func t i =
+  match t.nodes.(i) with
+  | Gate { func; _ } -> func
+  | Env -> invalid_arg "Circuit.func: environment node"
+
+let fanouts t i = t.fanout.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Semantics                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eval_gate t s gid =
+  match t.nodes.(gid) with
+  | Env -> invalid_arg "Circuit.eval_gate: environment node"
+  | Gate { func; fanin } ->
+    let ins = Array.map (fun src -> s.(src)) fanin in
+    Gatefunc.eval_bool func ~self:s.(gid) ins
+
+let eval_gate_ternary t s gid =
+  match t.nodes.(gid) with
+  | Env -> invalid_arg "Circuit.eval_gate_ternary: environment node"
+  | Gate { func; fanin } ->
+    let ins = Array.map (fun src -> s.(src)) fanin in
+    Gatefunc.eval_ternary func ~self:s.(gid) ins
+
+let gate_excited t s gid = eval_gate t s gid <> s.(gid)
+
+let excited_gates t s =
+  Array.fold_right
+    (fun gid acc -> if gate_excited t s gid then gid :: acc else acc)
+    t.gate_ids []
+
+let is_stable t s =
+  Array.for_all (fun gid -> not (gate_excited t s gid)) t.gate_ids
+
+let fire t s gid =
+  let s' = Array.copy s in
+  s'.(gid) <- eval_gate t s gid;
+  s'
+
+let apply_input_vector t s v =
+  if Array.length v <> Array.length t.inputs then
+    invalid_arg "Circuit.apply_input_vector: wrong vector length";
+  let s' = Array.copy s in
+  Array.iteri (fun k env -> s'.(env) <- v.(k)) t.inputs;
+  s'
+
+let input_vector_of_state t s = Array.map (fun env -> s.(env)) t.inputs
+let output_values t s = Array.map (fun o -> s.(o)) t.outputs
+
+let state_to_string (_ : t) s =
+  String.init (Array.length s) (fun i -> if s.(i) then '1' else '0')
+
+let with_initial t s =
+  if Array.length s <> Array.length t.nodes then
+    invalid_arg "Circuit.with_initial: wrong state length";
+  let bad =
+    Array.to_list t.gate_ids |> List.filter (fun gid -> gate_excited t s gid)
+  in
+  (match bad with
+  | [] -> ()
+  | gid :: _ ->
+    invalid_arg
+      (Printf.sprintf "Circuit.with_initial: gate %S not stable in reset state"
+         t.node_name.(gid)));
+  { t with initial = Some (Array.copy s) }
+
+(* ------------------------------------------------------------------ *)
+(* Transformation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let recompute_fanout nodes =
+  let n = Array.length nodes in
+  let fanout = Array.make n [] in
+  Array.iteri
+    (fun gid node ->
+      match node with
+      | Gate { fanin; _ } ->
+        Array.iter (fun src -> fanout.(src) <- gid :: fanout.(src)) fanin
+      | Env -> ())
+    nodes;
+  Array.map List.rev fanout
+
+let add_const_node t b =
+  let n = Array.length t.nodes in
+  let nodes = Array.append t.nodes [| Gate { func = Gatefunc.Const b; fanin = [||] } |] in
+  let nm = Printf.sprintf "$const%d_%s" n (if b then "1" else "0") in
+  let node_name = Array.append t.node_name [| nm |] in
+  let by_name = Hashtbl.copy t.by_name in
+  Hashtbl.replace by_name nm n;
+  let initial =
+    Option.map (fun s -> Array.append s [| b |]) t.initial
+  in
+  ( {
+      t with
+      nodes;
+      node_name;
+      by_name;
+      gate_ids = Array.append t.gate_ids [| n |];
+      fanout = recompute_fanout nodes;
+      initial;
+    },
+    n )
+
+let retarget_pin t ~gate ~pin target =
+  (match t.nodes.(gate) with
+  | Env -> invalid_arg "Circuit.retarget_pin: environment node"
+  | Gate { fanin; _ } ->
+    if pin < 0 || pin >= Array.length fanin then
+      invalid_arg "Circuit.retarget_pin: bad pin");
+  if target < 0 || target >= Array.length t.nodes then
+    invalid_arg "Circuit.retarget_pin: bad target";
+  let nodes = Array.copy t.nodes in
+  (match nodes.(gate) with
+  | Gate { func; fanin } ->
+    let fanin = Array.copy fanin in
+    fanin.(pin) <- target;
+    nodes.(gate) <- Gate { func; fanin }
+  | Env -> assert false);
+  { t with nodes; fanout = recompute_fanout nodes }
+
+let replace_func t ~gate f =
+  match t.nodes.(gate) with
+  | Env -> invalid_arg "Circuit.replace_func: environment node"
+  | Gate { fanin; _ } ->
+    (* Keep the fanin when the new function accepts it; otherwise allow
+       only nullary replacements (constants, for output stuck-at
+       faults), which drop the fanin. *)
+    let fanin =
+      if Gatefunc.arity_ok f (Array.length fanin) then fanin
+      else if Gatefunc.arity_ok f 0 then [||]
+      else invalid_arg "Circuit.replace_func: arity mismatch"
+    in
+    let nodes = Array.copy t.nodes in
+    nodes.(gate) <- Gate { func = f; fanin };
+    { t with nodes; fanout = recompute_fanout nodes }
+
+(* ------------------------------------------------------------------ *)
+(* Validation / stats                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let validate t =
+  let n = Array.length t.nodes in
+  let problems = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Env -> ()
+      | Gate { func; fanin } ->
+        if not (Gatefunc.arity_ok func (Array.length fanin)) then
+          bad "gate %s: arity %d invalid for %s" t.node_name.(i)
+            (Array.length fanin) (Gatefunc.name func);
+        Array.iter
+          (fun src ->
+            if src < 0 || src >= n then
+              bad "gate %s: fanin out of range" t.node_name.(i))
+          fanin)
+    t.nodes;
+  Array.iteri
+    (fun k env ->
+      match t.nodes.(env) with
+      | Env -> (
+        match t.nodes.(t.buffer_of.(k)) with
+        | Gate { func = Gatefunc.Buf; fanin = [| src |] } when src = env -> ()
+        | Gate _ | Env -> bad "input %d: buffer wiring broken" k)
+      | Gate _ -> bad "input %d: not an environment node" k)
+    t.inputs;
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= n then bad "output id out of range"
+      else if is_env t o then bad "output %s is an environment node" t.node_name.(o))
+    t.outputs;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let pp_stats fmt t =
+  Format.fprintf fmt
+    "circuit %s: %d inputs, %d outputs, %d gates (%d nodes total)" t.name
+    (n_inputs t) (Array.length t.outputs) (n_gates t) (n_nodes t)
+
+let without_initial t = { t with initial = None }
+
+let with_extra_outputs t extra =
+  let n = Array.length t.nodes in
+  List.iter
+    (fun o ->
+      if o < 0 || o >= n then invalid_arg "Circuit.with_extra_outputs: bad id";
+      if is_env t o then
+        invalid_arg "Circuit.with_extra_outputs: environment node")
+    extra;
+  let fresh =
+    List.filter
+      (fun o -> not (Array.exists (fun o' -> o' = o) t.outputs))
+      (List.sort_uniq Stdlib.compare extra)
+  in
+  { t with outputs = Array.append t.outputs (Array.of_list fresh) }

@@ -1,0 +1,167 @@
+let ( let* ) r f = Result.bind r f
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+(* Resolve a user-facing signal name to a node id, with diagnostics.
+   Only primary outputs may drive another circuit. *)
+let output_id c nm =
+  match Circuit.find_node c nm with
+  | Some id when Array.exists (fun o -> o = id) (Circuit.outputs c) -> Ok id
+  | Some _ -> err "%s: %S is an input, not an output" (Circuit.name c) nm
+  | None -> err "%s: unknown signal %S" (Circuit.name c) nm
+
+let input_index c nm =
+  let names = Circuit.input_names c in
+  let rec find i =
+    if i >= Array.length names then
+      err "%s: unknown input %S" (Circuit.name c) nm
+    else if names.(i) = nm then Ok i
+    else find (i + 1)
+  in
+  find 0
+
+let pair ~name ?(connect_ab = []) ?(connect_ba = []) a b =
+  let* reset_a =
+    Option.to_result ~none:(Circuit.name a ^ ": no reset state")
+      (Circuit.initial a)
+  in
+  let* reset_b =
+    Option.to_result ~none:(Circuit.name b ^ ": no reset state")
+      (Circuit.initial b)
+  in
+  if Circuit.name a = Circuit.name b then
+    err "circuits must have distinct names (both are %S)" (Circuit.name a)
+  else begin
+    (* Resolve connections to (driving node of src, input index of dst). *)
+    let resolve src dst pairs =
+      List.fold_left
+        (fun acc (out_nm, in_nm) ->
+          let* acc = acc in
+          let* oid = output_id src out_nm in
+          let* k = input_index dst in_nm in
+          Ok ((oid, k) :: acc))
+        (Ok []) pairs
+    in
+    let* ab = resolve a b connect_ab in
+    let* ba = resolve b a connect_ba in
+    (* Reset-value consistency for every connected pair. *)
+    let* () =
+      List.fold_left
+        (fun acc (oid, k) ->
+          let* () = acc in
+          if reset_a.(oid) = reset_b.((Circuit.inputs b).(k)) then Ok ()
+          else
+            err "reset mismatch: %s.%s drives %s.%s" (Circuit.name a)
+              (Circuit.node_name a oid) (Circuit.name b)
+              (Circuit.input_names b).(k))
+        (Ok ()) ab
+    in
+    let* () =
+      List.fold_left
+        (fun acc (oid, k) ->
+          let* () = acc in
+          if reset_b.(oid) = reset_a.((Circuit.inputs a).(k)) then Ok ()
+          else
+            err "reset mismatch: %s.%s drives %s.%s" (Circuit.name b)
+              (Circuit.node_name b oid) (Circuit.name a)
+              (Circuit.input_names a).(k))
+        (Ok ()) ba
+    in
+    let builder = Circuit.Builder.create name in
+    (* node maps: per circuit, old node id -> new node id *)
+    let map_a = Array.make (Circuit.n_nodes a) (-1) in
+    let map_b = Array.make (Circuit.n_nodes b) (-1) in
+    let driven_inputs c links =
+      let arr = Array.make (Circuit.n_inputs c) None in
+      List.iter (fun (oid, k) -> arr.(k) <- Some oid) links;
+      arr
+    in
+    let driven_b = driven_inputs b ab and driven_a = driven_inputs a ba in
+    let prefix c nm = Circuit.name c ^ "." ^ nm in
+    (* 1. Free inputs of both circuits become inputs of the composite;
+       their buffer gates are created by the builder. *)
+    let declare_free_inputs c map driven =
+      Array.iteri
+        (fun k env ->
+          match driven.(k) with
+          | Some _ -> ()
+          | None ->
+            let buf =
+              Circuit.Builder.add_input builder
+                (prefix c (Circuit.input_names c).(k))
+            in
+            map.(env) <- buf - 1;
+            (* env node precedes its buffer *)
+            map.(Circuit.buffer_of_input c k) <- buf)
+        (Circuit.inputs c)
+    in
+    declare_free_inputs a map_a driven_a;
+    declare_free_inputs b map_b driven_b;
+    (* 2. Declare every gate (including the buffers of driven inputs,
+       which survive as plain wire-delay buffers). *)
+    let declare_gates c map =
+      Array.iter
+        (fun gid ->
+          if map.(gid) < 0 then
+            map.(gid) <-
+              Circuit.Builder.declare_gate builder
+                ~name:(prefix c (Circuit.node_name c gid)))
+        (Circuit.gates c)
+    in
+    declare_gates a map_a;
+    declare_gates b map_b;
+    (* 3. Define gates, redirecting driven-input buffers across. *)
+    let define_gates c map other_map driven =
+      Array.iter
+        (fun gid ->
+          let is_declared =
+            (* skip buffers already defined by add_input *)
+            let rec is_free_buffer k =
+              k < Circuit.n_inputs c
+              && ((Circuit.buffer_of_input c k = gid && driven.(k) = None)
+                 || is_free_buffer (k + 1))
+            in
+            not (is_free_buffer 0)
+          in
+          if is_declared then begin
+            let fanin =
+              Circuit.fanins c gid |> Array.to_list
+              |> List.map (fun src ->
+                     if Circuit.is_env c src then begin
+                       (* env of a driven input: route to the driver *)
+                       let k =
+                         let rec find k =
+                           if (Circuit.inputs c).(k) = src then k
+                           else find (k + 1)
+                         in
+                         find 0
+                       in
+                       match driven.(k) with
+                       | Some oid -> other_map.(oid)
+                       | None -> map.(src)
+                     end
+                     else map.(src))
+            in
+            Circuit.Builder.define_gate builder map.(gid) (Circuit.func c gid)
+              fanin
+          end)
+        (Circuit.gates c)
+    in
+    define_gates a map_a map_b driven_a;
+    define_gates b map_b map_a driven_b;
+    (* 4. All original primary outputs remain observable. *)
+    Array.iter (fun o -> Circuit.Builder.mark_output builder map_a.(o)) (Circuit.outputs a);
+    Array.iter (fun o -> Circuit.Builder.mark_output builder map_b.(o)) (Circuit.outputs b);
+    match Circuit.Builder.finalize builder with
+    | exception Invalid_argument m -> Error m
+    | composite ->
+      let st = Array.make (Circuit.n_nodes composite) false in
+      let copy_reset map reset =
+        Array.iteri (fun old nw -> if nw >= 0 then st.(nw) <- reset.(old)) map
+      in
+      copy_reset map_a reset_a;
+      copy_reset map_b reset_b;
+      (match Circuit.with_initial composite st with
+      | c -> Ok c
+      | exception Invalid_argument m -> Error m)
+  end

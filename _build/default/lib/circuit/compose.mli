@@ -1,0 +1,24 @@
+(** Hierarchical composition of controllers (paper §7: "the synchronous
+    abstraction … allows partitioning of large circuits into several
+    interacting asynchronous circuits").
+
+    Two circuits are merged into one netlist; selected outputs of each
+    drive selected inputs of the other.  A driven input {e keeps its
+    delay buffer} (it becomes an internal wire with delay, exactly like
+    any other gate) but loses its environment node — the tester no
+    longer controls it.  Node names are prefixed with the source
+    circuit's name. *)
+
+val pair :
+  name:string ->
+  ?connect_ab:(string * string) list ->
+  ?connect_ba:(string * string) list ->
+  Circuit.t ->
+  Circuit.t ->
+  (Circuit.t, string) result
+(** [pair ~name ~connect_ab ~connect_ba a b] connects
+    [(output of a, input of b)] pairs and, for feedback structures,
+    [(output of b, input of a)] pairs.  Both circuits must carry reset
+    states, and each connected input's reset value must agree with the
+    driving output's reset value (otherwise the merged reset could not
+    be stable).  Errors mention the offending signal. *)

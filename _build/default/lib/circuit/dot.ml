@@ -1,0 +1,33 @@
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let circuit c =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph \"%s\" {\n  rankdir=LR;\n" (escape (Circuit.name c));
+  let is_output i = Array.exists (fun o -> o = i) (Circuit.outputs c) in
+  for i = 0 to Circuit.n_nodes c - 1 do
+    let name = escape (Circuit.node_name c i) in
+    match Circuit.node c i with
+    | Circuit.Env -> pr "  n%d [label=\"%s\", shape=plaintext];\n" i name
+    | Circuit.Gate { func; _ } ->
+      pr "  n%d [label=\"%s\\n%s\", shape=box%s];\n" i name
+        (escape (Gatefunc.name func))
+        (if is_output i then ", peripheries=2" else "")
+  done;
+  let feedback = Structure.feedback_edges c in
+  let is_feedback gate pin =
+    List.exists
+      (fun e -> e.Structure.gate = gate && e.Structure.pin = pin)
+      feedback
+  in
+  Array.iter
+    (fun gid ->
+      Array.iteri
+        (fun pin src ->
+          pr "  n%d -> n%d%s;\n" src gid
+            (if is_feedback gid pin then " [style=dashed]" else ""))
+        (Circuit.fanins c gid))
+    (Circuit.gates c);
+  pr "}\n";
+  Buffer.contents buf

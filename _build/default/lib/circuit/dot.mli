@@ -1,0 +1,6 @@
+(** Graphviz export of netlists (debugging / documentation aid). *)
+
+val circuit : Circuit.t -> string
+(** Environment nodes as plaintext, gates as boxes labelled with their
+    function, primary outputs double-circled; feedback pins (per
+    {!Structure.feedback_edges}) drawn dashed. *)

@@ -1,0 +1,115 @@
+open Satg_logic
+
+type t =
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Mux
+  | Celem
+  | Const of bool
+  | Sop of Cover.t
+
+let arity_ok t n =
+  match t with
+  | Buf | Not -> n = 1
+  | And | Or | Nand | Nor | Xor | Xnor -> n >= 1
+  | Mux -> n = 3
+  | Celem -> n >= 2
+  | Const _ -> n = 0
+  | Sop cover -> Cover.n_vars cover = n
+
+let is_state_holding = function
+  | Celem -> true
+  | Buf | Not | And | Or | Nand | Nor | Xor | Xnor | Mux | Const _ | Sop _ ->
+    false
+
+let fold_and ins = Array.for_all Fun.id ins
+let fold_or ins = Array.exists Fun.id ins
+
+let fold_parity ins =
+  Array.fold_left (fun acc b -> if b then not acc else acc) false ins
+
+let eval_bool t ~self ins =
+  match t with
+  | Buf -> ins.(0)
+  | Not -> not ins.(0)
+  | And -> fold_and ins
+  | Or -> fold_or ins
+  | Nand -> not (fold_and ins)
+  | Nor -> not (fold_or ins)
+  | Xor -> fold_parity ins
+  | Xnor -> not (fold_parity ins)
+  | Mux -> if ins.(0) then ins.(1) else ins.(2)
+  | Celem -> if fold_and ins then true else if fold_or ins then self else false
+  | Const b -> b
+  | Sop cover -> Cover.eval cover ins
+
+let tern_and ins =
+  Array.fold_left Ternary.and_ Ternary.One ins
+
+let tern_or ins =
+  Array.fold_left Ternary.or_ Ternary.Zero ins
+
+let tern_parity ins =
+  Array.fold_left Ternary.xor_ Ternary.Zero ins
+
+let eval_ternary t ~self ins =
+  match t with
+  | Buf -> ins.(0)
+  | Not -> Ternary.not_ ins.(0)
+  | And -> tern_and ins
+  | Or -> tern_or ins
+  | Nand -> Ternary.not_ (tern_and ins)
+  | Nor -> Ternary.not_ (tern_or ins)
+  | Xor -> tern_parity ins
+  | Xnor -> Ternary.not_ (tern_parity ins)
+  | Mux -> (
+    match ins.(0) with
+    | Ternary.One -> ins.(1)
+    | Ternary.Zero -> ins.(2)
+    | Ternary.Phi -> Ternary.lub ins.(1) ins.(2))
+  | Celem ->
+    (* SOP-shaped extension of  c' = AND(ins) + self * OR(ins). *)
+    Ternary.or_ (tern_and ins) (Ternary.and_ self (tern_or ins))
+  | Const b -> Ternary.of_bool b
+  | Sop cover -> Cover.eval_ternary cover ins
+
+let name = function
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Or -> "OR"
+  | Nand -> "NAND"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Mux -> "MUX"
+  | Celem -> "CELEM"
+  | Const false -> "CONST0"
+  | Const true -> "CONST1"
+  | Sop _ -> "SOP"
+
+let of_name = function
+  | "BUF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "OR" -> Some Or
+  | "NAND" -> Some Nand
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "MUX" -> Some Mux
+  | "CELEM" | "C" -> Some Celem
+  | "CONST0" -> Some (Const false)
+  | "CONST1" -> Some (Const true)
+  | _ -> None
+
+let pp fmt t =
+  match t with
+  | Sop cover -> Format.fprintf fmt "SOP[%a]" Cover.pp cover
+  | _ -> Format.pp_print_string fmt (name t)

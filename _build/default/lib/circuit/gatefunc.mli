@@ -1,0 +1,50 @@
+(** Gate function library.
+
+    Every gate computes its function instantaneously; the unbounded
+    inertial delay sits on the gate output (see {!Satg_sim}).  A gate
+    whose behaviour depends on its own output (state-holding gates such
+    as the Muller C-element, or complex gates synthesized with
+    feedback) receives its current output value through [self]. *)
+
+open Satg_logic
+
+type t =
+  | Buf  (** identity; also used to model primary-input delays *)
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor  (** parity for arity > 2 *)
+  | Xnor
+  | Mux  (** [MUX(s, a, b)] is [if s then a else b]; arity exactly 3 *)
+  | Celem
+      (** Muller C-element: output rises when all inputs are 1, falls
+          when all are 0, otherwise holds.  Implicit self-feedback. *)
+  | Const of bool  (** constant; arity 0; used for fault injection *)
+  | Sop of Cover.t
+      (** complex gate given as sum-of-products over its fanins, in
+          fanin order; self-feedback is expressed by listing the gate's
+          own output among its fanins *)
+
+val arity_ok : t -> int -> bool
+(** Whether the function accepts the given fanin count. *)
+
+val is_state_holding : t -> bool
+(** [true] for {!Celem} (depends on [self]). *)
+
+val eval_bool : t -> self:bool -> bool array -> bool
+
+val eval_ternary : t -> self:Ternary.t -> Ternary.t array -> Ternary.t
+(** Monotone ternary extension used by Eichelberger simulation.  For
+    {!Sop} this is the SOP-shaped extension (hazards in the cover show
+    up as {!Ternary.Phi}), for primitives the natural extension. *)
+
+val name : t -> string
+(** Upper-case mnemonic ("AND", "CELEM", "CONST0", "SOP"). *)
+
+val of_name : string -> t option
+(** Inverse of {!name} for the fixed-function gates; [None] for
+    unknown names (and for "SOP", which needs a cover). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Text format for circuits (".cct").
+
+    {v
+    # comment
+    circuit fig1a
+    input A B
+    gate a NOT B
+    gate c AND a b
+    celem y a c          # shorthand for gate y CELEM a c
+    sop w ( a b c ) 11- --1
+    output y
+    initial A=0 B=1 a=1 c=0 y=0 w=0
+    end
+    v}
+
+    Gate definitions may reference later gates (feedback).  The
+    [initial] line assigns every gate by name; assigning an input name
+    sets both the environment node and its buffer. *)
+
+val parse_string : string -> (Circuit.t, string) result
+val parse_file : string -> (Circuit.t, string) result
+
+val to_string : Circuit.t -> string
+(** Render in the same format (modulo comments); [parse_string] of the
+    result reproduces the circuit. *)

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Circuit Detect Fault Format Gatefunc Hashtbl List Queue Satg_circuit Satg_fault Satg_sim Structure Sys Testset Unit_delay

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Circuit Cssg Fault Format Satg_circuit Satg_fault Satg_sg Testset

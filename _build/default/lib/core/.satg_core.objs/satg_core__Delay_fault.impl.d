@@ -1,0 +1,1 @@
+lib/core/delay_fault.ml: Array Async_sim Circuit Cssg Detect Format Hashtbl List Printf Queue Satg_circuit Satg_sg Satg_sim Stdlib String Sys Testset

@@ -1,0 +1,1 @@
+lib/core/delay_fault.mli: Circuit Cssg Format Satg_circuit Satg_sg Testset

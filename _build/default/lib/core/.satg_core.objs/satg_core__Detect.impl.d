@@ -1,0 +1,1 @@
+lib/core/detect.ml: Array Async_sim Circuit Cssg Fault Hashtbl List Parallel_sim Satg_circuit Satg_fault Satg_logic Satg_sg Satg_sim String Ternary Ternary_sim

@@ -1,0 +1,1 @@
+lib/core/detect.mli: Circuit Cssg Fault Satg_circuit Satg_fault Satg_sg Satg_sim Ternary_sim Testset

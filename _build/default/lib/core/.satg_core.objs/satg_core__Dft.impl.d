@@ -1,0 +1,1 @@
+lib/core/dft.ml: Array Circuit Cssg Engine Fault Gatefunc List Satg_circuit Satg_fault Satg_sg Stdlib

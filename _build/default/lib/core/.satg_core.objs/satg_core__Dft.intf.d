@@ -1,0 +1,1 @@
+lib/core/dft.mli: Circuit Cssg Engine Fault Satg_circuit Satg_fault Satg_sg

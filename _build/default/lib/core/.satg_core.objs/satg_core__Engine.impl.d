@@ -1,0 +1,1 @@
+lib/core/engine.ml: Circuit Cssg Detect Explicit Format Hashtbl List Random_tpg Satg_circuit Satg_sg Symbolic Sys Testset Three_phase

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Circuit Cssg Fault Format Random_tpg Satg_circuit Satg_fault Satg_sg Testset Three_phase

@@ -1,0 +1,1 @@
+lib/core/random_tpg.ml: Cssg Detect List Random Satg_sg

@@ -1,0 +1,1 @@
+lib/core/random_tpg.mli: Cssg Fault Satg_fault Satg_sg Testset

@@ -1,0 +1,1 @@
+lib/core/tester.ml: Array Buffer Circuit Cssg Detect Engine Fault Format Hashtbl List Printf Satg_circuit Satg_fault Satg_sg String Testset

@@ -1,0 +1,1 @@
+lib/core/tester.mli: Circuit Engine Fault Format Satg_circuit Satg_fault

@@ -1,0 +1,1 @@
+lib/core/testset.ml: Array Fault Format List Satg_fault String

@@ -1,0 +1,1 @@
+lib/core/testset.mli: Circuit Fault Format Satg_circuit Satg_fault

@@ -1,0 +1,1 @@
+lib/core/three_phase.ml: Array Circuit Cssg Detect Fault Fun Hashtbl List Option Queue Satg_circuit Satg_fault Satg_sg Stdlib String Symbolic

@@ -1,0 +1,1 @@
+lib/core/three_phase.mli: Cssg Fault Satg_fault Satg_sg Symbolic Testset

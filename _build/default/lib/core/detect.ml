@@ -1,0 +1,210 @@
+open Satg_logic
+open Satg_circuit
+open Satg_fault
+open Satg_sim
+open Satg_sg
+
+let good_trace g seq =
+  let rec follow i acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+      match Cssg.apply g i v with
+      | Some j -> follow j (j :: acc) rest
+      | None -> None)
+  in
+  match Cssg.initial g with
+  | [ i ] -> follow i [ i ] seq
+  | i :: _ -> follow i [ i ] seq
+  | [] -> None
+
+let reset_of g =
+  match Circuit.initial (Cssg.circuit g) with
+  | Some s -> s
+  | None -> invalid_arg "Detect: circuit has no reset state"
+
+let faulty_start good f =
+  let reset =
+    match Circuit.initial good with
+    | Some s -> s
+    | None -> invalid_arg "Detect.faulty_start: no reset state"
+  in
+  let fc = Fault.inject good f in
+  let init =
+    Ternary_sim.of_bool_state (Fault.initial_faulty_state good f reset)
+  in
+  (* Settle conservatively: re-apply the unchanged input vector. *)
+  let v0 = Circuit.input_vector_of_state good reset in
+  (fc, Ternary_sim.apply_vector fc init v0)
+
+let definite_difference good_out faulty_out =
+  let n = Array.length good_out in
+  let rec scan i =
+    i < n
+    &&
+    match (Ternary.of_bool good_out.(i), faulty_out.(i)) with
+    | Ternary.One, Ternary.Zero | Ternary.Zero, Ternary.One -> true
+    | _ -> scan (i + 1)
+  in
+  scan 0
+
+let check g f seq =
+  let good = Cssg.circuit g in
+  match good_trace g seq with
+  | None -> false
+  | Some trace ->
+    let fc, fstate = faulty_start good f in
+    let good_outputs i = Circuit.output_values good (Cssg.state g i) in
+    let fault_outputs st = Ternary_sim.outputs fc st in
+    let rec step trace fstate vectors =
+      match trace with
+      | [] -> false
+      | i :: trace' ->
+        definite_difference (good_outputs i) (fault_outputs fstate)
+        ||
+        (match vectors with
+        | [] -> false
+        | v :: vs ->
+          step trace' (Ternary_sim.apply_vector fc fstate v) vs)
+    in
+    step trace fstate seq
+
+let sweep g seq faults =
+  let good = Cssg.circuit g in
+  let reset = reset_of g in
+  match good_trace g seq with
+  | None -> ([], faults)
+  | Some trace ->
+    let rec packs = function
+      | [] -> []
+      | fs ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | f :: rest -> take (n - 1) (f :: acc) rest
+        in
+        let batch, rest = take Parallel_sim.word_size [] fs in
+        batch :: packs rest
+    in
+    let detected = Hashtbl.create 16 in
+    List.iter
+      (fun batch ->
+        let pack = Parallel_sim.create good (Array.of_list batch) ~reset in
+        let mask = ref 0 in
+        let observe i =
+          let good_out =
+            Array.map Ternary.of_bool
+              (Circuit.output_values good (Cssg.state g i))
+          in
+          mask := !mask lor Parallel_sim.detected pack ~good_outputs:good_out
+        in
+        (match trace with
+        | i0 :: _ -> observe i0
+        | [] -> ());
+        List.iteri
+          (fun step v ->
+            Parallel_sim.apply_vector pack v;
+            match List.nth_opt trace (step + 1) with
+            | Some i -> observe i
+            | None -> ())
+          seq;
+        List.iteri
+          (fun j f -> if !mask land (1 lsl j) <> 0 then Hashtbl.replace detected f ())
+          batch)
+      (packs faults);
+    List.partition (fun f -> Hashtbl.mem detected f) faults
+
+(* --- exact faulty-state sets ---------------------------------------------- *)
+
+type machine = {
+  fc : Circuit.t;
+  k : int;
+  max_set : int;
+  memo : (string, bool array list option) Hashtbl.t;
+      (* "<state>|<vector>" -> k-step frontier (None = blow-up) *)
+}
+
+let dedup_states c states =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun s ->
+      let k = Circuit.state_to_string c s in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    states
+
+let exact_start ?(max_set = 128) g f =
+  let good = Cssg.circuit g in
+  let reset = reset_of g in
+  let fc = Fault.inject good f in
+  let init = Fault.initial_faulty_state good f reset in
+  let m = { fc; k = Cssg.k g; max_set; memo = Hashtbl.create 256 } in
+  let start =
+    try Async_sim.states_after ~max_frontier:max_set fc ~k:m.k init
+    with Async_sim.Frontier_limit -> []
+    (* An empty start set means "unknown"; exact_differs treats it as
+       inconclusive and exact_apply keeps it empty. *)
+  in
+  (m, start)
+
+let step_one m s v =
+  let key =
+    Circuit.state_to_string m.fc s ^ "|"
+    ^ String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+  in
+  match Hashtbl.find_opt m.memo key with
+  | Some r -> r
+  | None ->
+    let r =
+      try
+        let s1 = Circuit.apply_input_vector m.fc s v in
+        Some (Async_sim.states_after ~max_frontier:m.max_set m.fc ~k:m.k s1)
+      with Async_sim.Frontier_limit -> None
+    in
+    Hashtbl.replace m.memo key r;
+    r
+
+let exact_apply m states v =
+  let rec go acc count = function
+    | [] ->
+      let deduped = dedup_states m.fc acc in
+      if List.length deduped > m.max_set then None else Some deduped
+    | s :: rest -> (
+      match step_one m s v with
+      | None -> None
+      | Some finals ->
+        let count = count + List.length finals in
+        if count > 8 * m.max_set then None
+        else go (finals @ acc) count rest)
+  in
+  if states = [] then Some [] else go [] 0 states
+
+let exact_differs g i m states =
+  let good = Cssg.circuit g in
+  let expected = Circuit.output_values good (Cssg.state g i) in
+  states <> []
+  && List.for_all
+       (fun s -> Array.map (fun o -> s.(o)) (Circuit.outputs m.fc) <> expected)
+       states
+
+let check_exact g f seq =
+  match good_trace g seq with
+  | None -> false
+  | Some trace ->
+    let m, f0 = exact_start g f in
+    let rec step trace fstates vectors =
+      match trace with
+      | [] -> false
+      | i :: trace' ->
+        exact_differs g i m fstates
+        ||
+        (match vectors with
+        | [] -> false
+        | v :: vs -> (
+          match exact_apply m fstates v with
+          | None -> false
+          | Some fstates' -> step trace' fstates' vs))
+    in
+    step trace f0 seq

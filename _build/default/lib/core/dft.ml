@@ -1,0 +1,155 @@
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+
+let observe = Circuit.with_extra_outputs
+
+(* The gate whose behaviour a fault corrupts: the reading gate for an
+   input fault, the stuck gate for an output fault.  Observing exactly
+   that node makes the corruption locally visible. *)
+let fault_gate = function
+  | Fault.Input_sa { gate; _ } | Fault.Output_sa { gate; _ } -> gate
+
+let candidate_scores g ~undetected =
+  let c = Cssg.circuit g in
+  let is_output i = Array.exists (fun o -> o = i) (Circuit.outputs c) in
+  Array.to_list (Circuit.gates c)
+  |> List.filter (fun gid -> not (is_output gid))
+  |> List.map (fun gid ->
+         let score =
+           List.length
+             (List.filter (fun f -> fault_gate f = gid) undetected)
+         in
+         (gid, score))
+  |> List.filter (fun (_, s) -> s > 0)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let recommend ?(budget = 2) g ~undetected =
+  let rec pick chosen remaining budget =
+    if budget = 0 || remaining = [] then List.rev chosen
+    else
+      match candidate_scores g ~undetected:remaining with
+      | [] -> List.rev chosen
+      | (best, _) :: _ ->
+        let remaining =
+          List.filter (fun f -> fault_gate f <> best) remaining
+        in
+        pick (best :: chosen) remaining (budget - 1)
+  in
+  pick [] undetected budget
+
+type improvement = {
+  before_detected : int;
+  after_detected : int;
+  total : int;
+  points : int list;
+}
+
+let evaluate ?budget ?(config = Engine.default_config) circuit ~faults =
+  let before = Engine.run ~config circuit ~faults in
+  let undetected = Engine.undetected_faults before in
+  let points = recommend ?budget before.Engine.cssg ~undetected in
+  let after_detected =
+    if points = [] then Engine.detected before
+    else begin
+      let instrumented = observe circuit points in
+      let after = Engine.run ~config instrumented ~faults in
+      Engine.detected after
+    end
+  in
+  {
+    before_detected = Engine.detected before;
+    after_detected;
+    total = Engine.total before;
+    points;
+  }
+
+let insert_control_points c points =
+  let points = List.sort_uniq Stdlib.compare points in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= Circuit.n_nodes c then
+        invalid_arg "Dft.insert_control_points: bad id";
+      if Circuit.is_env c p then
+        invalid_arg "Dft.insert_control_points: environment node")
+    points;
+  let b = Circuit.Builder.create (Circuit.name c ^ "_cp") in
+  let n = Circuit.n_nodes c in
+  let map = Array.make n (-1) in
+  (* original inputs *)
+  Array.iteri
+    (fun k env ->
+      let buf = Circuit.Builder.add_input b (Circuit.input_names c).(k) in
+      map.(env) <- buf - 1;
+      map.(Circuit.buffer_of_input c k) <- buf)
+    (Circuit.inputs c);
+  (* test-mode inputs *)
+  let tm = Circuit.Builder.add_input b "tm" in
+  let tv =
+    List.map
+      (fun p ->
+        (p, Circuit.Builder.add_input b ("tv_" ^ Circuit.node_name c p)))
+      points
+  in
+  (* declare original gates, then one mux per control point *)
+  Array.iter
+    (fun gid ->
+      if map.(gid) < 0 then
+        map.(gid) <-
+          Circuit.Builder.declare_gate b ~name:(Circuit.node_name c gid))
+    (Circuit.gates c);
+  let mux_of =
+    List.map
+      (fun (p, tv_node) ->
+        ( p,
+          Circuit.Builder.add_gate b
+            ~name:("cp_" ^ Circuit.node_name c p)
+            Gatefunc.Mux
+            [ tm; tv_node; map.(p) ] ))
+      tv
+  in
+  let routed src =
+    match List.assoc_opt src mux_of with
+    | Some mux -> mux
+    | None -> map.(src)
+  in
+  (* define original gates, reading controlled nodes through their mux *)
+  Array.iter
+    (fun gid ->
+      let is_free_buffer =
+        let rec scan k =
+          k < Circuit.n_inputs c
+          && (Circuit.buffer_of_input c k = gid || scan (k + 1))
+        in
+        scan 0
+      in
+      if not is_free_buffer then
+        Circuit.Builder.define_gate b map.(gid) (Circuit.func c gid)
+          (Circuit.fanins c gid |> Array.to_list |> List.map routed))
+    (Circuit.gates c);
+  Array.iter
+    (fun o -> Circuit.Builder.mark_output b (routed o))
+    (Circuit.outputs c);
+  match Circuit.Builder.finalize b with
+  | exception Invalid_argument m -> invalid_arg m
+  | cp -> (
+    match Circuit.initial c with
+    | None -> cp
+    | Some reset ->
+      let st = Array.make (Circuit.n_nodes cp) false in
+      Array.iteri (fun old nw -> if nw >= 0 then st.(nw) <- reset.(old)) map;
+      (* tm = 0 everywhere; each tv and its mux mirror the controlled
+         node so the reset state is stable *)
+      List.iter
+        (fun (p, tv_node) ->
+          st.(tv_node) <- reset.(p);
+          (match Circuit.find_node cp ("tv_" ^ Circuit.node_name c p ^ "$env") with
+          | Some env -> st.(env) <- reset.(p)
+          | None -> ());
+          match List.assoc_opt p mux_of with
+          | Some mux -> st.(mux) <- reset.(p)
+          | None -> ())
+        tv;
+      (match Circuit.with_initial cp st with
+      | cp -> cp
+      | exception Invalid_argument m -> invalid_arg m))

@@ -1,0 +1,60 @@
+(** Design-for-test assistance: observation-point insertion.
+
+    The paper notes (§6) that the low-coverage redundant circuits can
+    be helped by partial scan or similar DFT measures, and lists
+    automatic selection of such signals as future work (§7).  This
+    module implements the observation-point flavour: an internal gate
+    output is routed to an extra primary output (a cheap test pin), so
+    faults that were activated but never propagated become visible.
+
+    Observation points do not change the circuit's behaviour, so the
+    CSSG states and edges are unchanged — only the observed output
+    vector widens.  That makes insertion safe: every previously valid
+    test remains valid. *)
+
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+
+val observe : Circuit.t -> int list -> Circuit.t
+(** Add the given gate nodes as outputs (alias of
+    {!Satg_circuit.Circuit.with_extra_outputs}). *)
+
+val candidate_scores :
+  Cssg.t -> undetected:Fault.t list -> (int * int) list
+(** For every internal (non-output) gate, how many undetected faults
+    corrupt that gate's output (its own output stuck-at faults and the
+    stuck-at faults on its input pins); sorted by descending score,
+    zero-score candidates dropped. *)
+
+val recommend :
+  ?budget:int -> Cssg.t -> undetected:Fault.t list -> int list
+(** Greedy selection of up to [budget] (default 2) observation points:
+    repeatedly pick the highest-scoring candidate, then drop the faults
+    it makes locally visible. *)
+
+type improvement = {
+  before_detected : int;
+  after_detected : int;
+  total : int;
+  points : int list;  (** chosen observation nodes *)
+}
+
+val evaluate :
+  ?budget:int ->
+  ?config:Engine.config ->
+  Circuit.t ->
+  faults:Fault.t list ->
+  improvement
+(** Run ATPG, pick observation points for what is left, re-run on the
+    instrumented circuit, and report both coverages. *)
+
+val insert_control_points : Circuit.t -> int list -> Circuit.t
+(** Controllability DFT: for every listed gate node, insert a test
+    multiplexer [MUX(tm, tv_node, node)] and reroute all readers (and
+    the primary-output observation) of the node through it.  One shared
+    test-mode input [tm] plus one value input [tv_<name>] per point are
+    added; with [tm = 0] the circuit behaves exactly as before (the
+    reset state sets [tm = 0]).  Unlike observation points this changes
+    the state space — the CSSG must be rebuilt.
+    @raise Invalid_argument on environment nodes or bad ids. *)

@@ -1,0 +1,135 @@
+open Satg_circuit
+open Satg_sg
+
+type config = {
+  k : int option;
+  enable_random : bool;
+  enable_fault_sim : bool;
+  symbolic_justification : bool;
+  random : Random_tpg.config;
+  three_phase : Three_phase.config;
+}
+
+let default_config =
+  {
+    k = None;
+    enable_random = true;
+    enable_fault_sim = true;
+    symbolic_justification = false;
+    random = Random_tpg.default_config;
+    three_phase = Three_phase.default_config;
+  }
+
+type result = {
+  circuit : Circuit.t;
+  cssg : Cssg.t;
+  outcomes : Testset.outcome list;
+  cpu_seconds : float;
+}
+
+let run ?(config = default_config) ?cssg circuit ~faults =
+  let t0 = Sys.time () in
+  let g =
+    match cssg with
+    | Some g -> g
+    | None -> Explicit.build ?k:config.k circuit
+  in
+  let symbolic =
+    if config.symbolic_justification then
+      Some (Symbolic.build ~k:(Cssg.k g) circuit)
+    else None
+  in
+  let status = Hashtbl.create (List.length faults) in
+  (* Phase 1: random TPG. *)
+  let remaining =
+    if config.enable_random then begin
+      let detected, remaining = Random_tpg.run ~config:config.random g ~faults in
+      List.iter
+        (fun (f, seq) ->
+          Hashtbl.replace status f
+            (Testset.Detected { sequence = seq; phase = Testset.Random }))
+        detected;
+      remaining
+    end
+    else faults
+  in
+  (* Phase 2: three-phase ATPG per fault, with fault simulation of each
+     found test over the faults still pending. *)
+  let rec deterministic = function
+    | [] -> ()
+    | f :: rest ->
+      if Hashtbl.mem status f then deterministic rest
+      else begin
+        match Three_phase.find_test ~config:config.three_phase ?symbolic g f with
+        | None ->
+          Hashtbl.replace status f Testset.Undetected;
+          deterministic rest
+        | Some seq ->
+          Hashtbl.replace status f
+            (Testset.Detected { sequence = seq; phase = Testset.Three_phase });
+          let rest =
+            if config.enable_fault_sim then begin
+              let caught, pending = Detect.sweep g seq rest in
+              List.iter
+                (fun f' ->
+                  Hashtbl.replace status f'
+                    (Testset.Detected
+                       { sequence = seq; phase = Testset.Fault_simulation }))
+                caught;
+              pending
+            end
+            else rest
+          in
+          deterministic rest
+      end
+  in
+  deterministic remaining;
+  let outcomes =
+    List.map
+      (fun f ->
+        {
+          Testset.fault = f;
+          status =
+            (match Hashtbl.find_opt status f with
+            | Some s -> s
+            | None -> Testset.Undetected);
+        })
+      faults
+  in
+  { circuit; cssg = g; outcomes; cpu_seconds = Sys.time () -. t0 }
+
+let total r = List.length r.outcomes
+
+let detected r =
+  List.length
+    (List.filter (fun o -> Testset.is_detected o.Testset.status) r.outcomes)
+
+let detected_by r phase =
+  List.length
+    (List.filter
+       (fun o ->
+         match o.Testset.status with
+         | Testset.Detected { phase = p; _ } -> p = phase
+         | Testset.Undetected -> false)
+       r.outcomes)
+
+let coverage_pct r =
+  if total r = 0 then 100.0
+  else 100.0 *. float_of_int (detected r) /. float_of_int (total r)
+
+let undetected_faults r =
+  List.filter_map
+    (fun o ->
+      match o.Testset.status with
+      | Testset.Undetected -> Some o.Testset.fault
+      | Testset.Detected _ -> None)
+    r.outcomes
+
+let pp_summary fmt r =
+  Format.fprintf fmt
+    "%s: %d/%d faults detected (%.2f%%) [rnd %d, 3-ph %d, sim %d] in %.2fs"
+    (Circuit.name r.circuit) (detected r) (total r) (coverage_pct r)
+    (detected_by r Testset.Random)
+    (detected_by r Testset.Three_phase)
+    (detected_by r Testset.Fault_simulation)
+    r.cpu_seconds

@@ -1,0 +1,40 @@
+(** The full ATPG pipeline (paper §2): CSSG abstraction, random TPG,
+    three-phase deterministic ATPG, and fault simulation of every found
+    test against the remaining faults. *)
+
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+
+type config = {
+  k : int option;  (** test-cycle budget; [None] = default heuristic *)
+  enable_random : bool;
+  enable_fault_sim : bool;
+  symbolic_justification : bool;
+      (** justify through the BDD engine instead of explicit BFS *)
+  random : Random_tpg.config;
+  three_phase : Three_phase.config;
+}
+
+val default_config : config
+
+type result = {
+  circuit : Circuit.t;
+  cssg : Cssg.t;
+  outcomes : Testset.outcome list;  (** in input fault order *)
+  cpu_seconds : float;
+}
+
+val run : ?config:config -> ?cssg:Cssg.t -> Circuit.t -> faults:Fault.t list -> result
+(** [cssg] lets callers reuse a prebuilt graph (e.g. across the two
+    fault universes of one benchmark). *)
+
+val total : result -> int
+val detected : result -> int
+
+val detected_by : result -> Testset.phase -> int
+(** Faults whose first detection came from the given phase. *)
+
+val coverage_pct : result -> float
+val undetected_faults : result -> Fault.t list
+val pp_summary : Format.formatter -> result -> unit

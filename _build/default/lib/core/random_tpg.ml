@@ -1,0 +1,39 @@
+open Satg_sg
+
+type config = {
+  walks : int;
+  walk_length : int;
+  seed : int;
+}
+
+let default_config = { walks = 1; walk_length = 3; seed = 0x5eed }
+
+let random_walk rng g len =
+  let rec go i acc n =
+    if n = 0 then List.rev acc
+    else
+      match Cssg.successors g i with
+      | [] -> List.rev acc
+      | succs ->
+        let e = List.nth succs (Random.State.int rng (List.length succs)) in
+        go e.Cssg.target (e.Cssg.vector :: acc) (n - 1)
+  in
+  match Cssg.initial g with
+  | i :: _ -> go i [] len
+  | [] -> []
+
+let run ?(config = default_config) g ~faults =
+  let rng = Random.State.make [| config.seed |] in
+  let rec walks n detected remaining =
+    if n = 0 || remaining = [] then (List.rev detected, remaining)
+    else
+      let seq = random_walk rng g config.walk_length in
+      if seq = [] then (List.rev detected, remaining)
+      else
+        let caught, rest = Detect.sweep g seq remaining in
+        let detected =
+          List.fold_left (fun acc f -> (f, seq) :: acc) detected caught
+        in
+        walks (n - 1) detected rest
+  in
+  walks config.walks [] faults

@@ -1,0 +1,25 @@
+(** Random test pattern generation (paper §5.4, following Breuer).
+
+    Random walks over the CSSG (so every generated vector is valid by
+    construction) are fault-simulated bit-parallel against the whole
+    remaining fault list.  Cheap, and typically covers 40–80% of the
+    faults before the expensive three-phase ATPG runs. *)
+
+open Satg_fault
+open Satg_sg
+
+type config = {
+  walks : int;  (** number of independent walks from reset *)
+  walk_length : int;  (** vectors per walk *)
+  seed : int;
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  Cssg.t ->
+  faults:Fault.t list ->
+  (Fault.t * Testset.sequence) list * Fault.t list
+(** [(detected, remaining)].  Each detected fault is paired with the
+    walk (full sequence) that caught it. *)

@@ -1,0 +1,91 @@
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+
+type step = {
+  inputs : bool array;
+  expected : bool array;
+}
+
+type burst = {
+  targets : Fault.t list;
+  steps : step list;
+}
+
+type t = {
+  circuit : Circuit.t;
+  reset_outputs : bool array;
+  bursts : burst list;
+}
+
+let of_result (r : Engine.result) =
+  let g = r.Engine.cssg in
+  let circuit = r.Engine.circuit in
+  let by_sequence = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun o ->
+      match o.Testset.status with
+      | Testset.Undetected -> ()
+      | Testset.Detected { sequence; _ } ->
+        let key = Testset.sequence_to_string sequence in
+        (match Hashtbl.find_opt by_sequence key with
+        | Some (seq, targets) ->
+          Hashtbl.replace by_sequence key (seq, o.Testset.fault :: targets)
+        | None ->
+          order := key :: !order;
+          Hashtbl.replace by_sequence key (sequence, [ o.Testset.fault ])))
+    r.Engine.outcomes;
+  let burst_of key =
+    let sequence, targets = Hashtbl.find by_sequence key in
+    let trace =
+      match Detect.good_trace g sequence with
+      | Some t -> t
+      | None -> invalid_arg "Tester.of_result: sequence is not a CSSG path"
+    in
+    let steps =
+      List.map2
+        (fun v i ->
+          { inputs = v; expected = Circuit.output_values circuit (Cssg.state g i) })
+        sequence (List.tl trace)
+    in
+    { targets = List.rev targets; steps }
+  in
+  let reset_outputs =
+    match Cssg.initial g with
+    | i :: _ -> Circuit.output_values circuit (Cssg.state g i)
+    | [] -> [||]
+  in
+  { circuit; reset_outputs; bursts = List.rev_map burst_of !order }
+
+let n_bursts t = List.length t.bursts
+
+let n_vectors t =
+  List.fold_left (fun acc b -> acc + List.length b.steps) 0 t.bursts
+
+let bits v = String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "# tester program for %s: %d bursts, %d vectors\n" (Circuit.name t.circuit)
+    (n_bursts t) (n_vectors t);
+  pr "# inputs: %s; outputs: %s\n"
+    (String.concat " " (Array.to_list (Circuit.input_names t.circuit)))
+    (String.concat " "
+       (Array.to_list
+          (Array.map (Circuit.node_name t.circuit) (Circuit.outputs t.circuit))));
+  List.iteri
+    (fun i b ->
+      pr "# burst %d: detects %s\n" (i + 1)
+        (String.concat ", " (List.map (Fault.to_string t.circuit) b.targets));
+      pr "reset%s -> %s\n"
+        (String.make (max 0 (Array.length (Circuit.inputs t.circuit) + 1)) ' ')
+        (bits t.reset_outputs);
+      List.iter
+        (fun s -> pr "apply %s -> %s\n" (bits s.inputs) (bits s.expected))
+        b.steps)
+    t.bursts;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,49 @@
+(** Export of ATPG results as a synchronous tester program.
+
+    The point of the paper's method is that the generated vectors can
+    be applied by a real-life synchronous tester: per test cycle the
+    tester drives one input vector, waits out the cycle, and compares
+    the sampled primary outputs against the expected values.  This
+    module materialises that artefact: each sequence becomes a burst of
+    (inputs, expected outputs) pairs starting from reset, with the
+    expected outputs read off the good machine's CSSG trace. *)
+
+open Satg_circuit
+open Satg_fault
+
+type step = {
+  inputs : bool array;
+  expected : bool array;  (** sampled primary outputs after settling *)
+}
+
+type burst = {
+  targets : Fault.t list;  (** faults this burst detects *)
+  steps : step list;  (** applied after a reset *)
+}
+
+type t = {
+  circuit : Circuit.t;
+  reset_outputs : bool array;  (** expected outputs in the reset state *)
+  bursts : burst list;
+}
+
+val of_result : Engine.result -> t
+(** One burst per distinct test sequence, in first-detection order;
+    faults sharing a sequence share a burst.  Undetected faults are
+    ignored.
+    @raise Invalid_argument if some recorded sequence is not a valid
+    CSSG path (cannot happen for engine-produced results). *)
+
+val n_bursts : t -> int
+val n_vectors : t -> int
+
+val to_string : t -> string
+(** Text format, one line per tester cycle:
+    {v
+    # burst 1: detects y/sa0, c.pin1(b)/sa1
+    reset            -> 0
+    apply 11         -> 1
+    apply 01         -> 1
+    v} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+open Satg_fault
+
+type sequence = bool array list
+
+type phase =
+  | Random
+  | Three_phase
+  | Fault_simulation
+
+type status =
+  | Detected of {
+      sequence : sequence;
+      phase : phase;
+    }
+  | Undetected
+
+type outcome = {
+  fault : Fault.t;
+  status : status;
+}
+
+let phase_name = function
+  | Random -> "random"
+  | Three_phase -> "3-phase"
+  | Fault_simulation -> "fault-sim"
+
+let is_detected = function Detected _ -> true | Undetected -> false
+
+let sequence_to_string seq =
+  String.concat " "
+    (List.map
+       (fun v ->
+         String.init (Array.length v) (fun i -> if v.(i) then '1' else '0'))
+       seq)
+
+let pp_outcome c fmt o =
+  match o.status with
+  | Detected { sequence; phase } ->
+    Format.fprintf fmt "%s: detected (%s) by [%s]" (Fault.to_string c o.fault)
+      (phase_name phase)
+      (sequence_to_string sequence)
+  | Undetected ->
+    Format.fprintf fmt "%s: UNDETECTED" (Fault.to_string c o.fault)

@@ -1,0 +1,33 @@
+(** Test sequences and per-fault outcomes shared by all ATPG phases. *)
+
+open Satg_circuit
+open Satg_fault
+
+type sequence = bool array list
+(** Input vectors applied in order, starting from the reset state.
+    Every vector must label a valid CSSG edge when applied. *)
+
+type phase =
+  | Random  (** found by random TPG *)
+  | Three_phase  (** found by activation / justification / differentiation *)
+  | Fault_simulation  (** covered by simulating another fault's test *)
+
+type status =
+  | Detected of {
+      sequence : sequence;
+      phase : phase;
+    }
+  | Undetected
+
+type outcome = {
+  fault : Fault.t;
+  status : status;
+}
+
+val phase_name : phase -> string
+val is_detected : status -> bool
+
+val sequence_to_string : sequence -> string
+(** Vectors separated by spaces, e.g. ["10 11 01"]. *)
+
+val pp_outcome : Circuit.t -> Format.formatter -> outcome -> unit

@@ -1,0 +1,44 @@
+(** Deterministic ATPG in three phases (paper §5.1–5.3), the analogue
+    of Cho/Hachtel/Somenzi three-phase ATPG adapted to the CSSG:
+
+    + {e fault activation}: stable states where the fault site carries
+      the value opposite to the stuck value;
+    + {e state justification}: a shortest valid-vector path from reset
+      to an activation state.  The prefix is replayed on the faulty
+      machine (ternary): a definite output difference along the way is
+      the "corruption always" case of figure 3 and yields a shorter
+      test; an uncertain difference is "corruption sometimes" and the
+      search continues with the full prefix;
+    + {e state differentiation}: breadth-first search over the product
+      of the good CSSG and the {e exact set} of possible faulty states
+      until every member of the set disagrees with the good outputs
+      (figure 4: a partially-agreeing set is not conclusive).
+
+    Faults whose site never takes the opposite value in a stable state
+    skip activation and run differentiation from reset (§5.1). *)
+
+open Satg_fault
+open Satg_sg
+
+type config = {
+  max_depth : int;  (** differentiation BFS depth bound *)
+  max_product_states : int;  (** visited-set size bound *)
+  max_activation_tries : int;  (** activation states attempted, nearest first *)
+}
+
+val default_config : config
+
+val find_test :
+  ?config:config ->
+  ?symbolic:Symbolic.t ->
+  Cssg.t ->
+  Fault.t ->
+  Testset.sequence option
+(** A valid test sequence detecting the fault, or [None] if the bounded
+    search fails (undetectable or out of budget).
+
+    With [?symbolic], state justification runs on the BDD engine
+    (onion-ring image computation, as the paper does in §5) instead of
+    the explicit BFS tree; both produce shortest prefixes, so coverage
+    is identical — the option exists for fidelity and for the larger
+    circuits where the symbolic representation is smaller. *)

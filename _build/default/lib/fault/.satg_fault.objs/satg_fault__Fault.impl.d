@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Circuit Format Gatefunc Hashtbl List Printf Satg_circuit Stdlib

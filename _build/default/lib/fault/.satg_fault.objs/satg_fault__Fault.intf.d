@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Circuit Format Satg_circuit

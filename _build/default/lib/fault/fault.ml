@@ -1,0 +1,109 @@
+open Satg_circuit
+
+type t =
+  | Input_sa of {
+      gate : int;
+      pin : int;
+      stuck : bool;
+    }
+  | Output_sa of {
+      gate : int;
+      stuck : bool;
+    }
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let universe_input_sa c =
+  Array.fold_right
+    (fun gid acc ->
+      let pins = Array.length (Circuit.fanins c gid) in
+      let rec per_pin p acc =
+        if p < 0 then acc
+        else
+          per_pin (p - 1)
+            (Input_sa { gate = gid; pin = p; stuck = false }
+            :: Input_sa { gate = gid; pin = p; stuck = true }
+            :: acc)
+      in
+      per_pin (pins - 1) acc)
+    (Circuit.gates c) []
+
+let universe_output_sa c =
+  Array.fold_right
+    (fun gid acc ->
+      Output_sa { gate = gid; stuck = false }
+      :: Output_sa { gate = gid; stuck = true }
+      :: acc)
+    (Circuit.gates c) []
+
+let site_signal c = function
+  | Input_sa { gate; pin; _ } -> (Circuit.fanins c gate).(pin)
+  | Output_sa { gate; _ } -> gate
+
+let stuck_value = function
+  | Input_sa { stuck; _ } | Output_sa { stuck; _ } -> stuck
+
+let inject c = function
+  | Output_sa { gate; stuck } ->
+    Circuit.without_initial (Circuit.replace_func c ~gate (Gatefunc.Const stuck))
+  | Input_sa { gate; pin; stuck } ->
+    let c, const = Circuit.add_const_node c stuck in
+    Circuit.without_initial (Circuit.retarget_pin c ~gate ~pin const)
+
+let initial_faulty_state c f reset =
+  let n = Circuit.n_nodes c in
+  if Array.length reset <> n then
+    invalid_arg "Fault.initial_faulty_state: bad reset length";
+  match f with
+  | Output_sa { gate; stuck } ->
+    let s = Array.copy reset in
+    s.(gate) <- stuck;
+    s
+  | Input_sa { stuck; _ } ->
+    (* injection adds one constant node at the end *)
+    Array.append reset [| stuck |]
+
+(* Structural collapsing.  Two families of classic equivalences:
+   - an input stuck at the gate's controlling value is equivalent to the
+     output stuck at the forced value (AND in-0 = out-0, OR in-1 = out-1,
+     NAND in-0 = out-1, NOR in-1 = out-0);
+   - for BUF / NOT every input fault is equivalent to an output fault.
+   Representatives are chosen as the output faults. *)
+let representative c f =
+  match f with
+  | Output_sa _ -> f
+  | Input_sa { gate; pin = _; stuck } -> (
+    match Circuit.func c gate with
+    | Gatefunc.Buf -> Output_sa { gate; stuck }
+    | Gatefunc.Not -> Output_sa { gate; stuck = not stuck }
+    | Gatefunc.And when not stuck -> Output_sa { gate; stuck = false }
+    | Gatefunc.Nand when not stuck -> Output_sa { gate; stuck = true }
+    | Gatefunc.Or when stuck -> Output_sa { gate; stuck = true }
+    | Gatefunc.Nor when stuck -> Output_sa { gate; stuck = false }
+    | Gatefunc.And | Gatefunc.Nand | Gatefunc.Or | Gatefunc.Nor
+    | Gatefunc.Xor | Gatefunc.Xnor | Gatefunc.Mux | Gatefunc.Celem
+    | Gatefunc.Const _ | Gatefunc.Sop _ ->
+      f)
+
+let collapse c faults =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun f ->
+      let r = representative c f in
+      if Hashtbl.mem seen r then false
+      else begin
+        Hashtbl.replace seen r ();
+        true
+      end)
+    faults
+
+let to_string c = function
+  | Input_sa { gate; pin; stuck } ->
+    Printf.sprintf "%s.pin%d(%s)/sa%d" (Circuit.node_name c gate) pin
+      (Circuit.node_name c (Circuit.fanins c gate).(pin))
+      (if stuck then 1 else 0)
+  | Output_sa { gate; stuck } ->
+    Printf.sprintf "%s/sa%d" (Circuit.node_name c gate) (if stuck then 1 else 0)
+
+let pp c fmt f = Format.pp_print_string fmt (to_string c f)

@@ -1,0 +1,62 @@
+(** Stuck-at fault models for asynchronous netlists.
+
+    The paper evaluates two universes:
+    - {e output stuck-at}: a gate output (including the input-delay
+      buffers, i.e. the primary-input wires) is stuck at 0 or 1;
+    - {e input stuck-at}: a single fanin pin of a single gate (a fanout
+      branch) is stuck at 0 or 1.  This universe subsumes the output
+      universe behaviourally (a stem fault equals all its branch faults
+      at once) and is the model the paper's ATPG targets. *)
+
+open Satg_circuit
+
+type t =
+  | Input_sa of {
+      gate : int;  (** reading gate node id *)
+      pin : int;  (** fanin position *)
+      stuck : bool;
+    }
+  | Output_sa of {
+      gate : int;  (** gate node id whose output is stuck *)
+      stuck : bool;
+    }
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val universe_input_sa : Circuit.t -> t list
+(** Both polarities for every fanin pin of every gate, in a stable
+    order.  Pins of constant gates are excluded (none exist). *)
+
+val universe_output_sa : Circuit.t -> t list
+(** Both polarities for every gate output (buffers included). *)
+
+val site_signal : Circuit.t -> t -> int
+(** The node whose {e stable} value excites the fault: the read node
+    for an input fault, the gate itself for an output fault. *)
+
+val stuck_value : t -> bool
+
+val inject : Circuit.t -> t -> Circuit.t
+(** Faulty copy of the circuit.  For input faults the pin is retargeted
+    to a fresh constant node (the faulty circuit therefore has up to
+    one extra node); for output faults the gate becomes a constant.
+    Node ids of the original circuit are preserved; any reset state is
+    dropped. *)
+
+val initial_faulty_state : Circuit.t -> t -> bool array -> bool array
+(** Power-up state of the injected circuit given the good circuit's
+    reset state: the same values, with a stuck output forced to its
+    stuck value from the start (the faulty node never held the good
+    value) and the injection constant appended for input faults.  The
+    result has {!Satg_circuit.Circuit.n_nodes} of the injected
+    circuit. *)
+
+val collapse : Circuit.t -> t list -> t list
+(** Structural equivalence collapsing (classic rules: controlling-value
+    input faults fold into the output fault; buffer/inverter input
+    faults fold into the output fault).  Returns one representative per
+    class, keeping list order of first representatives. *)
+
+val to_string : Circuit.t -> t -> string
+val pp : Circuit.t -> Format.formatter -> t -> unit

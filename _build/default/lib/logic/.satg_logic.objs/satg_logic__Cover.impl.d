@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Cube Format List Printf Stdlib Ternary

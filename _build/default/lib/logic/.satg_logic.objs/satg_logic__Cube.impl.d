@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Format List Printf Stdlib String Sys Ternary

@@ -1,0 +1,1 @@
+lib/logic/qm.ml: Array Cover Cube Hashtbl List Set Stdlib

@@ -1,0 +1,67 @@
+type t = {
+  n : int;
+  cubes : Cube.t list;
+}
+
+let make ~n cubes =
+  List.iter
+    (fun c ->
+      if Cube.size c <> n then
+        invalid_arg
+          (Printf.sprintf "Cover.make: cube %s has width %d, expected %d"
+             (Cube.to_string c) (Cube.size c) n))
+    cubes;
+  { n; cubes }
+
+let empty n = { n; cubes = [] }
+let tautology n = { n; cubes = [ Cube.universe n ] }
+let n_vars t = t.n
+let cubes t = t.cubes
+let cube_count t = List.length t.cubes
+let is_empty t = t.cubes = []
+let eval t v = List.exists (fun c -> Cube.contains_vector c v) t.cubes
+let eval_minterm t m = List.exists (fun c -> Cube.contains_minterm c m) t.cubes
+
+let eval_ternary t v =
+  let rec loop acc = function
+    | [] -> acc
+    | c :: rest ->
+      let acc = Ternary.or_ acc (Cube.eval_ternary c v) in
+      if acc = Ternary.One then acc else loop acc rest
+  in
+  loop Ternary.Zero t.cubes
+
+let minterms t =
+  List.concat_map Cube.minterms t.cubes
+  |> List.sort_uniq Stdlib.compare
+
+let add_cube t c =
+  if Cube.size c <> t.n then invalid_arg "Cover.add_cube: width mismatch";
+  { t with cubes = c :: t.cubes }
+
+let irredundant t =
+  let rec filter kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let covered_elsewhere =
+        List.exists (fun c' -> Cube.covers c' c) rest
+        || List.exists (fun c' -> Cube.covers c' c) kept
+      in
+      if covered_elsewhere then filter kept rest else filter (c :: kept) rest
+  in
+  { t with cubes = filter [] t.cubes }
+
+let equal_semantics a b =
+  a.n = b.n
+  &&
+  let rec loop m =
+    m >= 1 lsl a.n || (eval_minterm a m = eval_minterm b m && loop (m + 1))
+  in
+  loop 0
+
+let pp fmt t =
+  if t.cubes = [] then Format.pp_print_string fmt "<empty>"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " + ")
+      Cube.pp fmt t.cubes

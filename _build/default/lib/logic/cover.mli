@@ -1,0 +1,41 @@
+(** Sum-of-products covers: a cover is a set of {!Cube.t} over a common
+    variable count and denotes the union of its cubes. *)
+
+type t
+
+val make : n:int -> Cube.t list -> t
+(** @raise Invalid_argument if some cube has a different width. *)
+
+val empty : int -> t
+(** The constant-0 function over [n] variables. *)
+
+val tautology : int -> t
+(** The constant-1 function over [n] variables. *)
+
+val n_vars : t -> int
+val cubes : t -> Cube.t list
+val cube_count : t -> int
+val is_empty : t -> bool
+
+val eval : t -> bool array -> bool
+val eval_minterm : t -> int -> bool
+
+val eval_ternary : t -> Ternary.t array -> Ternary.t
+(** Ternary OR over the cubes' ternary evaluations (the natural
+    monotone extension of the SOP form, used in hazard analysis). *)
+
+val minterms : t -> int list
+(** Sorted, de-duplicated minterm list (exponential; small covers
+    only). *)
+
+val add_cube : t -> Cube.t -> t
+
+val irredundant : t -> t
+(** Remove cubes covered by single other cubes (cheap syntactic
+    filter, not a full irredundancy check). *)
+
+val equal_semantics : t -> t -> bool
+(** Exhaustive semantic equality; exponential in [n_vars], intended for
+    tests and small synthesis instances. *)
+
+val pp : Format.formatter -> t -> unit

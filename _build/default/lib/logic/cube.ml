@@ -1,0 +1,127 @@
+type lit =
+  | F
+  | T
+  | D
+
+type t = lit array
+
+let make lits = Array.copy lits
+let universe n = Array.make n D
+
+let of_string s =
+  let decode i = function
+    | '0' -> F
+    | '1' -> T
+    | '-' -> D
+    | c -> invalid_arg (Printf.sprintf "Cube.of_string: bad char %C at %d" c i)
+  in
+  Array.init (String.length s) (fun i -> decode i s.[i])
+
+let lit_to_char = function F -> '0' | T -> '1' | D -> '-'
+let to_string c = String.init (Array.length c) (fun i -> lit_to_char c.(i))
+let size = Array.length
+let lit c i = c.(i)
+let lits c = Array.copy c
+
+let of_minterm n m =
+  assert (n >= 0 && n <= Sys.int_size - 2);
+  Array.init n (fun i -> if m land (1 lsl (n - 1 - i)) <> 0 then T else F)
+
+let num_literals c =
+  Array.fold_left (fun acc l -> if l = D then acc else acc + 1) 0 c
+
+let contains_vector c v =
+  assert (Array.length v = Array.length c);
+  let ok i l =
+    match l with F -> not v.(i) | T -> v.(i) | D -> true
+  in
+  let rec loop i = i >= Array.length c || (ok i c.(i) && loop (i + 1)) in
+  loop 0
+
+let contains_minterm c m =
+  let n = Array.length c in
+  let bit i = m land (1 lsl (n - 1 - i)) <> 0 in
+  let ok i l = match l with F -> not (bit i) | T -> bit i | D -> true in
+  let rec loop i = i >= n || (ok i c.(i) && loop (i + 1)) in
+  loop 0
+
+let covers a b =
+  assert (Array.length a = Array.length b);
+  let ok la lb =
+    match la, lb with
+    | D, _ -> true
+    | F, F | T, T -> true
+    | F, (T | D) | T, (F | D) -> false
+  in
+  let rec loop i = i >= Array.length a || (ok a.(i) b.(i) && loop (i + 1)) in
+  loop 0
+
+let intersect a b =
+  assert (Array.length a = Array.length b);
+  let n = Array.length a in
+  let out = Array.make n D in
+  let rec loop i =
+    if i >= n then Some out
+    else
+      match a.(i), b.(i) with
+      | F, T | T, F -> None
+      | D, l | l, D ->
+        out.(i) <- l;
+        loop (i + 1)
+      | F, F ->
+        out.(i) <- F;
+        loop (i + 1)
+      | T, T ->
+        out.(i) <- T;
+        loop (i + 1)
+  in
+  loop 0
+
+let supercube a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> if a.(i) = b.(i) then a.(i) else D)
+
+let cofactor c ~var ~value =
+  match c.(var), value with
+  | F, true | T, false -> None
+  | (F | T | D), _ ->
+    let out = Array.copy c in
+    out.(var) <- D;
+    Some out
+
+let eval_ternary c v =
+  assert (Array.length v = Array.length c);
+  let rec loop i acc =
+    if i >= Array.length c || acc = Ternary.Zero then acc
+    else
+      let acc =
+        match c.(i) with
+        | D -> acc
+        | T -> Ternary.and_ acc v.(i)
+        | F -> Ternary.and_ acc (Ternary.not_ v.(i))
+      in
+      loop (i + 1) acc
+  in
+  loop 0 Ternary.One
+
+let minterms c =
+  let n = Array.length c in
+  let rec expand i acc =
+    if i >= n then acc
+    else
+      let acc =
+        match c.(i) with
+        | F -> acc
+        | T -> List.map (fun m -> m lor (1 lsl (n - 1 - i))) acc
+        | D ->
+          List.concat_map
+            (fun m -> [ m; m lor (1 lsl (n - 1 - i)) ])
+            acc
+      in
+      expand (i + 1) acc
+  in
+  List.sort Stdlib.compare (expand 0 [ 0 ])
+
+let equal a b = a = b
+let compare = Stdlib.compare
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,60 @@
+(** Cubes (products of literals) over a fixed set of [n] Boolean
+    variables.  A cube assigns each variable one of {!lit}; the cube
+    denotes the set of minterms compatible with all its literals. *)
+
+type lit =
+  | F  (** negative literal: variable must be 0 *)
+  | T  (** positive literal: variable must be 1 *)
+  | D  (** don't-care: variable unconstrained *)
+
+type t
+(** Immutable cube over a fixed number of variables. *)
+
+val make : lit array -> t
+(** [make lits] builds a cube; the array is copied. *)
+
+val universe : int -> t
+(** The cube with [n] don't-cares (the full Boolean space). *)
+
+val of_string : string -> t
+(** ['0'] = {!F}, ['1'] = {!T}, ['-'] = {!D}.
+    @raise Invalid_argument on any other character. *)
+
+val to_string : t -> string
+val size : t -> int
+val lit : t -> int -> lit
+val lits : t -> lit array
+
+val of_minterm : int -> int -> t
+(** [of_minterm n m] is the full cube for minterm [m] over [n]
+    variables; variable 0 is the most significant bit of [m]. *)
+
+val num_literals : t -> int
+(** Number of non-don't-care positions. *)
+
+val contains_vector : t -> bool array -> bool
+val contains_minterm : t -> int -> bool
+
+val covers : t -> t -> bool
+(** [covers a b] iff every minterm of [b] is a minterm of [a]. *)
+
+val intersect : t -> t -> t option
+(** [None] when the cubes share no minterm. *)
+
+val supercube : t -> t -> t
+(** Smallest cube containing both arguments. *)
+
+val cofactor : t -> var:int -> value:bool -> t option
+(** Cube restricted to [var = value]; [None] if incompatible.  The
+    resulting cube still ranges over all [n] variables with [var]
+    forced to don't-care. *)
+
+val eval_ternary : t -> Ternary.t array -> Ternary.t
+(** Ternary AND of the cube's literals against a ternary input vector. *)
+
+val minterms : t -> int list
+(** All minterms of the cube (exponential in don't-cares). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+(* Implicants are (value, dash) pairs: [dash] bits are don't-care
+   positions, [value] gives the fixed bits (0 on dashed positions).
+   Variable 0 is the most significant bit, matching Cube.of_minterm. *)
+
+module Imp = struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end
+
+module ImpSet = Set.Make (Imp)
+
+let popcount =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0
+
+let check_args ~n ~minterms =
+  if n < 0 || n > 24 then invalid_arg "Qm: variable count out of [0, 24]";
+  List.iter
+    (fun m ->
+      if m < 0 || m >= 1 lsl n then invalid_arg "Qm: minterm out of range")
+    minterms
+
+let cube_of_imp n (value, dash) =
+  let bit_of i =
+    let b = 1 lsl (n - 1 - i) in
+    if dash land b <> 0 then Cube.D
+    else if value land b <> 0 then Cube.T
+    else Cube.F
+  in
+  Cube.make (Array.init n bit_of)
+
+let imp_covers (value, dash) m = m land lnot dash = value
+
+(* One round of pairwise merging: implicants with the same dash mask
+   whose values differ in exactly one bit combine.  Returns the merged
+   set and the subset of [imps] that took part in no merge. *)
+let merge_round imps =
+  let merged = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let arr = Array.of_list (ImpSet.elements imps) in
+  let k = Array.length arr in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let (v1, d1) = arr.(i) and (v2, d2) = arr.(j) in
+      if d1 = d2 then begin
+        let diff = v1 lxor v2 in
+        if diff <> 0 && diff land (diff - 1) = 0 then begin
+          Hashtbl.replace merged (v1 land lnot diff, d1 lor diff) ();
+          Hashtbl.replace used arr.(i) ();
+          Hashtbl.replace used arr.(j) ()
+        end
+      end
+    done
+  done;
+  let next = Hashtbl.fold (fun imp () acc -> ImpSet.add imp acc) merged ImpSet.empty in
+  let primes =
+    ImpSet.filter (fun imp -> not (Hashtbl.mem used imp)) imps
+  in
+  (next, primes)
+
+let primes_imp ~on ~dc =
+  let initial =
+    List.fold_left
+      (fun acc m -> ImpSet.add (m, 0) acc)
+      ImpSet.empty (on @ dc)
+  in
+  let rec loop current primes =
+    if ImpSet.is_empty current then primes
+    else
+      let next, stuck = merge_round current in
+      loop next (ImpSet.union primes stuck)
+  in
+  loop initial ImpSet.empty
+
+let primes ~n ~on ~dc =
+  check_args ~n ~minterms:(on @ dc);
+  primes_imp ~on ~dc |> ImpSet.elements |> List.map (cube_of_imp n)
+
+(* Cover selection: essential primes first, then repeatedly the prime
+   covering the most still-uncovered on-set minterms (ties broken by
+   fewer literals, i.e. more dashes). *)
+let select_cover prime_list on =
+  let uncovered = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace uncovered m ()) on;
+  let covering m = List.filter (fun p -> imp_covers p m) prime_list in
+  let chosen = ref [] in
+  let take p =
+    chosen := p :: !chosen;
+    Hashtbl.iter
+      (fun m () -> if imp_covers p m then Hashtbl.remove uncovered m)
+      (Hashtbl.copy uncovered)
+  in
+  (* Essentials. *)
+  List.iter
+    (fun m ->
+      if Hashtbl.mem uncovered m then
+        match covering m with
+        | [ p ] -> take p
+        | [] | _ :: _ :: _ -> ())
+    on;
+  (* Greedy remainder. *)
+  let gain p =
+    Hashtbl.fold
+      (fun m () acc -> if imp_covers p m then acc + 1 else acc)
+      uncovered 0
+  in
+  while Hashtbl.length uncovered > 0 do
+    let best =
+      List.fold_left
+        (fun best p ->
+          let g = gain p in
+          match best with
+          | None -> if g > 0 then Some (p, g) else None
+          | Some (_, gb) ->
+            if g > gb || (g = gb && g > 0 && popcount (snd p) > 0) then
+              if g > gb then Some (p, g) else best
+            else best)
+        None prime_list
+    in
+    match best with
+    | Some (p, _) -> take p
+    | None ->
+      (* Unreachable: every on-set minterm is covered by some prime. *)
+      assert false
+  done;
+  List.rev !chosen
+
+let minimize ~n ~on ~dc =
+  check_args ~n ~minterms:(on @ dc);
+  let on = List.sort_uniq Stdlib.compare on in
+  if on = [] then Cover.empty n
+  else
+    let prime_list = ImpSet.elements (primes_imp ~on ~dc) in
+    let selected = select_cover prime_list on in
+    Cover.make ~n (List.map (cube_of_imp n) selected)
+
+let minimize_f ~n f =
+  let on = ref [] and dc = ref [] in
+  for m = (1 lsl n) - 1 downto 0 do
+    match f m with
+    | Some true -> on := m :: !on
+    | Some false -> ()
+    | None -> dc := m :: !dc
+  done;
+  minimize ~n ~on:!on ~dc:!dc

@@ -1,0 +1,16 @@
+(** Two-level logic minimization by the Quine–McCluskey procedure with
+    essential-prime extraction and a greedy cover for the remainder.
+    Exact prime generation, heuristic covering — adequate for the
+    controller-sized functions produced by STG synthesis. *)
+
+val primes : n:int -> on:int list -> dc:int list -> Cube.t list
+(** All prime implicants of the (on ∪ dc) set over [n] variables. *)
+
+val minimize : n:int -> on:int list -> dc:int list -> Cover.t
+(** A cover of [on] using only minterms in [on ∪ dc].
+    @raise Invalid_argument if [n < 0], [n > 24], or a minterm is out of
+    range. *)
+
+val minimize_f : n:int -> (int -> bool option) -> Cover.t
+(** [minimize_f ~n f] minimizes the function whose value on minterm [m]
+    is [f m]; [None] marks a don't-care. *)

@@ -1,0 +1,71 @@
+type t =
+  | Zero
+  | One
+  | Phi
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | Phi, Phi -> true
+  | (Zero | One | Phi), _ -> false
+
+let to_int = function Zero -> 0 | One -> 1 | Phi -> 2
+let compare a b = Stdlib.compare (to_int a) (to_int b)
+let of_bool b = if b then One else Zero
+
+let to_bool_opt = function
+  | Zero -> Some false
+  | One -> Some true
+  | Phi -> None
+
+let is_binary = function Zero | One -> true | Phi -> false
+let lub a b = if equal a b then a else Phi
+let leq a b = equal a b || equal b Phi
+let not_ = function Zero -> One | One -> Zero | Phi -> Phi
+
+let and_ a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (One | Phi), (One | Phi) -> Phi
+
+let or_ a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (Zero | Phi), (Zero | Phi) -> Phi
+
+let xor_ a b =
+  match a, b with
+  | Phi, _ | _, Phi -> Phi
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+
+let and_list vs = List.fold_left and_ One vs
+let or_list vs = List.fold_left or_ Zero vs
+let to_char = function Zero -> '0' | One -> '1' | Phi -> 'X'
+
+let of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | 'X' | 'x' | '*' -> Some Phi
+  | _ -> None
+
+let pp fmt v = Format.pp_print_char fmt (to_char v)
+
+let vector_of_string s =
+  let decode i c =
+    match of_char c with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Ternary.vector_of_string: bad char %C at %d" c i)
+  in
+  Array.init (String.length s) (fun i -> decode i s.[i])
+
+let vector_to_string v = String.init (Array.length v) (fun i -> to_char v.(i))
+let vector_is_binary v = Array.for_all is_binary v
+
+let vector_lub a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ternary.vector_lub: length mismatch";
+  Array.init (Array.length a) (fun i -> lub a.(i) b.(i))

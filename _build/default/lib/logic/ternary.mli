@@ -1,0 +1,53 @@
+(** Three-valued (ternary) logic in the style of Eichelberger's hazard
+    analysis.  The third value {!Phi} denotes an uncertain or changing
+    signal; it is the top of the information ordering
+    [Zero <= Phi], [One <= Phi]. *)
+
+type t =
+  | Zero
+  | One
+  | Phi  (** uncertain / in transition *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_bool : bool -> t
+
+val to_bool_opt : t -> bool option
+(** [to_bool_opt v] is [Some b] when [v] is binary, [None] for {!Phi}. *)
+
+val is_binary : t -> bool
+
+val lub : t -> t -> t
+(** Least upper bound in the uncertainty lattice: [lub a b] is [a] when
+    [a = b] and {!Phi} otherwise. *)
+
+val leq : t -> t -> bool
+(** Information ordering: [leq a b] iff [a = b] or [b = Phi]. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor_ : t -> t -> t
+
+val and_list : t list -> t
+val or_list : t list -> t
+
+val to_char : t -> char
+(** ['0'], ['1'] or ['X']. *)
+
+val of_char : char -> t option
+(** Inverse of {!to_char}; also accepts ['x'] and ['*'] for {!Phi}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val vector_of_string : string -> t array
+(** [vector_of_string "10X"] is [[|One; Zero; Phi|]].
+    @raise Invalid_argument on any other character. *)
+
+val vector_to_string : t array -> string
+
+val vector_is_binary : t array -> bool
+
+val vector_lub : t array -> t array -> t array
+(** Pointwise {!lub}.  @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,74 @@
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  header : string list;
+  width : int;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~header = { header; width = List.length header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells, expected %d"
+         (List.length cells) t.width);
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let to_ascii t =
+  let rows = List.rev t.rows in
+  let all_cells =
+    t.header :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let widths = Array.make t.width 0 in
+  List.iter
+    (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+    all_cells;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let extra = widths.(i) - String.length c in
+    (* left-align the first column, right-align the rest *)
+    if i = 0 then c ^ String.make extra ' ' else String.make extra ' ' ^ c
+  in
+  let line cells =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad cells));
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Buffer.add_string buf
+      (String.concat "--"
+         (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  rule ();
+  List.iter
+    (function Cells c -> line c | Separator -> rule ())
+    rows;
+  Buffer.contents buf
+
+let quote_csv c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map quote_csv cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  List.iter
+    (function Cells c -> line c | Separator -> ())
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_pct f = Printf.sprintf "%.2f%%" f

@@ -1,0 +1,16 @@
+(** Minimal ASCII / CSV table rendering for the experiment drivers. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on width mismatch. *)
+
+val add_separator : t -> unit
+val to_ascii : t -> string
+val to_csv : t -> string
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : float -> string

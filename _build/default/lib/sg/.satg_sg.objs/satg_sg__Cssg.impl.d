@@ -1,0 +1,1 @@
+lib/sg/cssg.ml: Array Buffer Circuit Format Hashtbl List Printf Queue Satg_circuit String

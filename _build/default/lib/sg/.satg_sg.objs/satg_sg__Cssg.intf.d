@@ -1,0 +1,1 @@
+lib/sg/cssg.mli: Circuit Format Satg_circuit

@@ -1,0 +1,1 @@
+lib/sg/explicit.ml: Array Async_sim Circuit Cssg Hashtbl List Option Queue Satg_circuit Satg_sim Structure

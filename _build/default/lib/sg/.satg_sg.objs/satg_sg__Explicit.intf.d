@@ -1,0 +1,1 @@
+lib/sg/explicit.mli: Circuit Cssg Satg_circuit

@@ -1,0 +1,1 @@
+lib/sg/symbolic.ml: Array Bdd Circuit Cover Cssg Cube Fun Gatefunc Hashtbl List Satg_bdd Satg_circuit Satg_logic Stdlib Structure

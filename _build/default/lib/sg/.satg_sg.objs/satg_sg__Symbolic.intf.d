@@ -1,0 +1,1 @@
+lib/sg/symbolic.mli: Bdd Circuit Cssg Satg_bdd Satg_circuit

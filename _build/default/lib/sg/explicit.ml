@@ -1,0 +1,85 @@
+open Satg_circuit
+open Satg_sim
+
+let all_vectors n =
+  List.init (1 lsl n) (fun mask ->
+      Array.init n (fun i -> mask land (1 lsl i) <> 0))
+
+let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000) c =
+  let k = match k with Some k -> k | None -> Structure.default_k c in
+  let reset =
+    match Circuit.initial c with
+    | Some s -> s
+    | None -> invalid_arg "Explicit.build: circuit has no reset state"
+  in
+  if not (Circuit.is_stable c reset) then
+    invalid_arg "Explicit.build: reset state not stable";
+  let vectors = all_vectors (Circuit.n_inputs c) in
+  let index = Hashtbl.create 64 in
+  let rev_states = ref [] in
+  let count = ref 0 in
+  let intern s =
+    let key = Circuit.state_to_string c s in
+    match Hashtbl.find_opt index key with
+    | Some i -> (i, false)
+    | None ->
+      let i = !count in
+      incr count;
+      Hashtbl.replace index key i;
+      rev_states := s :: !rev_states;
+      (i, true)
+  in
+  let edges = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let enqueue s =
+    let i, fresh = intern s in
+    if fresh then Queue.add (i, s) queue;
+    i
+  in
+  (* Exhaustive classification of one (stable state, vector) pair:
+     [Some target] = valid edge, [None] = invalid (or capped),
+     harvesting reachable stable states as TCSG nodes on the way.  The
+     pure oracle runs the full k-step frontier (the literal TCR_k
+     definition); the hybrid fallback uses the early-exit classifier. *)
+  let classify_pure s v =
+    let s1 = Circuit.apply_input_vector c s v in
+    let finals = Async_sim.states_after c ~k s1 in
+    let stables = List.filter (Circuit.is_stable c) finals in
+    let ids = List.map enqueue stables in
+    match (finals, ids) with
+    | [ _ ], [ target ] -> Some target
+    | _ -> None
+  in
+  let classify_fallback s v =
+    match Async_sim.classify_vector ~max_frontier c ~k s v with
+    | Async_sim.C_settles final -> Some (enqueue final)
+    | Async_sim.C_invalid stables ->
+      List.iter (fun s' -> ignore (enqueue s')) stables;
+      None
+    | Async_sim.C_capped -> None
+  in
+  let classify s v =
+    match exploration with
+    | `Pure -> classify_pure s v
+    | `Hybrid -> classify_fallback s v
+  in
+  let (_ : int) = enqueue reset in
+  while not (Queue.is_empty queue) do
+    let i, s = Queue.take queue in
+    let current_inputs = Circuit.input_vector_of_state c s in
+    let out = ref [] in
+    List.iter
+      (fun v ->
+        if v <> current_inputs then
+          match classify s v with
+          | Some target -> out := { Cssg.vector = v; target } :: !out
+          | None -> ())
+      vectors;
+    Hashtbl.replace edges i (List.rev !out)
+  done;
+  let states = Array.of_list (List.rev !rev_states) in
+  let succ =
+    Array.init (Array.length states) (fun i ->
+        Option.value ~default:[] (Hashtbl.find_opt edges i))
+  in
+  Cssg.make ~circuit:c ~k ~states ~succ ~initial:[ 0 ]

@@ -1,0 +1,36 @@
+(** Explicit-state CSSG construction.
+
+    Enumerates stable states reachable in test mode from the circuit's
+    reset state.  Two strategies:
+
+    - [`Pure]: every (state, vector) pair is classified by exhaustive
+      unbounded-delay exploration ({!Satg_sim.Async_sim}), exactly as
+      the paper defines [TCR_k] — the oracle used to cross-check the
+      symbolic engine, exponential in the concurrency width;
+    - [`Hybrid] (default): the same verdicts through the early-exit
+      classifier {!Satg_sim.Async_sim.classify_vector} (a second stable
+      outcome or a repeating frontier ends the analysis immediately),
+      capped at [max_frontier] interleaving states per layer.  A capped
+      pair is conservatively pruned and no TCSG nodes are harvested
+      from it; below the cap both strategies agree exactly.
+
+    Note that a ternary-simulation shortcut would be {e unsound} here:
+    ternary simulation certifies settling of every fair execution,
+    while [TCR_k] also counts unfair interleavings in which a transient
+    oscillation consumes the whole budget while some other excited gate
+    waits (the paper's "transient oscillations" remark in section 2).
+    The test suite contains a random-circuit property that distinguishes
+    the two semantics. *)
+
+open Satg_circuit
+
+val build :
+  ?k:int ->
+  ?exploration:[ `Hybrid | `Pure ] ->
+  ?max_frontier:int ->
+  Circuit.t ->
+  Cssg.t
+(** [k] defaults to {!Satg_circuit.Structure.default_k};
+    [max_frontier] (default 20_000) only limits [`Hybrid] fallback
+    exploration.
+    @raise Invalid_argument if the circuit has no stable reset state. *)

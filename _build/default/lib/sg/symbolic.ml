@@ -1,0 +1,384 @@
+open Satg_logic
+open Satg_circuit
+open Satg_bdd
+
+type t = {
+  circuit : Circuit.t;
+  k : int;
+  man : Bdd.man;
+  rank : int array;  (* node id -> position in the variable order *)
+  node_of_rank : int array;
+  stable : Bdd.t;
+  r_input : Bdd.t;  (* R_I over (x, y) *)
+  r_delta_zy : Bdd.t;  (* R_delta over (z, y), pre-renamed for iteration *)
+  reachable : Bdd.t;  (* over x *)
+  cssg : Bdd.t;  (* over (x, y) *)
+  reset : bool array;
+}
+
+(* Each node owns three adjacent BDD variables at its rank: present,
+   next, auxiliary.  The rank permutation is the variable-ordering
+   knob; the triple structure never changes, so the x/y/z renamings
+   below are rank-independent. *)
+let x_of t i = 3 * t.rank.(i)
+let y_of t i = (3 * t.rank.(i)) + 1
+
+let circuit t = t.circuit
+let k t = t.k
+let man t = t.man
+let stable_set t = t.stable
+let reachable t = t.reachable
+let cssg_relation t = t.cssg
+
+(* --- building blocks ---------------------------------------------------- *)
+
+let func_bdd m c var_of gid =
+  let fanin = Circuit.fanins c gid in
+  let in_var p = Bdd.var m (var_of fanin.(p)) in
+  match Circuit.func c gid with
+  | Gatefunc.Buf -> in_var 0
+  | Gatefunc.Not -> Bdd.not_ m (in_var 0)
+  | Gatefunc.And -> Bdd.and_list m (List.init (Array.length fanin) in_var)
+  | Gatefunc.Or -> Bdd.or_list m (List.init (Array.length fanin) in_var)
+  | Gatefunc.Nand ->
+    Bdd.not_ m (Bdd.and_list m (List.init (Array.length fanin) in_var))
+  | Gatefunc.Nor ->
+    Bdd.not_ m (Bdd.or_list m (List.init (Array.length fanin) in_var))
+  | Gatefunc.Xor ->
+    List.fold_left (Bdd.xor_ m) (Bdd.zero m)
+      (List.init (Array.length fanin) in_var)
+  | Gatefunc.Xnor ->
+    Bdd.not_ m
+      (List.fold_left (Bdd.xor_ m) (Bdd.zero m)
+         (List.init (Array.length fanin) in_var))
+  | Gatefunc.Mux -> Bdd.ite m (in_var 0) (in_var 1) (in_var 2)
+  | Gatefunc.Celem ->
+    let all = Bdd.and_list m (List.init (Array.length fanin) in_var) in
+    let any = Bdd.or_list m (List.init (Array.length fanin) in_var) in
+    let self = Bdd.var m (var_of gid) in
+    Bdd.or_ m all (Bdd.and_ m self any)
+  | Gatefunc.Const b -> if b then Bdd.one m else Bdd.zero m
+  | Gatefunc.Sop cover ->
+    List.fold_left
+      (fun acc cube ->
+        let term = ref (Bdd.one m) in
+        Array.iteri
+          (fun p l ->
+            match l with
+            | Cube.D -> ()
+            | Cube.T -> term := Bdd.and_ m !term (in_var p)
+            | Cube.F -> term := Bdd.and_ m !term (Bdd.not_ m (in_var p)))
+          (Cube.lits cube);
+        Bdd.or_ m acc !term)
+      (Bdd.zero m) (Cover.cubes cover)
+
+let gate_function t gid = func_bdd t.man t.circuit (x_of t) gid
+
+(* --- construction -------------------------------------------------------- *)
+
+let build ?k ?node_order c =
+  let k = match k with Some k -> k | None -> Structure.default_k c in
+  let reset =
+    match Circuit.initial c with
+    | Some s when Circuit.is_stable c s -> s
+    | Some _ -> invalid_arg "Symbolic.build: reset state not stable"
+    | None -> invalid_arg "Symbolic.build: circuit has no reset state"
+  in
+  let n = Circuit.n_nodes c in
+  let rank =
+    match node_order with
+    | None -> Array.init n Fun.id
+    | Some r ->
+      if Array.length r <> n then
+        invalid_arg "Symbolic.build: node_order length mismatch";
+      let seen = Array.make n false in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n || seen.(v) then
+            invalid_arg "Symbolic.build: node_order is not a permutation";
+          seen.(v) <- true)
+        r;
+      Array.copy r
+  in
+  let node_of_rank = Array.make n 0 in
+  Array.iteri (fun i r -> node_of_rank.(r) <- i) rank;
+  let m = Bdd.create ~nvars:(3 * n) () in
+  let xv i = 3 * rank.(i) and yv i = (3 * rank.(i)) + 1 in
+  let zv i = (3 * rank.(i)) + 2 in
+  let gates = Circuit.gates c in
+  let env = Circuit.inputs c in
+  let excited =
+    Array.map
+      (fun gid -> Bdd.xor_ m (func_bdd m c xv gid) (Bdd.var m (xv gid)))
+      gates
+  in
+  let stable =
+    Array.fold_left
+      (fun acc e -> Bdd.and_ m acc (Bdd.not_ m e))
+      (Bdd.one m) excited
+  in
+  (* Equality chains over all nodes in rank order (keeps the
+     conjunction shallow w.r.t. the chosen order). *)
+  let eq_xy =
+    Array.init n (fun i -> Bdd.iff m (Bdd.var m (xv i)) (Bdd.var m (yv i)))
+  in
+  (* prefix.(r) = equality of the first r nodes in rank order *)
+  let prefix = Array.make (n + 1) (Bdd.one m) in
+  for r = 0 to n - 1 do
+    prefix.(r + 1) <- Bdd.and_ m prefix.(r) eq_xy.(node_of_rank.(r))
+  done;
+  let suffix = Array.make (n + 1) (Bdd.one m) in
+  for r = n - 1 downto 0 do
+    suffix.(r) <- Bdd.and_ m suffix.(r + 1) eq_xy.(node_of_rank.(r))
+  done;
+  let all_eq = prefix.(n) in
+  let fire_disjuncts =
+    Array.to_list
+      (Array.mapi
+         (fun idx gid ->
+           let flip =
+             Bdd.iff m (Bdd.var m (yv gid)) (Bdd.not_ m (Bdd.var m (xv gid)))
+           in
+           let r = rank.(gid) in
+           let frame = Bdd.and_ m prefix.(r) suffix.(r + 1) in
+           Bdd.and_list m [ excited.(idx); flip; frame ])
+         gates)
+  in
+  let r_delta =
+    Bdd.or_ m (Bdd.or_list m fire_disjuncts) (Bdd.and_ m stable all_eq)
+  in
+  let gates_eq =
+    Array.fold_left (fun acc gid -> Bdd.and_ m acc eq_xy.(gid)) (Bdd.one m) gates
+  in
+  let env_all_eq =
+    Array.fold_left (fun acc e -> Bdd.and_ m acc eq_xy.(e)) (Bdd.one m) env
+  in
+  let r_input = Bdd.and_list m [ stable; gates_eq; Bdd.not_ m env_all_eq ] in
+  let x_to_z v = if v mod 3 = 0 then v + 2 else if v mod 3 = 2 then v - 2 else v in
+  let r_delta_zy = Bdd.permute m x_to_z r_delta in
+  let y_to_z v = if v mod 3 = 1 then v + 1 else if v mod 3 = 2 then v - 1 else v in
+  let z_vars = List.init n zv in
+  let x_vars = List.init n xv in
+  let tcr srcs =
+    let t0 = Bdd.and_ m srcs r_input in
+    let rec iterate i t =
+      if i >= k then t
+      else
+        let t_xz = Bdd.permute m y_to_z t in
+        let t' = Bdd.and_exists m ~vars:z_vars t_xz r_delta_zy in
+        if Bdd.equal t' t then t else iterate (i + 1) t'
+    in
+    iterate 0 t0
+  in
+  let stable_y = Bdd.permute m (fun v -> if v mod 3 = 0 then v + 1 else v) stable in
+  let y_as_x = Bdd.permute m (fun v -> if v mod 3 = 1 then v - 1 else v) in
+  let reset_bdd =
+    Bdd.and_list m
+      (List.init n (fun i ->
+           if reset.(i) then Bdd.var m (xv i) else Bdd.nvar m (xv i)))
+  in
+  let rec reach_loop reach =
+    let t = tcr reach in
+    let new_stables =
+      y_as_x (Bdd.exists m ~vars:x_vars (Bdd.and_ m t stable_y))
+    in
+    let reach' = Bdd.or_ m reach new_stables in
+    if Bdd.equal reach' reach then (reach, t) else reach_loop reach'
+  in
+  let reachable, tcr_final = reach_loop reset_bdd in
+  let tcr_xz = Bdd.permute m y_to_z tcr_final in
+  let env_eq_yz =
+    Array.fold_left
+      (fun acc e ->
+        Bdd.and_ m acc (Bdd.iff m (Bdd.var m (yv e)) (Bdd.var m (zv e))))
+      (Bdd.one m) env
+  in
+  let all_eq_yz =
+    List.fold_left
+      (fun acc i ->
+        Bdd.and_ m acc (Bdd.iff m (Bdd.var m (yv i)) (Bdd.var m (zv i))))
+      (Bdd.one m)
+      (List.init n Fun.id)
+  in
+  let conflict =
+    Bdd.and_exists m ~vars:z_vars tcr_xz
+      (Bdd.and_ m env_eq_yz (Bdd.not_ m all_eq_yz))
+  in
+  let cssg = Bdd.and_list m [ tcr_final; stable_y; Bdd.not_ m conflict ] in
+  {
+    circuit = c;
+    k;
+    man = m;
+    rank;
+    node_of_rank;
+    stable;
+    r_input;
+    r_delta_zy;
+    reachable;
+    cssg;
+    reset;
+  }
+
+(* --- queries ------------------------------------------------------------- *)
+
+let live_nodes t =
+  Bdd.size t.man t.cssg + Bdd.size t.man t.reachable
+  + Bdd.size t.man t.r_delta_zy + Bdd.size t.man t.r_input
+
+let n_reachable t =
+  let n = Circuit.n_nodes t.circuit in
+  let count = Bdd.sat_count t.man ~nvars:(3 * n) t.reachable in
+  int_of_float ((count /. (2.0 ** float_of_int (2 * n))) +. 0.5)
+
+let state_to_bdd t s =
+  let m = t.man in
+  Bdd.and_list m
+    (List.init (Array.length s) (fun i ->
+         if s.(i) then Bdd.var m (x_of t i) else Bdd.nvar m (x_of t i)))
+
+let bool_state_of_assign t assign =
+  let n = Circuit.n_nodes t.circuit in
+  let s = Array.make n false in
+  List.iter
+    (fun (v, b) -> if v mod 3 = 0 then s.(t.node_of_rank.(v / 3)) <- b)
+    assign;
+  s
+
+(* Enumerate the concrete states of a set over x-vars. *)
+let enumerate_states t set =
+  let n = Circuit.n_nodes t.circuit in
+  let rec expand assign free =
+    match free with
+    | [] -> [ bool_state_of_assign t assign ]
+    | v :: rest ->
+      expand ((v, false) :: assign) rest @ expand ((v, true) :: assign) rest
+  in
+  Bdd.fold_sat t.man set ~init:[] ~f:(fun acc cube ->
+      let bound = List.map fst cube in
+      let free =
+        List.filter
+          (fun v -> not (List.mem v bound))
+          (List.init n (fun i -> x_of t i))
+      in
+      expand cube free @ acc)
+  |> List.sort_uniq Stdlib.compare
+
+let apply_rel t rel src_bdd =
+  let n = Circuit.n_nodes t.circuit in
+  let x_vars = List.init n (fun i -> x_of t i) in
+  let img = Bdd.and_exists t.man ~vars:x_vars src_bdd rel in
+  Bdd.permute t.man (fun v -> if v mod 3 = 1 then v - 1 else v) img
+
+let justify t ~target =
+  let m = t.man in
+  let init = state_to_bdd t t.reset in
+  if not (Bdd.is_zero (Bdd.and_ m init target)) then Some ([], t.reset)
+  else begin
+    let rec forward rings seen front =
+      let next = Bdd.diff m (apply_rel t t.cssg front) seen in
+      if Bdd.is_zero next then None
+      else if not (Bdd.is_zero (Bdd.and_ m next target)) then
+        Some (List.rev (front :: rings), Bdd.and_ m next target)
+      else forward (front :: rings) (Bdd.or_ m seen next) next
+    in
+    match forward [] init init with
+    | None -> None
+    | Some (rings, hit) ->
+      let n = Circuit.n_nodes t.circuit in
+      let concrete set = bool_state_of_assign t (Bdd.any_sat m set) in
+      let goal = concrete hit in
+      let rec backward rings target_state acc =
+        match rings with
+        | [] -> acc
+        | ring :: earlier ->
+          let tgt = state_to_bdd t target_state in
+          let y_tgt =
+            Bdd.permute m (fun v -> if v mod 3 = 0 then v + 1 else v) tgt
+          in
+          let y_vars = List.init n (fun i -> y_of t i) in
+          let pre =
+            Bdd.and_ m ring
+              (Bdd.exists m ~vars:y_vars (Bdd.and_ m t.cssg y_tgt))
+          in
+          assert (not (Bdd.is_zero pre));
+          let src = concrete pre in
+          let vector =
+            Array.map (fun e -> target_state.(e)) (Circuit.inputs t.circuit)
+          in
+          backward earlier src (vector :: acc)
+      in
+      let vectors = backward (List.rev rings) goal [] in
+      Some (vectors, goal)
+  end
+
+let to_cssg t =
+  let m = t.man in
+  let states = Array.of_list (enumerate_states t t.reachable) in
+  let index = Hashtbl.create 64 in
+  Array.iteri
+    (fun i s -> Hashtbl.replace index (Circuit.state_to_string t.circuit s) i)
+    states;
+  let id_of s = Hashtbl.find index (Circuit.state_to_string t.circuit s) in
+  let succ =
+    Array.map
+      (fun s ->
+        let src = state_to_bdd t s in
+        let succs_set = apply_rel t t.cssg src in
+        enumerate_states t (Bdd.and_ m succs_set t.reachable)
+        |> List.map (fun s' ->
+               {
+                 Cssg.vector =
+                   Array.map (fun e -> s'.(e)) (Circuit.inputs t.circuit);
+                 target = id_of s';
+               }))
+      states
+  in
+  Cssg.make ~circuit:t.circuit ~k:t.k ~states ~succ ~initial:[ id_of t.reset ]
+
+(* Greedy sifting at node-triple granularity.  Candidate orders are
+   evaluated by transferring the two big artefacts (CSSG relation and
+   the pre-renamed R_delta) into a scratch manager with the candidate
+   order and measuring their combined size. *)
+let sift_order t =
+  let n = Circuit.n_nodes t.circuit in
+  let roots = [ t.cssg; t.r_delta_zy; t.reachable; t.r_input ] in
+  let measure rank =
+    let dst = Bdd.create ~nvars:(3 * n) () in
+    (* variable v = 3*old_rank + j moves to 3*rank.(node) + j *)
+    let map v =
+      let old_rank = v / 3 and j = v mod 3 in
+      (3 * rank.(t.node_of_rank.(old_rank))) + j
+    in
+    List.fold_left
+      (fun acc root -> acc + Bdd.size dst (Bdd.transfer ~src:t.man ~dst map root))
+      0 roots
+  in
+  let best = Array.copy t.rank in
+  let best_size = ref (measure best) in
+  (* One greedy pass: move each node to its best rank. *)
+  for node = 0 to n - 1 do
+    let try_rank r =
+      let old = best.(node) in
+      if r <> old then begin
+        (* rotate: every node ranked between the two positions shifts *)
+        let candidate =
+          Array.mapi
+            (fun i ri ->
+              if i = node then r
+              else if old < r && ri > old && ri <= r then ri - 1
+              else if old > r && ri >= r && ri < old then ri + 1
+              else ri)
+            best
+        in
+        let size = measure candidate in
+        if size < !best_size then begin
+          best_size := size;
+          Array.blit candidate 0 best 0 n
+        end
+      end
+    in
+    for r = 0 to n - 1 do
+      try_rank r
+    done
+  done;
+  best

@@ -1,0 +1,65 @@
+(** Symbolic (BDD-based) CSSG construction — the paper's actual method
+    (§4.2): transition relations [R_I] and [R_delta] as BDDs, the
+    k-step test-cycle relation [TCR_k] by relational-product iteration,
+    and the non-confluence pruning by the pair-splitting check
+    [∃ s''. TCR_k(s, s'') ∧ X_I(s'') = X_I(s') ∧ s'' ≠ s'].
+
+    Each circuit node owns three adjacent BDD variables (present, next,
+    auxiliary) at its {e rank} in the variable order; the rank
+    permutation is configurable ([?node_order]), which is the paper's
+    §6 suggestion of studying variable-ordering strategies. *)
+
+open Satg_circuit
+open Satg_bdd
+
+type t
+
+val build : ?k:int -> ?node_order:int array -> Circuit.t -> t
+(** [node_order] maps each node id to its rank in the variable order
+    (default: creation order, which interleaves inputs and gates).
+    @raise Invalid_argument if the circuit has no (stable) reset state
+    or [node_order] is not a permutation. *)
+
+val live_nodes : t -> int
+(** Total BDD nodes of the retained artefacts (transition relations,
+    reachable set, CSSG relation) — the variable-ordering metric. *)
+
+val circuit : t -> Circuit.t
+val k : t -> int
+val man : t -> Bdd.man
+
+val stable_set : t -> Bdd.t
+(** All stable states, over present variables. *)
+
+val reachable : t -> Bdd.t
+(** Stable states reachable in test mode from reset (present vars). *)
+
+val n_reachable : t -> int
+
+val cssg_relation : t -> Bdd.t
+(** Valid edges over (present, next) variables. *)
+
+val gate_function : t -> int -> Bdd.t
+(** The gate's instantaneous function over present variables. *)
+
+val state_to_bdd : t -> bool array -> Bdd.t
+(** Minterm over present variables. *)
+
+val justify :
+  t -> target:Bdd.t -> (bool array list * bool array) option
+(** Onion-ring shortest path from the reset state to any state in
+    [target] (a set over present variables), following only valid CSSG
+    edges.  Returns the input-vector sequence and the concrete reached
+    state. *)
+
+val to_cssg : t -> Cssg.t
+(** Enumerate the symbolic graph into the explicit representation
+    (for cross-checks and for the concrete ATPG phases). *)
+
+val sift_order : t -> int array
+(** Greedy sifting over node ranks: starting from this instance's
+    order, repeatedly try moving each node's variable triple to every
+    position and keep the placement minimising the transferred size of
+    the retained artefacts.  Returns a [node_order] suitable for
+    {!build}; rebuilding with it never yields more live nodes than the
+    original order. *)

@@ -1,0 +1,1 @@
+lib/sim/async_sim.ml: Array Circuit Hashtbl List Queue Satg_circuit Set Stdlib String

@@ -1,0 +1,1 @@
+lib/sim/async_sim.mli: Circuit Satg_circuit

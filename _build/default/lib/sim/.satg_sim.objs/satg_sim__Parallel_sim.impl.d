@@ -1,0 +1,1 @@
+lib/sim/parallel_sim.ml: Array Circuit Cover Cube Fault Gatefunc List Satg_circuit Satg_fault Satg_logic Ternary

@@ -1,0 +1,1 @@
+lib/sim/parallel_sim.mli: Circuit Fault Satg_circuit Satg_fault Satg_logic Ternary

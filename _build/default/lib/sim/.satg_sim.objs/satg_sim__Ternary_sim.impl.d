@@ -1,0 +1,1 @@
+lib/sim/ternary_sim.ml: Array Circuit Satg_circuit Satg_logic Ternary

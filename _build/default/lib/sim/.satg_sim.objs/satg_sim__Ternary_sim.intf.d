@@ -1,0 +1,1 @@
+lib/sim/ternary_sim.mli: Circuit Satg_circuit Satg_logic Ternary

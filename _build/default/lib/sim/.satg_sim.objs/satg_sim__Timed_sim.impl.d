@@ -1,0 +1,1 @@
+lib/sim/timed_sim.ml: Array Circuit List Random Satg_circuit

@@ -1,0 +1,1 @@
+lib/sim/timed_sim.mli: Circuit Satg_circuit

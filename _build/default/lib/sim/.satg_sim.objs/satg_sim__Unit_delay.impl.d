@@ -1,0 +1,1 @@
+lib/sim/unit_delay.ml: Array Circuit Hashtbl List Satg_circuit

@@ -1,0 +1,1 @@
+lib/sim/unit_delay.mli: Circuit Satg_circuit

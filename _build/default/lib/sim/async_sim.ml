@@ -1,0 +1,152 @@
+open Satg_circuit
+
+type outcome =
+  | Settles of bool array
+  | Non_confluent of bool array list
+  | Exceeds_budget
+
+let key = Circuit.state_to_string
+
+module StringSet = Set.Make (String)
+
+let state_of_key k =
+  Array.init (String.length k) (fun i -> k.[i] = '1')
+
+let fireable c can_fire s =
+  List.filter (fun g -> can_fire s g) (Circuit.excited_gates c s)
+
+(* One layer of the R_delta frontier: every excited (and fireable) gate
+   of every state may fire; states with nothing fireable persist
+   (self-loop). *)
+let step_frontier c can_fire frontier =
+  StringSet.fold
+    (fun sk acc ->
+      let s = state_of_key sk in
+      match fireable c can_fire s with
+      | [] -> StringSet.add sk acc
+      | excited ->
+        List.fold_left
+          (fun acc g -> StringSet.add (key c (Circuit.fire c s g)) acc)
+          acc excited)
+    frontier StringSet.empty
+
+let all_stable c can_fire frontier =
+  StringSet.for_all (fun sk -> fireable c can_fire (state_of_key sk) = []) frontier
+
+let fire_all _ _ = true
+
+exception Frontier_limit
+
+let states_after ?(max_frontier = max_int) ?(can_fire = fire_all) c ~k s =
+  let rec go i frontier =
+    if StringSet.cardinal frontier > max_frontier then raise Frontier_limit;
+    if i >= k then frontier
+    else if all_stable c can_fire frontier then frontier
+    else go (i + 1) (step_frontier c can_fire frontier)
+  in
+  let final = go 0 (StringSet.singleton (key c s)) in
+  StringSet.elements final |> List.map state_of_key
+
+let apply_vector c ~k s v =
+  if not (Circuit.is_stable c s) then
+    invalid_arg "Async_sim.apply_vector: state not stable";
+  let s1 = Circuit.apply_input_vector c s v in
+  let finals = states_after c ~k s1 in
+  if List.exists (fun s' -> not (Circuit.is_stable c s')) finals then
+    Exceeds_budget
+  else
+    match finals with
+    | [ s' ] -> Settles s'
+    | [] -> assert false
+    | multiple -> Non_confluent multiple
+
+let settle c ~max_steps s =
+  let rec go i s =
+    match Circuit.excited_gates c s with
+    | [] -> Some s
+    | g :: _ -> if i >= max_steps then None else go (i + 1) (Circuit.fire c s g)
+  in
+  go 0 (Array.copy s)
+
+let reachable_stable_states c ~k ~from =
+  let n_in = Circuit.n_inputs c in
+  let vectors =
+    List.init (1 lsl n_in) (fun mask ->
+        Array.init n_in (fun i -> mask land (1 lsl i) <> 0))
+  in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push s =
+    let sk = key c s in
+    if not (Hashtbl.mem seen sk) then begin
+      Hashtbl.replace seen sk ();
+      Queue.add s queue
+    end
+  in
+  List.iter
+    (fun s ->
+      if Circuit.is_stable c s then push s
+      else
+        match settle c ~max_steps:k s with
+        | Some s' -> push s'
+        | None -> ())
+    from;
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    List.iter
+      (fun v ->
+        if v <> Circuit.input_vector_of_state c s then
+          match apply_vector c ~k s v with
+          | Settles s' -> push s'
+          | Non_confluent finals -> List.iter push finals
+          | Exceeds_budget -> ())
+      vectors
+  done;
+  Hashtbl.fold (fun sk () acc -> state_of_key sk :: acc) seen []
+  |> List.sort Stdlib.compare
+
+type classification =
+  | C_settles of bool array
+  | C_invalid of bool array list
+  | C_capped
+
+let classify_vector ?(max_frontier = max_int) c ~k s v =
+  if not (Circuit.is_stable c s) then
+    invalid_arg "Async_sim.classify_vector: state not stable";
+  let s1 = Circuit.apply_input_vector c s v in
+  let stables = Hashtbl.create 4 in
+  let harvest frontier =
+    StringSet.iter
+      (fun sk ->
+        if (not (Hashtbl.mem stables sk)) && Circuit.is_stable c (state_of_key sk)
+        then Hashtbl.replace stables sk ())
+      frontier
+  in
+  let stable_list () =
+    Hashtbl.fold (fun sk () acc -> state_of_key sk :: acc) stables []
+    |> List.sort Stdlib.compare
+  in
+  let seen_frontiers = Hashtbl.create 16 in
+  let rec go i frontier =
+    harvest frontier;
+    if Hashtbl.length stables >= 2 then
+      (* Two distinct final stable states are already reachable. *)
+      C_invalid (stable_list ())
+    else if StringSet.cardinal frontier > max_frontier then C_capped
+    else if all_stable c fire_all frontier then
+      (* Single stable state (cardinality 1 since stables < 2). *)
+      C_settles (state_of_key (StringSet.choose frontier))
+    else if i >= k then C_invalid (stable_list ())
+    else if StringSet.cardinal frontier <= 4096 then begin
+      (* Cycle detection (cheap only while the frontier is small): a
+         repeated frontier that is not all-stable never settles. *)
+      let key = String.concat ";" (StringSet.elements frontier) in
+      if Hashtbl.mem seen_frontiers key then C_invalid (stable_list ())
+      else begin
+        Hashtbl.replace seen_frontiers key ();
+        go (i + 1) (step_frontier c fire_all frontier)
+      end
+    end
+    else go (i + 1) (step_frontier c fire_all frontier)
+  in
+  go 0 (StringSet.singleton (key c s1))

@@ -1,0 +1,225 @@
+open Satg_logic
+open Satg_circuit
+open Satg_fault
+
+let word_size = 62
+
+type rails = {
+  one : int;
+  zero : int;
+}
+
+type pack = {
+  circuit : Circuit.t;
+  faults : Fault.t array;
+  mask : int;  (* low n_machines bits *)
+  can1 : int array;  (* per node *)
+  can0 : int array;
+  (* Per gate: value overrides of individual pins, and output pinning. *)
+  pin_overrides : (int * int * bool) list array;  (* gate -> (pin, machines, stuck) *)
+  out_force1 : int array;  (* gate -> machines whose output is pinned to 1 *)
+  out_force0 : int array;
+}
+
+let n_machines p = Array.length p.faults
+let fault p i = p.faults.(i)
+
+(* --- dual-rail word algebra ------------------------------------------- *)
+
+let r_const mask b =
+  if b then { one = mask; zero = 0 } else { one = 0; zero = mask }
+
+let r_not a = { one = a.zero; zero = a.one }
+let r_and a b = { one = a.one land b.one; zero = a.zero lor b.zero }
+let r_or a b = { one = a.one lor b.one; zero = a.zero land b.zero }
+
+let r_xor a b =
+  {
+    one = (a.one land b.zero) lor (a.zero land b.one);
+    zero = (a.zero land b.zero) lor (a.one land b.one);
+  }
+
+let r_mux s a b =
+  (* out = s ? a : b, computed as (s&a) | (!s&b); on the rails this is
+     exactly the monotone ternary mux. *)
+  r_or (r_and s a) (r_and (r_not s) b)
+
+let r_fold_and mask = Array.fold_left r_and (r_const mask true)
+let r_fold_or mask = Array.fold_left r_or (r_const mask false)
+let r_fold_xor mask = Array.fold_left r_xor (r_const mask false)
+
+let eval_cover mask cover ins =
+  List.fold_left
+    (fun acc cube ->
+      let lits = Cube.lits cube in
+      let term = ref (r_const mask true) in
+      Array.iteri
+        (fun i l ->
+          match l with
+          | Cube.D -> ()
+          | Cube.T -> term := r_and !term ins.(i)
+          | Cube.F -> term := r_and !term (r_not ins.(i)))
+        lits;
+      r_or acc !term)
+    (r_const mask false) (Cover.cubes cover)
+
+let eval_func mask func ~self ins =
+  match func with
+  | Gatefunc.Buf -> ins.(0)
+  | Gatefunc.Not -> r_not ins.(0)
+  | Gatefunc.And -> r_fold_and mask ins
+  | Gatefunc.Or -> r_fold_or mask ins
+  | Gatefunc.Nand -> r_not (r_fold_and mask ins)
+  | Gatefunc.Nor -> r_not (r_fold_or mask ins)
+  | Gatefunc.Xor -> r_fold_xor mask ins
+  | Gatefunc.Xnor -> r_not (r_fold_xor mask ins)
+  | Gatefunc.Mux -> r_mux ins.(0) ins.(1) ins.(2)
+  | Gatefunc.Celem ->
+    r_or (r_fold_and mask ins) (r_and self (r_fold_or mask ins))
+  | Gatefunc.Const b -> r_const mask b
+  | Gatefunc.Sop cover -> eval_cover mask cover ins
+
+(* --- pack construction ------------------------------------------------- *)
+
+let create c faults ~reset =
+  let n = Array.length faults in
+  if n > word_size then invalid_arg "Parallel_sim.create: too many faults";
+  if Array.length reset <> Circuit.n_nodes c then
+    invalid_arg "Parallel_sim.create: bad reset state";
+  let mask = (1 lsl n) - 1 in
+  let nodes = Circuit.n_nodes c in
+  let can1 = Array.make nodes 0 and can0 = Array.make nodes 0 in
+  Array.iteri
+    (fun i v -> if v then can1.(i) <- mask else can0.(i) <- mask)
+    reset;
+  let pin_overrides = Array.make nodes [] in
+  let out_force1 = Array.make nodes 0 and out_force0 = Array.make nodes 0 in
+  Array.iteri
+    (fun machine f ->
+      let bit = 1 lsl machine in
+      match f with
+      | Fault.Input_sa { gate; pin; stuck } ->
+        pin_overrides.(gate) <- (pin, bit, stuck) :: pin_overrides.(gate)
+      | Fault.Output_sa { gate; stuck } ->
+        if stuck then out_force1.(gate) <- out_force1.(gate) lor bit
+        else out_force0.(gate) <- out_force0.(gate) lor bit)
+    faults;
+  (* Merge overrides hitting the same pin into single-pass masks. *)
+  let p = { circuit = c; faults; mask; can1; can0; pin_overrides; out_force1; out_force0 } in
+  p
+
+let read_rails p i = { one = p.can1.(i); zero = p.can0.(i) }
+
+let write_rails p i r =
+  p.can1.(i) <- r.one;
+  p.can0.(i) <- r.zero
+
+let force_output p gid r =
+  let f1 = p.out_force1.(gid) and f0 = p.out_force0.(gid) in
+  {
+    one = (r.one land lnot f0) lor f1;
+    zero = (r.zero land lnot f1) lor f0;
+  }
+
+let eval_gate p gid =
+  let fanin = Circuit.fanins p.circuit gid in
+  let ins = Array.map (read_rails p) fanin in
+  List.iter
+    (fun (pin, machines, stuck) ->
+      let r = ins.(pin) in
+      let forced = r_const machines stuck in
+      ins.(pin) <-
+        {
+          one = (r.one land lnot machines) lor forced.one;
+          zero = (r.zero land lnot machines) lor forced.zero;
+        })
+    p.pin_overrides.(gid);
+  let self = read_rails p gid in
+  force_output p gid
+    (eval_func p.mask (Circuit.func p.circuit gid) ~self ins)
+
+(* Chaotic iteration of [update] over gates until no rail changes. *)
+let fixpoint p update =
+  let gates = Circuit.gates p.circuit in
+  let budget = (2 * Circuit.n_nodes p.circuit * word_size) + 2 in
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr rounds;
+    assert (!rounds <= budget);
+    Array.iter
+      (fun gid ->
+        let cur = read_rails p gid in
+        let next = update gid cur in
+        if next.one <> cur.one || next.zero <> cur.zero then begin
+          write_rails p gid next;
+          changed := true
+        end)
+      gates
+  done
+
+let algorithm_a p =
+  fixpoint p (fun gid cur ->
+      let e = eval_gate p gid in
+      (* lub: union of rails, but forced outputs stay pinned *)
+      force_output p gid { one = cur.one lor e.one; zero = cur.zero lor e.zero })
+
+let algorithm_b p = fixpoint p (fun gid _cur -> eval_gate p gid)
+
+let set_inputs p rails_of_input =
+  Array.iteri
+    (fun k env -> write_rails p env (rails_of_input k))
+    (Circuit.inputs p.circuit)
+
+let settle p =
+  algorithm_a p;
+  algorithm_b p
+
+let apply_vector p v =
+  if Array.length v <> Circuit.n_inputs p.circuit then
+    invalid_arg "Parallel_sim.apply_vector: wrong vector length";
+  let old = Array.map (fun env -> read_rails p env) (Circuit.inputs p.circuit) in
+  (* Blur the changing inputs: lub of old and new. *)
+  set_inputs p (fun k ->
+      let nw = r_const p.mask v.(k) in
+      { one = old.(k).one lor nw.one; zero = old.(k).zero lor nw.zero });
+  algorithm_a p;
+  set_inputs p (fun k -> r_const p.mask v.(k));
+  algorithm_b p
+
+let ternary_of_rails r machine =
+  let bit = 1 lsl machine in
+  match (r.one land bit <> 0, r.zero land bit <> 0) with
+  | true, false -> Ternary.One
+  | false, true -> Ternary.Zero
+  | true, true -> Ternary.Phi
+  | false, false -> assert false
+
+let machine_outputs p machine =
+  Array.map
+    (fun o -> ternary_of_rails (read_rails p o) machine)
+    (Circuit.outputs p.circuit)
+
+let machine_state p machine =
+  Array.init (Circuit.n_nodes p.circuit) (fun i ->
+      ternary_of_rails (read_rails p i) machine)
+
+let detected p ~good_outputs =
+  let acc = ref 0 in
+  Array.iteri
+    (fun k o ->
+      let r = read_rails p o in
+      match good_outputs.(k) with
+      | Ternary.One -> acc := !acc lor (r.zero land lnot r.one)
+      | Ternary.Zero -> acc := !acc lor (r.one land lnot r.zero)
+      | Ternary.Phi -> ())
+    (Circuit.outputs p.circuit);
+  !acc land p.mask
+
+(* Settle the freshly created pack: faults may make the reset state
+   unstable; conservatively flood-and-resolve before the first vector. *)
+let create c faults ~reset =
+  let p = create c faults ~reset in
+  settle p;
+  p

@@ -1,0 +1,45 @@
+(** Bit-parallel ternary fault simulation.
+
+    Simulates up to {!word_size} faulty machines at once (Seshu-style
+    parallel simulation crossed with Eichelberger's ternary algorithm,
+    as in the paper §5.4).  Each node carries two machine-indexed bit
+    words — a "can be 1" rail and a "can be 0" rail; both bits set
+    encode {!Satg_logic.Ternary.Phi}.
+
+    Faults are {e forced}, not structurally injected: input stuck-at
+    faults override the read value of one pin for one machine, output
+    stuck-at faults pin a gate's rails for one machine.  All machines
+    therefore share the good netlist and evaluate in lock-step. *)
+
+open Satg_logic
+open Satg_circuit
+open Satg_fault
+
+val word_size : int
+(** Maximum machines per pack (62). *)
+
+type pack
+
+val create : Circuit.t -> Fault.t array -> reset:bool array -> pack
+(** Build a pack of [Array.length faults] machines (≤ {!word_size}),
+    all starting from the good circuit's [reset] state with their fault
+    forced, then conservatively settled (ternary).
+    @raise Invalid_argument on too many faults. *)
+
+val n_machines : pack -> int
+val fault : pack -> int -> Fault.t
+
+val apply_vector : pack -> bool array -> unit
+(** Run one test cycle (algorithm A with blurred inputs, then algorithm
+    B with the new inputs) on every machine.  Mutates the pack. *)
+
+val machine_outputs : pack -> int -> Ternary.t array
+(** Primary-output values of one machine. *)
+
+val detected : pack -> good_outputs:Ternary.t array -> int
+(** Bitmask of machines whose outputs {e definitely} differ from the
+    good machine right now: some output where the good value is binary
+    and the machine's value is the opposite binary value. *)
+
+val machine_state : pack -> int -> Ternary.t array
+(** Full node state of one machine (diagnostics, tests). *)

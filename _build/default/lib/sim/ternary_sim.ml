@@ -1,0 +1,60 @@
+open Satg_logic
+open Satg_circuit
+
+type state = Ternary.t array
+
+let of_bool_state s = Array.map Ternary.of_bool s
+
+let to_bool_state_opt s =
+  if Ternary.vector_is_binary s then
+    Some (Array.map (fun v -> v = Ternary.One) s)
+  else None
+
+(* Chaotic iteration to a fixpoint.  [update] computes the new value of
+   a gate from the current state; both algorithms are monotone in the
+   information order, so sweeping until quiescence terminates in at
+   most [n_gates + 1] rounds per direction change. *)
+let fixpoint c update s =
+  let s = Array.copy s in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let budget = (2 * Circuit.n_gates c) + 2 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    assert (!rounds <= budget);
+    Array.iter
+      (fun gid ->
+        let v = update s gid in
+        if not (Ternary.equal v s.(gid)) then begin
+          s.(gid) <- v;
+          changed := true
+        end)
+      (Circuit.gates c)
+  done;
+  s
+
+let algorithm_a c s =
+  fixpoint c
+    (fun s gid -> Ternary.lub s.(gid) (Circuit.eval_gate_ternary c s gid))
+    s
+
+let algorithm_b c s = fixpoint c (fun s gid -> Circuit.eval_gate_ternary c s gid) s
+
+let set_inputs c s v =
+  let s = Array.copy s in
+  Array.iteri (fun k env -> s.(env) <- v.(k)) (Circuit.inputs c);
+  s
+
+let apply_vector_ternary c s v =
+  if Array.length v <> Circuit.n_inputs c then
+    invalid_arg "Ternary_sim.apply_vector: wrong vector length";
+  let old = Array.map (fun env -> s.(env)) (Circuit.inputs c) in
+  let blurred = Ternary.vector_lub old v in
+  let s = algorithm_a c (set_inputs c s blurred) in
+  algorithm_b c (set_inputs c s v)
+
+let apply_vector c s v =
+  apply_vector_ternary c s (Array.map Ternary.of_bool v)
+
+let outputs c s = Array.map (fun o -> s.(o)) (Circuit.outputs c)

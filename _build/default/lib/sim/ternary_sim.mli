@@ -1,0 +1,35 @@
+(** Eichelberger ternary simulation (algorithms A and B).
+
+    Conservative hazard/race analysis in O(gates²): when an input
+    vector is applied to a (possibly already ternary) state, algorithm
+    A floods every signal that {e could} change with {!Satg_logic.Ternary.Phi},
+    then algorithm B resolves every signal whose final value is
+    delay-independent.  If the result is fully binary, the circuit
+    settles confluently to exactly that state; any remaining [Phi]
+    means a potential race, oscillation, or genuinely uncertain
+    memory. *)
+
+open Satg_logic
+open Satg_circuit
+
+type state = Ternary.t array
+(** Indexed by node id, like boolean circuit states. *)
+
+val of_bool_state : bool array -> state
+val to_bool_state_opt : state -> bool array option
+
+val algorithm_a : Circuit.t -> state -> state
+(** Least fixpoint of [v <- lub v (eval v)] over gate nodes; inputs
+    are left untouched. *)
+
+val algorithm_b : Circuit.t -> state -> state
+(** Greatest fixpoint of [v <- eval v] below the given state. *)
+
+val apply_vector : Circuit.t -> state -> bool array -> state
+(** Full test-cycle analysis: inputs go to [lub old new], algorithm A
+    runs, inputs go to [new], algorithm B runs. *)
+
+val apply_vector_ternary : Circuit.t -> state -> Ternary.t array -> state
+(** Like {!apply_vector} with a possibly uncertain input vector. *)
+
+val outputs : Circuit.t -> state -> Ternary.t array

@@ -1,0 +1,106 @@
+open Satg_circuit
+
+type t = {
+  circuit : Circuit.t;
+  delays : float array;
+  state : bool array;
+  pending : (float * bool) option array;  (* per gate: (fire time, value) *)
+  mutable time : float;
+}
+
+let state t = Array.copy t.state
+let now t = t.time
+
+(* Re-examine one gate after something in its fanin (or itself)
+   changed; schedule, keep, or cancel its pending event (inertial
+   semantics). *)
+let reexamine t gid =
+  let target = Circuit.eval_gate t.circuit t.state gid in
+  match t.pending.(gid) with
+  | Some (_, v) when v = target -> ()  (* still heading there *)
+  | Some _ ->
+    (* the excitation vanished before the output moved (binary values:
+       target <> scheduled implies target = current): filter the pulse *)
+    t.pending.(gid) <- None
+  | None ->
+    if target <> t.state.(gid) then
+      t.pending.(gid) <- Some (t.time +. t.delays.(gid), target)
+
+let reexamine_fanouts t node =
+  List.iter (fun g -> reexamine t g) (Circuit.fanouts t.circuit node)
+
+let next_event t =
+  let best = ref None in
+  Array.iteri
+    (fun gid p ->
+      match (p, !best) with
+      | Some (time, _), None -> best := Some (time, gid)
+      | Some (time, _), Some (bt, _) when time < bt -> best := Some (time, gid)
+      | _ -> ())
+    t.pending;
+  !best
+
+let run_until_quiescent t deadline =
+  let rec loop () =
+    match next_event t with
+    | None -> ()
+    | Some (time, _) when time > deadline -> ()
+    | Some (time, gid) ->
+      let value =
+        match t.pending.(gid) with
+        | Some (_, v) -> v
+        | None -> assert false
+      in
+      t.time <- time;
+      t.pending.(gid) <- None;
+      t.state.(gid) <- value;
+      (* the gate itself may be re-excited (state-holding functions),
+         and so may its readers *)
+      reexamine t gid;
+      reexamine_fanouts t gid;
+      loop ()
+  in
+  loop ()
+
+let create circuit ~delays s =
+  if Array.length delays <> Circuit.n_nodes circuit then
+    invalid_arg "Timed_sim.create: delays length mismatch";
+  if Array.length s <> Circuit.n_nodes circuit then
+    invalid_arg "Timed_sim.create: state length mismatch";
+  Array.iter
+    (fun gid ->
+      if delays.(gid) <= 0.0 then
+        invalid_arg "Timed_sim.create: non-positive gate delay")
+    (Circuit.gates circuit);
+  let t =
+    {
+      circuit;
+      delays = Array.copy delays;
+      state = Array.copy s;
+      pending = Array.make (Circuit.n_nodes circuit) None;
+      time = 0.0;
+    }
+  in
+  (* Power-up settling: a faulty circuit may start excited. *)
+  Array.iter (fun gid -> reexamine t gid) (Circuit.gates circuit);
+  run_until_quiescent t 1000.0;
+  t
+
+let apply_vector t ?(settle_window = 1000.0) v =
+  if Array.length v <> Circuit.n_inputs t.circuit then
+    invalid_arg "Timed_sim.apply_vector: wrong vector length";
+  let deadline = t.time +. settle_window in
+  Array.iteri
+    (fun k env ->
+      if t.state.(env) <> v.(k) then begin
+        t.state.(env) <- v.(k);
+        reexamine_fanouts t env
+      end)
+    (Circuit.inputs t.circuit);
+  run_until_quiescent t deadline;
+  Array.copy t.state
+
+let random_delays circuit ~seed =
+  let rng = Random.State.make [| seed |] in
+  Array.init (Circuit.n_nodes circuit) (fun _ ->
+      0.5 +. Random.State.float rng 1.0)

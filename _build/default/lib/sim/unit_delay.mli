@@ -1,0 +1,22 @@
+(** Unit-delay simulation: every excited gate fires simultaneously at
+    each time step.  This is the (optimistic) validation model used by
+    the synchronous-ATPG baseline of Banerjee et al. — it can detect
+    oscillation but sees only one interleaving, so it misses
+    non-confluence (paper §6.1). *)
+
+open Satg_circuit
+
+type outcome =
+  | Settled of bool array * int  (** stable state and steps taken *)
+  | Oscillates of bool array list  (** the repeating cycle of states *)
+
+val step : Circuit.t -> bool array -> bool array
+(** Fire all excited gates at once. *)
+
+val run : Circuit.t -> max_steps:int -> bool array -> outcome
+(** Iterate {!step} until stable or a state repeats.  [max_steps] only
+    guards against pathological non-repetition (state spaces are
+    finite, so a repeat always occurs); on exhaustion the trailing
+    states are reported as an oscillation. *)
+
+val apply_vector : Circuit.t -> max_steps:int -> bool array -> bool array -> outcome

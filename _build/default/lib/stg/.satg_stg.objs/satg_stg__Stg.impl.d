@@ -1,0 +1,1 @@
+lib/stg/stg.ml: Array Buffer Fun Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/stg/synth.ml: Array Circuit Cover Cube Fun Gatefunc Hashtbl List Option Printf Qm Satg_circuit Satg_logic Stg

@@ -1,0 +1,1 @@
+lib/stg/synth.mli: Circuit Satg_circuit Satg_logic Stg

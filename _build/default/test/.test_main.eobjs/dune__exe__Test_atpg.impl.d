@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Baseline Circuit Detect Engine Explicit Fault Figures List Option Random_tpg Satg_bench Satg_circuit Satg_core Satg_fault Satg_sg Testset Three_phase

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Float List Option Printf QCheck QCheck_alcotest Satg_bdd

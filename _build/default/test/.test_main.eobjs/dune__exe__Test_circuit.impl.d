@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Fault Figures Gatefunc List Option Parser Printf Satg_bench Satg_circuit Satg_fault Satg_logic String Structure Ternary

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Cover Cube Fun List Printf QCheck QCheck_alcotest Qm Satg_logic String Ternary

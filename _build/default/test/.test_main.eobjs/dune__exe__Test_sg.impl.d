@@ -1,0 +1,1 @@
+test/test_sg.ml: Alcotest Array Bdd Circuit Cssg Explicit Figures Fun List Option Satg_bdd Satg_bench Satg_circuit Satg_sg Stdlib String Structure Symbolic

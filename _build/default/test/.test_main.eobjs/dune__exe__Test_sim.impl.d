@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Async_sim Circuit Fault Figures List Option Parallel_sim Printf Satg_bench Satg_circuit Satg_fault Satg_logic Satg_sim Stdlib Structure Ternary Ternary_sim Unit_delay

@@ -1,0 +1,1 @@
+test/test_stg.ml: Alcotest Array Circuit Cover Cssg Cube Explicit Gatefunc List Printf Satg_bench Satg_circuit Satg_logic Satg_sg Satg_stg Stdlib Stg String Synth Ternary

@@ -1,0 +1,1 @@
+test/test_timed.ml: Alcotest Array Async_sim Circuit Engine Fault Figures List Option Printf Satg_bench Satg_circuit Satg_core Satg_fault Satg_sim Suite Tester Timed_sim

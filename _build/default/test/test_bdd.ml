@@ -1,0 +1,298 @@
+(* Tests for the ROBDD package: canonicity, boolean algebra laws,
+   quantification, relational product, permutation, sat enumeration. *)
+
+open Satg_bdd
+
+let test_terminals () =
+  let m = Bdd.create ~nvars:3 () in
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool)
+    "not zero = one" true
+    (Bdd.equal (Bdd.not_ m (Bdd.zero m)) (Bdd.one m))
+
+let test_canonicity () =
+  let m = Bdd.create ~nvars:4 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  (* a AND b built two different ways must be physically equal. *)
+  let f1 = Bdd.and_ m a b in
+  let f2 = Bdd.not_ m (Bdd.or_ m (Bdd.not_ m a) (Bdd.not_ m b)) in
+  Alcotest.(check bool) "de morgan" true (Bdd.equal f1 f2);
+  let g1 = Bdd.xor_ m a b in
+  let g2 = Bdd.or_ m (Bdd.diff m a b) (Bdd.diff m b a) in
+  Alcotest.(check bool) "xor via diff" true (Bdd.equal g1 g2);
+  Alcotest.(check bool)
+    "ite(a,b,0) = and" true
+    (Bdd.equal (Bdd.ite m a b (Bdd.zero m)) f1)
+
+let test_eval () =
+  let m = Bdd.create ~nvars:3 () in
+  let f =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.and_ m (Bdd.nvar m 0) (Bdd.var m 2))
+  in
+  let ev a b c = Bdd.eval m f (function 0 -> a | 1 -> b | _ -> c) in
+  Alcotest.(check bool) "110" true (ev true true false);
+  Alcotest.(check bool) "100" false (ev true false false);
+  Alcotest.(check bool) "001" true (ev false false true);
+  Alcotest.(check bool) "000" false (ev false false false)
+
+let test_cofactor_compose () =
+  let m = Bdd.create ~nvars:3 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let f = Bdd.ite m a b c in
+  Alcotest.(check bool)
+    "f|a=1 is b" true
+    (Bdd.equal (Bdd.cofactor m f ~var:0 ~value:true) b);
+  Alcotest.(check bool)
+    "f|a=0 is c" true
+    (Bdd.equal (Bdd.cofactor m f ~var:0 ~value:false) c);
+  (* compose a := b xor c in f = a and b *)
+  let g = Bdd.compose m (Bdd.and_ m a b) ~var:0 (Bdd.xor_ m b c) in
+  let expect = Bdd.and_ m (Bdd.xor_ m b c) b in
+  Alcotest.(check bool) "compose" true (Bdd.equal g expect)
+
+let test_quantify () =
+  let m = Bdd.create ~nvars:3 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.and_ m a b in
+  Alcotest.(check bool)
+    "exists a. a&b = b" true
+    (Bdd.equal (Bdd.exists m ~vars:[ 0 ] f) b);
+  Alcotest.(check bool)
+    "forall a. a&b = 0" true
+    (Bdd.is_zero (Bdd.forall m ~vars:[ 0 ] f));
+  Alcotest.(check bool)
+    "forall a. a|!a = 1" true
+    (Bdd.is_one (Bdd.forall m ~vars:[ 0 ] (Bdd.or_ m a (Bdd.not_ m a))))
+
+let test_and_exists () =
+  let m = Bdd.create ~nvars:4 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let r = Bdd.and_ m (Bdd.iff m a b) (Bdd.iff m b c) in
+  (* ∃b. (a<->b)(b<->c) = (a<->c) *)
+  let img = Bdd.and_exists m ~vars:[ 1 ] r (Bdd.one m) in
+  Alcotest.(check bool) "chain" true (Bdd.equal img (Bdd.iff m a c));
+  (* agreement with the naive formulation on random pieces *)
+  let f = Bdd.or_ m (Bdd.and_ m a b) (Bdd.and_ m b c) in
+  let g = Bdd.or_ m (Bdd.xor_ m a c) b in
+  let lhs = Bdd.and_exists m ~vars:[ 1; 2 ] f g in
+  let rhs = Bdd.exists m ~vars:[ 1; 2 ] (Bdd.and_ m f g) in
+  Alcotest.(check bool) "vs naive" true (Bdd.equal lhs rhs)
+
+let test_permute () =
+  let m = Bdd.create ~nvars:4 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.diff m a b in
+  (* swap 0 <-> 1 *)
+  let p = function 0 -> 1 | 1 -> 0 | v -> v in
+  let g = Bdd.permute m p f in
+  Alcotest.(check bool) "swap" true (Bdd.equal g (Bdd.diff m b a));
+  Alcotest.(check bool)
+    "involution" true
+    (Bdd.equal (Bdd.permute m p g) f)
+
+let test_sat () =
+  let m = Bdd.create ~nvars:3 () in
+  let f = Bdd.xor_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check (float 0.001)) "satcount" 4.0 (Bdd.sat_count m ~nvars:3 f);
+  let assign = Bdd.any_sat m f in
+  let lookup v = List.assoc_opt v assign |> Option.value ~default:false in
+  Alcotest.(check bool) "any_sat satisfies" true (Bdd.eval m f lookup);
+  let cubes = Bdd.all_sat m f in
+  Alcotest.(check int) "two paths" 2 (List.length cubes);
+  Alcotest.check_raises "any_sat zero" Not_found (fun () ->
+      ignore (Bdd.any_sat m (Bdd.zero m)))
+
+let test_support_size () =
+  let m = Bdd.create ~nvars:5 () in
+  let f = Bdd.and_ m (Bdd.var m 1) (Bdd.or_ m (Bdd.var m 3) (Bdd.var m 4)) in
+  Alcotest.(check (list int)) "support" [ 1; 3; 4 ] (Bdd.support m f);
+  Alcotest.(check bool) "size nonzero" true (Bdd.size m f > 0);
+  Alcotest.(check int) "terminal size" 0 (Bdd.size m (Bdd.one m))
+
+let test_add_var () =
+  let m = Bdd.create ~nvars:1 () in
+  let v = Bdd.add_var m in
+  Alcotest.(check int) "new index" 1 v;
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check (list int)) "usable" [ 0; 1 ] (Bdd.support m f)
+
+(* --- properties --------------------------------------------------------- *)
+
+(* Random boolean expression over [n] vars, evaluated both through the
+   BDD and directly; results must agree on every assignment. *)
+type expr =
+  | EVar of int
+  | ENot of expr
+  | EAnd of expr * expr
+  | EOr of expr * expr
+  | EXor of expr * expr
+
+let rec gen_expr n depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun v -> EVar v) (int_bound (n - 1))
+  else
+    frequency
+      [
+        (1, map (fun v -> EVar v) (int_bound (n - 1)));
+        (2, map (fun e -> ENot e) (gen_expr n (depth - 1)));
+        ( 2,
+          map2 (fun a b -> EAnd (a, b)) (gen_expr n (depth - 1))
+            (gen_expr n (depth - 1)) );
+        ( 2,
+          map2 (fun a b -> EOr (a, b)) (gen_expr n (depth - 1))
+            (gen_expr n (depth - 1)) );
+        ( 1,
+          map2 (fun a b -> EXor (a, b)) (gen_expr n (depth - 1))
+            (gen_expr n (depth - 1)) );
+      ]
+
+let rec expr_to_string = function
+  | EVar v -> Printf.sprintf "x%d" v
+  | ENot e -> Printf.sprintf "!(%s)" (expr_to_string e)
+  | EAnd (a, b) -> Printf.sprintf "(%s & %s)" (expr_to_string a) (expr_to_string b)
+  | EOr (a, b) -> Printf.sprintf "(%s | %s)" (expr_to_string a) (expr_to_string b)
+  | EXor (a, b) -> Printf.sprintf "(%s ^ %s)" (expr_to_string a) (expr_to_string b)
+
+let rec eval_expr assign = function
+  | EVar v -> assign v
+  | ENot e -> not (eval_expr assign e)
+  | EAnd (a, b) -> eval_expr assign a && eval_expr assign b
+  | EOr (a, b) -> eval_expr assign a || eval_expr assign b
+  | EXor (a, b) -> eval_expr assign a <> eval_expr assign b
+
+let rec build m = function
+  | EVar v -> Bdd.var m v
+  | ENot e -> Bdd.not_ m (build m e)
+  | EAnd (a, b) -> Bdd.and_ m (build m a) (build m b)
+  | EOr (a, b) -> Bdd.or_ m (build m a) (build m b)
+  | EXor (a, b) -> Bdd.xor_ m (build m a) (build m b)
+
+let n_prop_vars = 4
+
+let expr_arb =
+  QCheck.make (gen_expr n_prop_vars 4) ~print:expr_to_string
+
+let prop_bdd_matches_semantics =
+  QCheck.Test.make ~name:"bdd eval = direct eval" ~count:200 expr_arb
+    (fun e ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e in
+      let ok = ref true in
+      for mask = 0 to (1 lsl n_prop_vars) - 1 do
+        let assign v = mask land (1 lsl v) <> 0 in
+        if Bdd.eval m f assign <> eval_expr assign e then ok := false
+      done;
+      !ok)
+
+let prop_satcount_matches =
+  QCheck.Test.make ~name:"sat_count = truth-table count" ~count:200 expr_arb
+    (fun e ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e in
+      let count = ref 0 in
+      for mask = 0 to (1 lsl n_prop_vars) - 1 do
+        let assign v = mask land (1 lsl v) <> 0 in
+        if eval_expr assign e then incr count
+      done;
+      Float.abs (Bdd.sat_count m ~nvars:n_prop_vars f -. Float.of_int !count)
+      < 0.5)
+
+let prop_exists_matches =
+  QCheck.Test.make ~name:"exists = or of cofactors" ~count:200
+    QCheck.(pair expr_arb (int_bound (n_prop_vars - 1)))
+    (fun (e, v) ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e in
+      let lhs = Bdd.exists m ~vars:[ v ] f in
+      let rhs =
+        Bdd.or_ m
+          (Bdd.cofactor m f ~var:v ~value:false)
+          (Bdd.cofactor m f ~var:v ~value:true)
+      in
+      Bdd.equal lhs rhs)
+
+let prop_canonical_equal =
+  QCheck.Test.make ~name:"semantic equality = physical equality" ~count:200
+    QCheck.(pair expr_arb expr_arb)
+    (fun (e1, e2) ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f1 = build m e1 and f2 = build m e2 in
+      let same_semantics = ref true in
+      for mask = 0 to (1 lsl n_prop_vars) - 1 do
+        let assign v = mask land (1 lsl v) <> 0 in
+        if eval_expr assign e1 <> eval_expr assign e2 then
+          same_semantics := false
+      done;
+      Bdd.equal f1 f2 = !same_semantics)
+
+let test_accessors () =
+  let m = Bdd.create ~nvars:3 () in
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 2) in
+  Alcotest.(check int) "top var" 0 (Bdd.top_var m f);
+  Alcotest.(check bool) "low is zero" true (Bdd.is_zero (Bdd.low m f));
+  Alcotest.(check bool) "high is x2" true
+    (Bdd.equal (Bdd.high m f) (Bdd.var m 2));
+  Alcotest.check_raises "terminal top_var"
+    (Invalid_argument "Bdd.top_var: terminal") (fun () ->
+      ignore (Bdd.top_var m (Bdd.one m)))
+
+let test_clear_caches_preserves () =
+  let m = Bdd.create ~nvars:4 () in
+  let f = Bdd.xor_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Bdd.clear_caches m;
+  let g = Bdd.xor_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "canonicity survives cache clear" true (Bdd.equal f g)
+
+let prop_transfer_preserves_semantics =
+  QCheck.Test.make ~name:"transfer preserves semantics under any renaming"
+    ~count:100 expr_arb (fun e ->
+      let src = Bdd.create ~nvars:n_prop_vars () in
+      let f = build src e in
+      (* an arbitrary-but-fixed permutation *)
+      let perm = [| 2; 0; 3; 1 |] in
+      let dst = Bdd.create ~nvars:n_prop_vars () in
+      let g = Bdd.transfer ~src ~dst (fun v -> perm.(v)) f in
+      let ok = ref true in
+      for mask = 0 to (1 lsl n_prop_vars) - 1 do
+        let assign v = mask land (1 lsl v) <> 0 in
+        let assign_dst v =
+          (* variable perm.(v) in dst plays the role of v in src *)
+          let rec inv i = if perm.(i) = v then i else inv (i + 1) in
+          assign (inv 0)
+        in
+        if Bdd.eval src f assign <> Bdd.eval dst g assign_dst then ok := false
+      done;
+      !ok)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bdd_matches_semantics;
+      prop_satcount_matches;
+      prop_exists_matches;
+      prop_canonical_equal;
+      prop_transfer_preserves_semantics;
+    ]
+
+let suites =
+  [
+    ( "bdd",
+      [
+        Alcotest.test_case "terminals" `Quick test_terminals;
+        Alcotest.test_case "canonicity" `Quick test_canonicity;
+        Alcotest.test_case "eval" `Quick test_eval;
+        Alcotest.test_case "cofactor/compose" `Quick test_cofactor_compose;
+        Alcotest.test_case "quantify" `Quick test_quantify;
+        Alcotest.test_case "and_exists" `Quick test_and_exists;
+        Alcotest.test_case "permute" `Quick test_permute;
+        Alcotest.test_case "sat" `Quick test_sat;
+        Alcotest.test_case "support/size" `Quick test_support_size;
+        Alcotest.test_case "add_var" `Quick test_add_var;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "clear caches" `Quick test_clear_caches_preserves;
+      ]
+      @ qcheck_cases );
+  ]

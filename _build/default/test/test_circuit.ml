@@ -1,0 +1,228 @@
+(* Tests for the netlist substrate: builder, parser, gate semantics,
+   structural analysis and the fault machinery. *)
+
+open Satg_logic
+open Satg_circuit
+open Satg_fault
+open Satg_bench
+
+let build_and2 () =
+  let b = Circuit.Builder.create "and2" in
+  let a = Circuit.Builder.add_input b "a" in
+  let c = Circuit.Builder.add_input b "c" in
+  let z = Circuit.Builder.add_gate b ~name:"z" Gatefunc.And [ a; c ] in
+  Circuit.Builder.mark_output b z;
+  Circuit.Builder.finalize b
+
+let test_builder_basic () =
+  let c = build_and2 () in
+  Alcotest.(check int) "inputs" 2 (Circuit.n_inputs c);
+  Alcotest.(check int) "gates (2 buffers + and)" 3 (Circuit.n_gates c);
+  Alcotest.(check int) "nodes" 5 (Circuit.n_nodes c);
+  Alcotest.(check bool) "validates" true (Circuit.validate c = Ok ());
+  (match Circuit.find_node c "z" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "z not found");
+  (* find_node on an input name returns the buffer, not the env node *)
+  match Circuit.find_node c "a" with
+  | Some id -> Alcotest.(check bool) "buffer is a gate" false (Circuit.is_env c id)
+  | None -> Alcotest.fail "a not found"
+
+let test_builder_errors () =
+  let b = Circuit.Builder.create "dup" in
+  let _ = Circuit.Builder.add_input b "a" in
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Builder: duplicate node name \"a$env\"") (fun () ->
+      ignore (Circuit.Builder.add_input b "a"));
+  let b2 = Circuit.Builder.create "undefined" in
+  let _ = Circuit.Builder.declare_gate b2 ~name:"g" in
+  Alcotest.check_raises "undefined gate"
+    (Invalid_argument "Builder: gate \"g\" never defined") (fun () ->
+      ignore (Circuit.Builder.finalize b2))
+
+let test_semantics () =
+  let c = build_and2 () in
+  let z = Option.get (Circuit.find_node c "z") in
+  (* State: a$env=1, a=0 (buffer lags), c$env=1, c=1, z=0. *)
+  let s = Array.make 5 false in
+  let a_env = (Circuit.inputs c).(0) and c_env = (Circuit.inputs c).(1) in
+  let a_buf = Circuit.buffer_of_input c 0 and c_buf = Circuit.buffer_of_input c 1 in
+  s.(a_env) <- true;
+  s.(c_env) <- true;
+  s.(c_buf) <- true;
+  Alcotest.(check bool) "buffer a excited" true (Circuit.gate_excited c s a_buf);
+  Alcotest.(check bool) "z not excited (a=0)" false (Circuit.gate_excited c s z);
+  let s' = Circuit.fire c s a_buf in
+  Alcotest.(check bool) "a fired" true s'.(a_buf);
+  Alcotest.(check bool) "now z excited" true (Circuit.gate_excited c s' z);
+  Alcotest.(check bool) "original unchanged" false s.(a_buf);
+  Alcotest.(check (list int))
+    "excited list" [ z ]
+    (Circuit.excited_gates c s');
+  Alcotest.(check bool) "not stable" false (Circuit.is_stable c s');
+  let s'' = Circuit.fire c s' z in
+  Alcotest.(check bool) "stable after z" true (Circuit.is_stable c s'')
+
+let test_gatefunc_bool () =
+  let t = true and f = false in
+  Alcotest.(check bool) "nand" true (Gatefunc.eval_bool Gatefunc.Nand ~self:f [| t; f |]);
+  Alcotest.(check bool) "xor3" true (Gatefunc.eval_bool Gatefunc.Xor ~self:f [| t; t; t |]);
+  Alcotest.(check bool) "xnor" true (Gatefunc.eval_bool Gatefunc.Xnor ~self:f [| t; t |]);
+  Alcotest.(check bool) "mux sel1" true (Gatefunc.eval_bool Gatefunc.Mux ~self:f [| t; t; f |]);
+  Alcotest.(check bool) "mux sel0" false (Gatefunc.eval_bool Gatefunc.Mux ~self:f [| f; t; f |]);
+  (* C-element: rise on all-1, fall on all-0, hold otherwise *)
+  Alcotest.(check bool) "c rise" true (Gatefunc.eval_bool Gatefunc.Celem ~self:f [| t; t |]);
+  Alcotest.(check bool) "c hold1" true (Gatefunc.eval_bool Gatefunc.Celem ~self:t [| t; f |]);
+  Alcotest.(check bool) "c hold0" false (Gatefunc.eval_bool Gatefunc.Celem ~self:f [| t; f |]);
+  Alcotest.(check bool) "c fall" false (Gatefunc.eval_bool Gatefunc.Celem ~self:t [| f; f |])
+
+let tern = Alcotest.testable Ternary.pp Ternary.equal
+
+let test_gatefunc_ternary () =
+  let open Ternary in
+  Alcotest.check tern "and absorbing" Zero
+    (Gatefunc.eval_ternary Gatefunc.And ~self:Zero [| Zero; Phi |]);
+  Alcotest.check tern "c hold vs phi" One
+    (Gatefunc.eval_ternary Gatefunc.Celem ~self:One [| Phi; One |]);
+  Alcotest.check tern "c uncertain fall" Phi
+    (Gatefunc.eval_ternary Gatefunc.Celem ~self:One [| Phi; Zero |]);
+  Alcotest.check tern "mux phi sel, equal branches" One
+    (Gatefunc.eval_ternary Gatefunc.Mux ~self:Zero [| Phi; One; One |]);
+  Alcotest.check tern "mux phi sel, diff branches" Phi
+    (Gatefunc.eval_ternary Gatefunc.Mux ~self:Zero [| Phi; One; Zero |])
+
+let test_parser_roundtrip () =
+  List.iter
+    (fun make ->
+      let c = make () in
+      let text = Parser.to_string c in
+      match Parser.parse_string text with
+      | Error m -> Alcotest.fail ("reparse failed: " ^ m)
+      | Ok c' ->
+        Alcotest.(check string) "same name" (Circuit.name c) (Circuit.name c');
+        Alcotest.(check int) "same nodes" (Circuit.n_nodes c) (Circuit.n_nodes c');
+        Alcotest.(check string)
+          "same text" text (Parser.to_string c'))
+    [ Figures.fig1a; Figures.fig1b; Figures.celem_handshake; Figures.mutex_latch ]
+
+let test_parser_errors () =
+  let check_err text frag =
+    match Parser.parse_string text with
+    | Ok _ -> Alcotest.failf "expected parse error containing %S" frag
+    | Error m ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "%S in %S" frag m) true (contains m frag)
+  in
+  check_err "input A\nend" "circuit";
+  check_err "circuit x\ngate z FROB a\nend" "unknown";
+  check_err "circuit x\ninput A\ngate z AND A nosuch\nend" "unknown signal";
+  check_err "circuit x\ninput A\nsop z ( A ) 11\nend" "width";
+  check_err "circuit x\ninput A\ngate z NOT A\ninitial A=0\nend" "not assigned"
+
+let test_initial_stability_check () =
+  (* fig1b's initial is stable; flipping d makes it unstable. *)
+  let text =
+    {|circuit bad
+input A
+gate c NAND A d
+gate d BUF c
+initial A=0 c=1 d=0
+end|}
+  in
+  match Parser.parse_string text with
+  | Ok _ -> Alcotest.fail "expected instability error"
+  | Error m ->
+    Alcotest.(check bool) "mentions stability" true
+      (String.length m > 0)
+
+let test_structure () =
+  let c = Figures.fig1b () in
+  let cyclic = Structure.cyclic_gates c in
+  Alcotest.(check int) "two gates in the loop" 2 (List.length cyclic);
+  let fb = Structure.feedback_edges c in
+  Alcotest.(check bool) "at least one cut" true (List.length fb >= 1);
+  let lv = Structure.levels c ~break:fb in
+  Array.iter (fun l -> Alcotest.(check bool) "level assigned" true (l >= 0)) lv;
+  (* A purely combinational circuit has no cycles. *)
+  let c2 = build_and2 () in
+  Alcotest.(check (list int)) "no cycles" [] (Structure.cyclic_gates c2);
+  Alcotest.(check (list pass)) "no feedback" []
+    (List.map (fun (_ : Structure.edge) -> ()) (Structure.feedback_edges c2));
+  Alcotest.(check int) "longest path" 2 (Structure.longest_path c2)
+
+let test_self_loop_structure () =
+  (* A SOP latch reading its own output is a self-loop. *)
+  let c = Figures.fig1a () in
+  let y = Option.get (Circuit.find_node c "y") in
+  Alcotest.(check bool) "y cyclic" true (List.mem y (Structure.cyclic_gates c))
+
+let test_fault_universes () =
+  let c = Figures.celem_handshake () in
+  (* Gates: 2 buffers (1 pin each) + CELEM (2 pins) = 4 pins, 8 input
+     faults; 3 gates, 6 output faults. *)
+  Alcotest.(check int) "input universe" 8 (List.length (Fault.universe_input_sa c));
+  Alcotest.(check int) "output universe" 6 (List.length (Fault.universe_output_sa c));
+  (* Buffer input faults are equivalent to the buffer output faults, so
+     collapsing the union drops one fault per buffer pin polarity. *)
+  let union = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  let collapsed = Fault.collapse c union in
+  Alcotest.(check int) "union collapses" (List.length union - 4)
+    (List.length collapsed)
+
+let test_fault_injection () =
+  let c = Figures.celem_handshake () in
+  let cel = Option.get (Circuit.find_node c "c") in
+  (* Output stuck-at-1 on the C-element. *)
+  let f = Fault.Output_sa { gate = cel; stuck = true } in
+  let fc = Fault.inject c f in
+  Alcotest.(check int) "same node count" (Circuit.n_nodes c) (Circuit.n_nodes fc);
+  let s = Array.make (Circuit.n_nodes fc) false in
+  Alcotest.(check bool) "stuck gate excited at 0" true (Circuit.gate_excited fc s cel);
+  let s' = Circuit.fire fc s cel in
+  Alcotest.(check bool) "fires to 1" true s'.(cel);
+  (* Input stuck-at-0 on pin 1 adds a const node. *)
+  let f2 = Fault.Input_sa { gate = cel; pin = 1; stuck = false } in
+  let fc2 = Fault.inject c f2 in
+  Alcotest.(check int) "one extra node" (Circuit.n_nodes c + 1) (Circuit.n_nodes fc2);
+  Alcotest.(check bool) "initial dropped" true (Circuit.initial fc2 = None);
+  (* With pin 1 stuck at 0 the C-element can never rise from 0. *)
+  let s = Array.make (Circuit.n_nodes fc2) false in
+  let s = Circuit.apply_input_vector fc2 s [| true; true |] in
+  let s = Circuit.fire fc2 s (Circuit.buffer_of_input fc2 0) in
+  let s = Circuit.fire fc2 s (Circuit.buffer_of_input fc2 1) in
+  Alcotest.(check bool) "celem stays low" false (Circuit.gate_excited fc2 s cel)
+
+let test_fault_names () =
+  let c = Figures.fig1b () in
+  let d = Option.get (Circuit.find_node c "d") in
+  Alcotest.(check string) "output fault" "d/sa1"
+    (Fault.to_string c (Fault.Output_sa { gate = d; stuck = true }));
+  Alcotest.(check string) "input fault" "d.pin0(c)/sa0"
+    (Fault.to_string c (Fault.Input_sa { gate = d; pin = 0; stuck = false }))
+
+let suites =
+  [
+    ( "circuit",
+      [
+        Alcotest.test_case "builder basic" `Quick test_builder_basic;
+        Alcotest.test_case "builder errors" `Quick test_builder_errors;
+        Alcotest.test_case "fire/excited semantics" `Quick test_semantics;
+        Alcotest.test_case "gatefunc bool" `Quick test_gatefunc_bool;
+        Alcotest.test_case "gatefunc ternary" `Quick test_gatefunc_ternary;
+        Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+        Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        Alcotest.test_case "initial stability" `Quick test_initial_stability_check;
+        Alcotest.test_case "structure" `Quick test_structure;
+        Alcotest.test_case "self loop" `Quick test_self_loop_structure;
+      ] );
+    ( "fault",
+      [
+        Alcotest.test_case "universes" `Quick test_fault_universes;
+        Alcotest.test_case "injection" `Quick test_fault_injection;
+        Alcotest.test_case "names" `Quick test_fault_names;
+      ] );
+  ]

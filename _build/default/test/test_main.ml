@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "satg"
+    (List.concat
+       [
+         Test_logic.suites;
+         Test_bdd.suites;
+         Test_circuit.suites;
+         Test_sim.suites;
+         Test_sg.suites;
+         Test_stg.suites;
+         Test_atpg.suites;
+         Test_random_circuits.suites;
+         Test_suite_benchmarks.suites;
+         Test_report.suites;
+         Test_extensions.suites;
+         Test_timed.suites;
+       ])

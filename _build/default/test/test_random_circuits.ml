@@ -1,0 +1,336 @@
+(* Randomized cross-checks over generated netlists: the strongest
+   correctness evidence in the suite.  For random small circuits with
+   feedback we assert that
+
+   - ternary simulation is sound w.r.t. exhaustive exploration,
+   - the explicit (pure and hybrid) and symbolic CSSG engines agree,
+   - bit-parallel fault simulation equals scalar ternary simulation,
+   - the netlist text format round-trips behaviour exactly. *)
+
+open Satg_logic
+open Satg_circuit
+open Satg_fault
+open Satg_sim
+open Satg_sg
+
+(* --- random circuit generator -------------------------------------------- *)
+
+type spec = {
+  n_inputs : int;
+  gate_funcs : Gatefunc.t list;  (* in creation order *)
+  fanin_picks : int list list;  (* raw generator choices, resolved mod nodes *)
+}
+
+let func_pool =
+  Gatefunc.[ And; Or; Nand; Nor; Not; Buf; Xor; Celem ]
+
+let gen_spec =
+  let open QCheck.Gen in
+  let* n_inputs = int_range 1 2 in
+  let* n_gates = int_range 2 5 in
+  let* gate_funcs =
+    list_size (return n_gates) (oneofl func_pool)
+  in
+  let* fanin_picks =
+    list_size (return n_gates)
+      (list_size (int_range 1 3) (int_range 0 1000))
+  in
+  return { n_inputs; gate_funcs; fanin_picks }
+
+let arity_for func picks =
+  match func with
+  | Gatefunc.Not | Gatefunc.Buf -> [ List.hd picks ]
+  | Gatefunc.Celem -> (
+    match picks with
+    | a :: b :: _ -> [ a; b ]
+    | [ a ] -> [ a; a ]
+    | [] -> assert false)
+  | _ -> picks
+
+(* Build the circuit; returns [None] when no stable reset state is
+   found (the generator's precondition). *)
+let build_spec spec =
+  let b = Circuit.Builder.create "random" in
+  let inputs =
+    List.init spec.n_inputs (fun i ->
+        Circuit.Builder.add_input b (Printf.sprintf "i%d" i))
+  in
+  let gate_ids =
+    List.mapi
+      (fun i _ -> Circuit.Builder.declare_gate b ~name:(Printf.sprintf "g%d" i))
+      spec.gate_funcs
+  in
+  let nodes = Array.of_list (inputs @ gate_ids) in
+  List.iteri
+    (fun i func ->
+      let picks = arity_for func (List.nth spec.fanin_picks i) in
+      let fanin =
+        List.map (fun p -> nodes.(p mod Array.length nodes)) picks
+      in
+      Circuit.Builder.define_gate b (List.nth gate_ids i) func fanin)
+    spec.gate_funcs;
+  (* observe the last two gates *)
+  List.iteri
+    (fun i gid ->
+      if i >= List.length gate_ids - 2 then Circuit.Builder.mark_output b gid)
+    gate_ids;
+  let c = Circuit.Builder.finalize b in
+  (* Hunt for a stable reset state: settle from each all-inputs vector. *)
+  let n = Circuit.n_nodes c in
+  let rec try_vec mask =
+    if mask >= 1 lsl spec.n_inputs then None
+    else
+      let v = Array.init spec.n_inputs (fun i -> mask land (1 lsl i) <> 0) in
+      let s = Circuit.apply_input_vector c (Array.make n false) v in
+      match Async_sim.settle c ~max_steps:64 s with
+      | Some stable -> Some (Circuit.with_initial c stable)
+      | None -> try_vec (mask + 1)
+  in
+  try_vec 0
+
+let spec_arb =
+  QCheck.make gen_spec ~print:(fun spec ->
+      Printf.sprintf "inputs=%d funcs=[%s] picks=[%s]" spec.n_inputs
+        (String.concat ";" (List.map Gatefunc.name spec.gate_funcs))
+        (String.concat ";"
+           (List.map
+              (fun l -> String.concat "," (List.map string_of_int l))
+              spec.fanin_picks)))
+
+let all_vectors n =
+  List.init (1 lsl n) (fun mask ->
+      Array.init n (fun i -> mask land (1 lsl i) <> 0))
+
+(* --- P1: ternary soundness ------------------------------------------------ *)
+
+(* A fully binary ternary result certifies that every *fair* execution
+   settles to that state.  The k-bounded frontier additionally contains
+   unfair interleavings (a transient oscillation may consume the whole
+   budget while another excited gate waits), so the exact verdict may
+   be Exceeds_budget — but never a different settling state and never
+   non-confluence: any stable state in the frontier is fairly
+   reachable, so it must equal the ternary fixpoint. *)
+let prop_ternary_sound =
+  QCheck.Test.make ~name:"random circuits: ternary sound vs exact" ~count:150
+    spec_arb (fun spec ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let reset = Option.get (Circuit.initial c) in
+        let k = max 32 (Structure.default_k c) in
+        List.for_all
+          (fun v ->
+            let t =
+              Ternary_sim.apply_vector c (Ternary_sim.of_bool_state reset) v
+            in
+            match Ternary_sim.to_bool_state_opt t with
+            | None -> true
+            | Some b -> (
+              match Async_sim.apply_vector c ~k reset v with
+              | Async_sim.Settles s -> s = b
+              | Async_sim.Non_confluent _ -> false
+              | Async_sim.Exceeds_budget ->
+                (* every stable state at the k-frontier must be b *)
+                let s1 = Circuit.apply_input_vector c reset v in
+                Async_sim.states_after c ~k s1
+                |> List.filter (Circuit.is_stable c)
+                |> List.for_all (fun s -> s = b)))
+          (all_vectors (Circuit.n_inputs c)))
+
+(* --- P2: explicit engines and symbolic engine agree ------------------------ *)
+
+let canonical g =
+  let c = Cssg.circuit g in
+  let states =
+    List.init (Cssg.n_states g) (fun i ->
+        Circuit.state_to_string c (Cssg.state g i))
+    |> List.sort Stdlib.compare
+  in
+  let edges =
+    List.concat
+      (List.init (Cssg.n_states g) (fun i ->
+           List.map
+             (fun e ->
+               ( Circuit.state_to_string c (Cssg.state g i),
+                 Circuit.state_to_string c (Cssg.state g e.Cssg.target) ))
+             (Cssg.successors g i)))
+    |> List.sort Stdlib.compare
+  in
+  (states, edges)
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"random circuits: explicit = symbolic CSSG" ~count:60
+    spec_arb (fun spec ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let k = Structure.default_k c in
+        let pure = Explicit.build ~exploration:`Pure ~k c in
+        let hybrid = Explicit.build ~exploration:`Hybrid ~k c in
+        let sym = Symbolic.to_cssg (Symbolic.build ~k c) in
+        canonical pure = canonical sym && canonical pure = canonical hybrid)
+
+(* --- P3: parallel pack = scalar ternary ----------------------------------- *)
+
+let prop_parallel_matches_scalar =
+  QCheck.Test.make ~name:"random circuits: parallel = scalar ternary" ~count:60
+    QCheck.(pair spec_arb (small_list (int_bound 3)))
+    (fun (spec, vec_picks) ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let reset = Option.get (Circuit.initial c) in
+        let faults = Array.of_list (Fault.universe_output_sa c) in
+        let faults =
+          Array.sub faults 0 (min (Array.length faults) Parallel_sim.word_size)
+        in
+        let pack = Parallel_sim.create c faults ~reset in
+        let scalar =
+          Array.map
+            (fun f ->
+              let fc = Fault.inject c f in
+              let init =
+                Ternary_sim.of_bool_state (Fault.initial_faulty_state c f reset)
+              in
+              let v0 = Circuit.input_vector_of_state c reset in
+              (fc, ref (Ternary_sim.apply_vector fc init v0)))
+            faults
+        in
+        let vectors =
+          List.map
+            (fun p ->
+              Array.init (Circuit.n_inputs c) (fun i ->
+                  (p lsr i) land 1 = 1))
+            vec_picks
+        in
+        let ok = ref true in
+        let compare_all () =
+          Array.iteri
+            (fun m (fc, st) ->
+              let got = Parallel_sim.machine_state pack m in
+              for node = 0 to Circuit.n_nodes c - 1 do
+                if not (Ternary.equal !st.(node) got.(node)) then ok := false
+              done;
+              ignore fc)
+            scalar
+        in
+        compare_all ();
+        List.iter
+          (fun v ->
+            Parallel_sim.apply_vector pack v;
+            Array.iter
+              (fun (fc, st) -> st := Ternary_sim.apply_vector fc !st v)
+              scalar;
+            compare_all ())
+          vectors;
+        !ok)
+
+(* --- P4: text format round-trips behaviour --------------------------------- *)
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"random circuits: parser round-trip" ~count:100
+    spec_arb (fun spec ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c -> (
+        match Parser.parse_string (Parser.to_string c) with
+        | Error _ -> false
+        | Ok c' ->
+          Circuit.n_nodes c = Circuit.n_nodes c'
+          && Circuit.initial c = Circuit.initial c'
+          && canonical (Explicit.build c) = canonical (Explicit.build c')))
+
+(* --- P5: checker relationship ----------------------------------------------- *)
+
+(* Neither detection checker dominates the other in general: the
+   ternary checker certifies *fair* faulty outcomes (and so may detect
+   even when the k-bounded frontier still contains an unfair straggler
+   whose outputs agree with the good machine), while the exact checker
+   resolves races ternary simulation blurs to Phi.  Domination does
+   hold in the clean case: when the exact faulty frontier is fully
+   stable at every observation point, every fair outcome is in the set,
+   so a ternary detection forces an exact detection. *)
+let prop_exact_dominates_when_settled =
+  QCheck.Test.make
+    ~name:"random circuits: check_exact >= check on settled frontiers"
+    ~count:40
+    QCheck.(pair spec_arb (small_list (int_bound 3)))
+    (fun (spec, vec_picks) ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let g = Satg_sg.Explicit.build c in
+        let seq =
+          (* keep only the prefix that is a valid CSSG path *)
+          let rec valid i acc = function
+            | [] -> List.rev acc
+            | p :: rest -> (
+              let v =
+                Array.init (Circuit.n_inputs c) (fun b -> (p lsr b) land 1 = 1)
+              in
+              match Satg_sg.Cssg.apply g i v with
+              | Some j -> valid j (v :: acc) rest
+              | None -> List.rev acc)
+          in
+          valid (List.hd (Satg_sg.Cssg.initial g)) [] vec_picks
+        in
+        List.for_all
+          (fun f ->
+            (* replay the exact machine; note whether all frontiers are
+               fully stable *)
+            let m, f0 = Satg_core.Detect.exact_start g f in
+            let all_stable states fc =
+              List.for_all (fun s -> Circuit.is_stable fc s) states
+            in
+            let fc = Fault.inject c f in
+            let rec settled states = function
+              | [] -> all_stable states fc
+              | v :: vs -> (
+                all_stable states fc
+                &&
+                match Satg_core.Detect.exact_apply m states v with
+                | None -> false
+                | Some states' -> settled states' vs)
+            in
+            if not (settled f0 seq) then true
+            else
+              let ternary = Satg_core.Detect.check g f seq in
+              let exact = Satg_core.Detect.check_exact g f seq in
+              (not ternary) || exact)
+          (Fault.universe_output_sa c))
+
+(* --- P6: timed simulation agrees with the exact engine on valid edges ------- *)
+
+let prop_timed_matches_exact_on_valid_edges =
+  QCheck.Test.make
+    ~name:"random circuits: timed sim lands in the predicted state"
+    ~count:60
+    QCheck.(pair spec_arb (int_bound 1000))
+    (fun (spec, seed) ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let g = Satg_sg.Explicit.build c in
+        let reset_id = List.hd (Satg_sg.Cssg.initial g) in
+        let delays = Satg_sim.Timed_sim.random_delays c ~seed in
+        List.for_all
+          (fun e ->
+            let sim =
+              Satg_sim.Timed_sim.create c ~delays (Satg_sg.Cssg.state g reset_id)
+            in
+            let timed = Satg_sim.Timed_sim.apply_vector sim e.Satg_sg.Cssg.vector in
+            timed = Satg_sg.Cssg.state g e.Satg_sg.Cssg.target)
+          (Satg_sg.Cssg.successors g reset_id))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_ternary_sound;
+      prop_engines_agree;
+      prop_parallel_matches_scalar;
+      prop_parser_roundtrip;
+      prop_exact_dominates_when_settled;
+      prop_timed_matches_exact_on_valid_edges;
+    ]
+
+let suites = [ ("random_circuits", qcheck_cases) ]

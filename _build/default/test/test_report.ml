@@ -1,0 +1,49 @@
+(* Tests for the table renderer. *)
+
+open Satg_report
+
+let test_ascii () =
+  let t = Table.create ~header:[ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "b"; "12345" ];
+  let s = Table.to_ascii t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "5 lines" 5 (List.length lines);
+  (* Right-aligned numeric column: "12345" ends its line. *)
+  let last = List.nth lines 4 in
+  Alcotest.(check bool) "right aligned" true
+    (String.length last >= 5
+    && String.sub last (String.length last - 5) 5 = "12345")
+
+let test_width_mismatch () =
+  let t = Table.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Table.add_row: 1 cells, expected 2") (fun () ->
+      Table.add_row t [ "x" ])
+
+let test_csv () =
+  let t = Table.create ~header:[ "name"; "value" ] in
+  Table.add_row t [ "plain"; "1" ];
+  Table.add_row t [ "with,comma"; "say \"hi\"" ];
+  Table.add_separator t;
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv"
+    "name,value\nplain,1\n\"with,comma\",\"say \"\"hi\"\"\"\n" csv
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.142);
+  Alcotest.(check string) "float d0" "3" (Table.cell_float ~decimals:0 3.142);
+  Alcotest.(check string) "pct" "98.77%" (Table.cell_pct 98.765)
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "ascii" `Quick test_ascii;
+        Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+        Alcotest.test_case "csv" `Quick test_csv;
+        Alcotest.test_case "cells" `Quick test_cells;
+      ] );
+  ]

@@ -1,0 +1,286 @@
+(* Tests for the state-graph library: explicit CSSG construction, the
+   symbolic (BDD) engine, and their exact agreement. *)
+
+open Satg_circuit
+open Satg_sg
+open Satg_bench
+
+let fixtures =
+  [ Figures.fig1a; Figures.fig1b; Figures.celem_handshake; Figures.mutex_latch ]
+
+(* Canonical, comparable representation of a CSSG: sorted states and
+   sorted (src-state, vector, dst-state) triples, all as strings. *)
+let canonical g =
+  let c = Cssg.circuit g in
+  let states =
+    List.init (Cssg.n_states g) (fun i ->
+        Circuit.state_to_string c (Cssg.state g i))
+    |> List.sort Stdlib.compare
+  in
+  let edges =
+    List.concat
+      (List.init (Cssg.n_states g) (fun i ->
+           List.map
+             (fun e ->
+               ( Circuit.state_to_string c (Cssg.state g i),
+                 String.init
+                   (Array.length e.Cssg.vector)
+                   (fun j -> if e.Cssg.vector.(j) then '1' else '0'),
+                 Circuit.state_to_string c (Cssg.state g e.Cssg.target) ))
+             (Cssg.successors g i)))
+    |> List.sort Stdlib.compare
+  in
+  (states, edges)
+
+let test_explicit_celem () =
+  let c = Figures.celem_handshake () in
+  let g = Explicit.build c in
+  (* Stable states of (a, b, c): c = 1 forces... every (a,b,c) with the
+     C-element stable: (0,0,0) (0,1,0) (1,0,0) (1,1,1) (0,1,1) (1,0,1)
+     with env = buffer: 6 states, all reachable. *)
+  Alcotest.(check int) "6 states" 6 (Cssg.n_states g);
+  (* 3 valid vectors from the extreme states (0,0,c=0) and (1,1,c=1);
+     only 2 from the four hold states: toggling both inputs at once
+     races the C-element against the second buffer. *)
+  Alcotest.(check int) "14 edges" 14 (Cssg.n_edges g);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "deterministic" true
+        (Cssg.deterministically_reachable g i))
+    (List.init (Cssg.n_states g) Fun.id)
+
+let test_explicit_fig1a () =
+  let c = Figures.fig1a () in
+  let g = Explicit.build c in
+  let reset = List.hd (Cssg.initial g) in
+  (* (1,0) races: no valid edge with that vector. *)
+  Alcotest.(check bool) "no racing edge" true
+    (Cssg.apply g reset [| true; false |] = None);
+  (* (1,1) settles: a valid edge. *)
+  (match Cssg.apply g reset [| true; true |] with
+  | Some j ->
+    let y = Option.get (Circuit.find_node c "y") in
+    Alcotest.(check bool) "y set after 11" true (Cssg.state g j).(y)
+  | None -> Alcotest.fail "11 should be a valid vector");
+  (* The non-confluent outcomes are still nodes of the graph (paper
+     figure 2 keeps s1), but not deterministically reachable unless some
+     valid path leads there. *)
+  Alcotest.(check bool) "has extra nodes" true (Cssg.n_states g > 2)
+
+let test_explicit_fig1b_no_edges () =
+  let c = Figures.fig1b () in
+  let g = Explicit.build c in
+  Alcotest.(check int) "single state" 1 (Cssg.n_states g);
+  Alcotest.(check int) "no valid vectors at all" 0 (Cssg.n_edges g)
+
+let test_explicit_mutex () =
+  let c = Figures.mutex_latch () in
+  let g = Explicit.build c in
+  let reset = List.hd (Cssg.initial g) in
+  (* (1,1) is valid from reset (QB is held at 0 by S). *)
+  (match Cssg.apply g reset [| true; true |] with
+  | Some both ->
+    (* ... but releasing both requests at once races the latch. *)
+    Alcotest.(check bool) "11 -> 00 invalid" true
+      (Cssg.apply g both [| false; false |] = None)
+  | None -> Alcotest.fail "11 should be valid from reset");
+  (match Cssg.apply g reset [| true; false |] with
+  | Some j ->
+    let q = Option.get (Circuit.find_node c "Q") in
+    Alcotest.(check bool) "request flips Q" false (Cssg.state g j).(q)
+  | None -> Alcotest.fail "10 should be valid from reset")
+
+let test_smaller_k_fewer_edges () =
+  (* k only matters under pure exploration: the hybrid ternary shortcut
+     certifies eventual settling regardless of the budget. *)
+  let c = Figures.celem_handshake () in
+  let big = Explicit.build ~exploration:`Pure ~k:(Structure.default_k c) c in
+  let small = Explicit.build ~exploration:`Pure ~k:1 c in
+  Alcotest.(check bool) "k=1 loses edges" true
+    (Cssg.n_edges small < Cssg.n_edges big);
+  (* k=1 keeps single-buffer-flip transitions that settle in one step. *)
+  Alcotest.(check bool) "k=1 keeps something" true (Cssg.n_edges small > 0)
+
+let test_justify_explicit () =
+  let c = Figures.celem_handshake () in
+  let g = Explicit.build c in
+  let cel = Option.get (Circuit.find_node c "c") in
+  (match Cssg.justify g ~target:(fun i -> (Cssg.state g i).(cel)) () with
+  | Some (vectors, goal) ->
+    Alcotest.(check int) "one vector suffices" 1 (List.length vectors);
+    Alcotest.(check bool) "goal has c=1" true (Cssg.state g goal).(cel);
+    Alcotest.(check (array bool)) "the vector is 11" [| true; true |]
+      (List.hd vectors)
+  | None -> Alcotest.fail "c=1 should be justifiable");
+  (* Unreachable target *)
+  Alcotest.(check bool) "impossible target" true
+    (Cssg.justify g ~target:(fun _ -> false) () = None)
+
+let test_justify_already_satisfied () =
+  let c = Figures.celem_handshake () in
+  let g = Explicit.build c in
+  match Cssg.justify g ~target:(fun i -> List.mem i (Cssg.initial g)) () with
+  | Some ([], _) -> ()
+  | Some (_ :: _, _) -> Alcotest.fail "expected empty justification"
+  | None -> Alcotest.fail "expected hit"
+
+let test_symbolic_matches_explicit () =
+  List.iter
+    (fun make ->
+      let c = make () in
+      let k = Structure.default_k c in
+      (* Both exploration strategies must agree with the symbolic engine. *)
+      let exp = Explicit.build ~exploration:`Pure ~k c in
+      let hyb = Explicit.build ~exploration:`Hybrid ~k c in
+      let sym = Symbolic.build ~k c in
+      let se, ee = canonical exp and sh, eh = canonical hyb in
+      Alcotest.(check (list string)) (Circuit.name c ^ ": hybrid states") se sh;
+      Alcotest.(check int) (Circuit.name c ^ ": hybrid edges")
+        (List.length ee) (List.length eh);
+      Alcotest.(check int)
+        (Circuit.name c ^ ": reachable count")
+        (Cssg.n_states exp) (Symbolic.n_reachable sym);
+      let gs = Symbolic.to_cssg sym in
+      let s1, e1 = canonical exp and s2, e2 = canonical gs in
+      Alcotest.(check (list string)) (Circuit.name c ^ ": states") s1 s2;
+      List.iter2
+        (fun (a, v, b) (a', v', b') ->
+          Alcotest.(check (triple string string string))
+            (Circuit.name c ^ ": edge")
+            (a, v, b) (a', v', b'))
+        e1 e2;
+      Alcotest.(check int)
+        (Circuit.name c ^ ": edge count")
+        (List.length e1) (List.length e2))
+    fixtures
+
+let test_symbolic_justify () =
+  let c = Figures.celem_handshake () in
+  let sym = Symbolic.build c in
+  let m = Symbolic.man sym in
+  let cel = Option.get (Circuit.find_node c "c") in
+  (* Target: states with the C-element output high. *)
+  let target =
+    Satg_bdd.Bdd.and_ m (Symbolic.reachable sym)
+      (Satg_bdd.Bdd.var m (3 * cel))
+  in
+  (match Symbolic.justify sym ~target with
+  | Some (vectors, goal) ->
+    Alcotest.(check int) "one vector" 1 (List.length vectors);
+    Alcotest.(check bool) "goal ok" true goal.(cel)
+  | None -> Alcotest.fail "should justify");
+  (* Unreachable target: c high with both inputs low is not stable. *)
+  let bad =
+    Satg_bdd.Bdd.and_list m
+      [
+        Symbolic.reachable sym;
+        Satg_bdd.Bdd.var m (3 * cel);
+        Satg_bdd.Bdd.nvar m (3 * (Circuit.inputs c).(0));
+        Satg_bdd.Bdd.nvar m (3 * (Circuit.inputs c).(1));
+      ]
+  in
+  Alcotest.(check bool) "unstable target unreachable" true
+    (Symbolic.justify sym ~target:bad = None)
+
+let test_symbolic_justify_multi_step () =
+  (* mutex: reach the state (R,S)=(1,1), Q=QB=0 — needs at least one
+     intermediate hop?  From reset, 11 is direct; instead target
+     Q=0,QB=1 with R=0: requires 10 then 00?  From (1,0,Q=0,QB=1),
+     applying (0,0) keeps the latch: Q=NOR(0,1)=0, QB=NOR(0,0)=1
+     stable, so a 2-step justification exists. *)
+  let c = Figures.mutex_latch () in
+  let sym = Symbolic.build c in
+  let m = Symbolic.man sym in
+  let q = Option.get (Circuit.find_node c "Q") in
+  let qb = Option.get (Circuit.find_node c "QB") in
+  let r_env = (Circuit.inputs c).(0) and s_env = (Circuit.inputs c).(1) in
+  let target =
+    Satg_bdd.Bdd.and_list m
+      [
+        Symbolic.reachable sym;
+        Satg_bdd.Bdd.nvar m (3 * q);
+        Satg_bdd.Bdd.var m (3 * qb);
+        Satg_bdd.Bdd.nvar m (3 * r_env);
+        Satg_bdd.Bdd.nvar m (3 * s_env);
+      ]
+  in
+  match Symbolic.justify sym ~target with
+  | Some (vectors, goal) ->
+    Alcotest.(check int) "two hops" 2 (List.length vectors);
+    Alcotest.(check bool) "Q low" false goal.(q);
+    Alcotest.(check bool) "QB high" true goal.(qb);
+    (* Replay the sequence on the explicit graph to double-check. *)
+    let g = Explicit.build c in
+    let final =
+      List.fold_left
+        (fun i v ->
+          match Cssg.apply g i v with
+          | Some j -> j
+          | None -> Alcotest.fail "symbolic sequence invalid on explicit graph")
+        (List.hd (Cssg.initial g))
+        vectors
+    in
+    Alcotest.(check string) "same final state"
+      (Circuit.state_to_string c goal)
+      (Circuit.state_to_string c (Cssg.state g final))
+  | None -> Alcotest.fail "should justify in two steps"
+
+let test_sift_order () =
+  (* Sifting must never make the retained artefacts bigger, and the
+     sifted order must reproduce the same CSSG. *)
+  let c = Figures.mutex_latch () in
+  let base = Symbolic.build c in
+  let order = Symbolic.sift_order base in
+  let sifted = Symbolic.build ~node_order:order c in
+  Alcotest.(check bool) "no growth" true
+    (Symbolic.live_nodes sifted <= Symbolic.live_nodes base);
+  let a = canonical (Symbolic.to_cssg base) in
+  let b = canonical (Symbolic.to_cssg sifted) in
+  Alcotest.(check bool) "same graph" true (a = b)
+
+let test_bdd_transfer_roundtrip () =
+  (* Transfer to a manager with a reversed order and back preserves the
+     function. *)
+  let open Satg_bdd in
+  let src = Bdd.create ~nvars:6 () in
+  let f =
+    Bdd.or_ src
+      (Bdd.and_ src (Bdd.var src 0) (Bdd.var src 3))
+      (Bdd.xor_ src (Bdd.var src 1) (Bdd.var src 5))
+  in
+  let dst = Bdd.create ~nvars:6 () in
+  let rev v = 5 - v in
+  let g = Bdd.transfer ~src ~dst rev f in
+  let back = Bdd.create ~nvars:6 () in
+  let h = Bdd.transfer ~src:dst ~dst:back rev g in
+  (* compare by exhaustive evaluation *)
+  for mask = 0 to 63 do
+    let assign v = mask land (1 lsl v) <> 0 in
+    let assign_rev v = assign (rev v) in
+    Alcotest.(check bool) "same semantics (roundtrip)"
+      (Bdd.eval src f assign) (Bdd.eval back h assign);
+    Alcotest.(check bool) "renamed semantics"
+      (Bdd.eval src f assign) (Bdd.eval dst g assign_rev)
+  done
+
+let suites =
+  [
+    ( "sg.explicit",
+      [
+        Alcotest.test_case "celem graph" `Quick test_explicit_celem;
+        Alcotest.test_case "fig1a pruning" `Quick test_explicit_fig1a;
+        Alcotest.test_case "fig1b no edges" `Quick test_explicit_fig1b_no_edges;
+        Alcotest.test_case "mutex release race" `Quick test_explicit_mutex;
+        Alcotest.test_case "k sensitivity" `Quick test_smaller_k_fewer_edges;
+        Alcotest.test_case "justify" `Quick test_justify_explicit;
+        Alcotest.test_case "justify trivial" `Quick test_justify_already_satisfied;
+      ] );
+    ( "sg.symbolic",
+      [
+        Alcotest.test_case "matches explicit" `Slow test_symbolic_matches_explicit;
+        Alcotest.test_case "justify" `Quick test_symbolic_justify;
+        Alcotest.test_case "justify multi-step" `Quick test_symbolic_justify_multi_step;
+        Alcotest.test_case "sift order" `Slow test_sift_order;
+        Alcotest.test_case "bdd transfer" `Quick test_bdd_transfer_roundtrip;
+      ] );
+  ]

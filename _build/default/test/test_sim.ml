@@ -1,0 +1,309 @@
+(* Tests for the simulation engines: exact unbounded-delay exploration,
+   ternary (Eichelberger) simulation, unit-delay simulation, and the
+   bit-parallel fault simulator, including cross-checks between them. *)
+
+open Satg_logic
+open Satg_circuit
+open Satg_fault
+open Satg_sim
+open Satg_bench
+
+let reset c = Option.get (Circuit.initial c)
+let v2 a b = [| a; b |]
+
+(* --- exact exploration -------------------------------------------------- *)
+
+let test_fig1a_nonconfluent () =
+  let c = Figures.fig1a () in
+  let k = Structure.default_k c in
+  (match Async_sim.apply_vector c ~k (reset c) (v2 true false) with
+  | Async_sim.Non_confluent finals ->
+    Alcotest.(check int) "two outcomes" 2 (List.length finals);
+    let y = Option.get (Circuit.find_node c "y") in
+    let ys = List.map (fun s -> s.(y)) finals |> List.sort_uniq Stdlib.compare in
+    Alcotest.(check (list bool)) "y differs" [ false; true ] ys
+  | Async_sim.Settles _ -> Alcotest.fail "expected non-confluence, got settle"
+  | Async_sim.Exceeds_budget -> Alcotest.fail "expected non-confluence, got budget");
+  (* (1,1) is a valid vector: settles uniquely with y = 1. *)
+  match Async_sim.apply_vector c ~k (reset c) (v2 true true) with
+  | Async_sim.Settles s ->
+    let y = Option.get (Circuit.find_node c "y") in
+    Alcotest.(check bool) "y set" true s.(y);
+    Alcotest.(check bool) "stable" true (Circuit.is_stable c s)
+  | Async_sim.Non_confluent _ | Async_sim.Exceeds_budget ->
+    Alcotest.fail "expected unique settle"
+
+let test_fig1b_oscillates () =
+  let c = Figures.fig1b () in
+  let k = Structure.default_k c in
+  match Async_sim.apply_vector c ~k (reset c) [| true |] with
+  | Async_sim.Exceeds_budget -> ()
+  | Async_sim.Settles _ | Async_sim.Non_confluent _ ->
+    Alcotest.fail "expected oscillation (budget exhaustion)"
+
+let test_celem_all_vectors_settle () =
+  let c = Figures.celem_handshake () in
+  let k = Structure.default_k c in
+  let s0 = reset c in
+  List.iter
+    (fun v ->
+      match Async_sim.apply_vector c ~k s0 v with
+      | Async_sim.Settles _ -> ()
+      | Async_sim.Non_confluent _ | Async_sim.Exceeds_budget ->
+        Alcotest.failf "vector (%b,%b) should settle" v.(0) v.(1))
+    [ v2 false false; v2 false true; v2 true false; v2 true true ]
+
+let test_states_after_self_loop () =
+  (* From a stable state, states_after is that singleton for any k. *)
+  let c = Figures.celem_handshake () in
+  let s0 = reset c in
+  Alcotest.(check int) "singleton" 1 (List.length (Async_sim.states_after c ~k:10 s0))
+
+let test_settle () =
+  let c = Figures.celem_handshake () in
+  let s = Circuit.apply_input_vector c (reset c) (v2 true true) in
+  (match Async_sim.settle c ~max_steps:10 s with
+  | Some s' -> Alcotest.(check bool) "stable" true (Circuit.is_stable c s')
+  | None -> Alcotest.fail "should settle");
+  let c2 = Figures.fig1b () in
+  let s2 = Circuit.apply_input_vector c2 (reset c2) [| true |] in
+  Alcotest.(check bool) "oscillator never settles" true
+    (Async_sim.settle c2 ~max_steps:100 s2 = None)
+
+let test_reachable_stable_states () =
+  let c = Figures.celem_handshake () in
+  let k = Structure.default_k c in
+  let states = Async_sim.reachable_stable_states c ~k ~from:[ reset c ] in
+  (* C-element: stable states are exactly (a, b, c) with c following the
+     C-element rule; from 000 all 2^2 input combinations are reachable
+     and both polarities of c occur: 8 env+buffer combinations settle to
+     6 distinct stable states (a=b forces c). *)
+  Alcotest.(check bool) "several states" true (List.length states >= 4);
+  List.iter
+    (fun s -> Alcotest.(check bool) "each stable" true (Circuit.is_stable c s))
+    states
+
+(* --- ternary simulation -------------------------------------------------- *)
+
+let test_ternary_valid_vector_binary () =
+  let c = Figures.fig1a () in
+  let s0 = Ternary_sim.of_bool_state (reset c) in
+  let s = Ternary_sim.apply_vector c s0 (v2 true true) in
+  match Ternary_sim.to_bool_state_opt s with
+  | Some b ->
+    (* Must agree with the exact engine. *)
+    (match Async_sim.apply_vector c ~k:64 (reset c) (v2 true true) with
+    | Async_sim.Settles s' ->
+      Alcotest.(check string) "same state"
+        (Circuit.state_to_string c s') (Circuit.state_to_string c b)
+    | _ -> Alcotest.fail "exact engine disagrees")
+  | None -> Alcotest.fail "valid vector should resolve to binary"
+
+let test_ternary_race_detected () =
+  let c = Figures.fig1a () in
+  let s0 = Ternary_sim.of_bool_state (reset c) in
+  let s = Ternary_sim.apply_vector c s0 (v2 true false) in
+  Alcotest.(check bool) "phi somewhere" true
+    (Ternary_sim.to_bool_state_opt s = None);
+  let y = Option.get (Circuit.find_node c "y") in
+  Alcotest.(check bool) "y uncertain" true (Ternary.equal s.(y) Ternary.Phi)
+
+let test_ternary_oscillation_detected () =
+  let c = Figures.fig1b () in
+  let s0 = Ternary_sim.of_bool_state (reset c) in
+  let s = Ternary_sim.apply_vector c s0 [| true |] in
+  let cg = Option.get (Circuit.find_node c "c") in
+  let d = Option.get (Circuit.find_node c "d") in
+  Alcotest.(check bool) "loop uncertain" true
+    (Ternary.equal s.(cg) Ternary.Phi && Ternary.equal s.(d) Ternary.Phi)
+
+(* Soundness: whenever ternary simulation resolves to a fully binary
+   state, the exact engine settles confluently to exactly that state.
+   Exercised over every fixture circuit, every stable state reachable
+   from reset, every input vector. *)
+let test_ternary_soundness_sweep () =
+  List.iter
+    (fun make ->
+      let c = make () in
+      let k = max 64 (Structure.default_k c) in
+      let stables = Async_sim.reachable_stable_states c ~k ~from:[ reset c ] in
+      let n_in = Circuit.n_inputs c in
+      let vectors =
+        List.init (1 lsl n_in) (fun mask ->
+            Array.init n_in (fun i -> mask land (1 lsl i) <> 0))
+      in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun v ->
+              let t =
+                Ternary_sim.apply_vector c (Ternary_sim.of_bool_state s) v
+              in
+              match Ternary_sim.to_bool_state_opt t with
+              | None -> ()
+              | Some b -> (
+                match Async_sim.apply_vector c ~k s v with
+                | Async_sim.Settles s' ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s: ternary = exact" (Circuit.name c))
+                    (Circuit.state_to_string c s')
+                    (Circuit.state_to_string c b)
+                | Async_sim.Non_confluent _ | Async_sim.Exceeds_budget ->
+                  Alcotest.failf "%s: ternary claimed binary on invalid vector"
+                    (Circuit.name c)))
+            vectors)
+        stables)
+    [ Figures.fig1a; Figures.fig1b; Figures.celem_handshake; Figures.mutex_latch ]
+
+(* --- unit-delay simulation ----------------------------------------------- *)
+
+let test_unit_delay_settles () =
+  let c = Figures.celem_handshake () in
+  match Unit_delay.apply_vector c ~max_steps:100 (reset c) (v2 true true) with
+  | Unit_delay.Settled (s, steps) ->
+    Alcotest.(check bool) "stable" true (Circuit.is_stable c s);
+    Alcotest.(check bool) "few steps" true (steps <= 3)
+  | Unit_delay.Oscillates _ -> Alcotest.fail "should settle"
+
+let test_unit_delay_oscillation () =
+  let c = Figures.fig1b () in
+  match Unit_delay.apply_vector c ~max_steps:100 (reset c) [| true |] with
+  | Unit_delay.Oscillates cycle ->
+    Alcotest.(check bool) "nonempty cycle" true (cycle <> [])
+  | Unit_delay.Settled _ -> Alcotest.fail "should oscillate"
+
+let test_unit_delay_optimism () =
+  (* The documented blind spot: unit-delay sees (1,0) on fig1a settle
+     (both buffers switch in the same step, the pulse never forms), while
+     the exact engine reports non-confluence.  This is exactly why the
+     Banerjee-style baseline is optimistic. *)
+  let c = Figures.fig1a () in
+  (match Unit_delay.apply_vector c ~max_steps:100 (reset c) (v2 true false) with
+  | Unit_delay.Settled (s, _) ->
+    let y = Option.get (Circuit.find_node c "y") in
+    Alcotest.(check bool) "unit-delay picks y=0" false s.(y)
+  | Unit_delay.Oscillates _ -> Alcotest.fail "unit delay should settle");
+  match Async_sim.apply_vector c ~k:64 (reset c) (v2 true false) with
+  | Async_sim.Non_confluent _ -> ()
+  | _ -> Alcotest.fail "exact engine should see the race"
+
+(* --- parallel fault simulation ------------------------------------------- *)
+
+(* Cross-check: every machine of a pack must equal scalar ternary
+   simulation of the structurally injected faulty circuit, state by
+   state, after every vector of a sequence. *)
+let check_pack_vs_scalar c faults vectors =
+  let r = reset c in
+  let pack = Parallel_sim.create c (Array.of_list faults) ~reset:r in
+  let scalar_states =
+    List.map
+      (fun f ->
+        let fc = Fault.inject c f in
+        let init =
+          Ternary_sim.of_bool_state (Fault.initial_faulty_state c f r)
+        in
+        (* settle: apply the unchanged input vector *)
+        let v0 = Circuit.input_vector_of_state c r in
+        (fc, ref (Ternary_sim.apply_vector fc init v0)))
+      faults
+  in
+  let compare_all tag =
+    List.iteri
+      (fun i (fc, st) ->
+        let expect = !st in
+        let got = Parallel_sim.machine_state pack i in
+        let n = Circuit.n_nodes c in
+        for node = 0 to n - 1 do
+          if not (Ternary.equal expect.(node) got.(node)) then
+            Alcotest.failf "%s machine %d (%s) node %s: scalar %c, pack %c" tag
+              i
+              (Fault.to_string c (List.nth faults i))
+              (Circuit.node_name fc node)
+              (Ternary.to_char expect.(node))
+              (Ternary.to_char got.(node))
+        done)
+      scalar_states
+  in
+  compare_all "after reset";
+  List.iteri
+    (fun step v ->
+      Parallel_sim.apply_vector pack v;
+      List.iter
+        (fun (fc, st) -> st := Ternary_sim.apply_vector fc !st v)
+        scalar_states;
+      compare_all (Printf.sprintf "after vector %d" step))
+    vectors
+
+let test_parallel_matches_scalar_celem () =
+  let c = Figures.celem_handshake () in
+  let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  check_pack_vs_scalar c faults
+    [ v2 true true; v2 true false; v2 false false; v2 false true; v2 true true ]
+
+let test_parallel_matches_scalar_fig1a () =
+  let c = Figures.fig1a () in
+  let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  check_pack_vs_scalar c faults [ v2 true true; v2 false false; v2 true true ]
+
+let test_parallel_matches_scalar_mutex () =
+  let c = Figures.mutex_latch () in
+  let faults = Fault.universe_output_sa c in
+  check_pack_vs_scalar c faults
+    [ v2 true false; v2 false false; v2 false true; v2 false false ]
+
+let test_parallel_detection () =
+  let c = Figures.celem_handshake () in
+  let cel = Option.get (Circuit.find_node c "c") in
+  let f = Fault.Output_sa { gate = cel; stuck = false } in
+  let pack = Parallel_sim.create c [| f |] ~reset:(reset c) in
+  (* Drive (1,1): good machine raises c, the stuck-at-0 machine cannot. *)
+  let good = Ternary_sim.of_bool_state (reset c) in
+  let good = Ternary_sim.apply_vector c good (v2 true true) in
+  Parallel_sim.apply_vector pack (v2 true true);
+  let mask = Parallel_sim.detected pack ~good_outputs:(Ternary_sim.outputs c good) in
+  Alcotest.(check int) "machine 0 detected" 1 mask;
+  Alcotest.(check int) "one machine" 1 (Parallel_sim.n_machines pack)
+
+let test_parallel_too_many () =
+  let c = Figures.celem_handshake () in
+  let f = Fault.Output_sa { gate = 0; stuck = false } in
+  Alcotest.check_raises "limit"
+    (Invalid_argument "Parallel_sim.create: too many faults") (fun () ->
+      ignore
+        (Parallel_sim.create c
+           (Array.make (Parallel_sim.word_size + 1) f)
+           ~reset:(reset c)))
+
+let suites =
+  [
+    ( "sim.async",
+      [
+        Alcotest.test_case "fig1a non-confluence" `Quick test_fig1a_nonconfluent;
+        Alcotest.test_case "fig1b oscillation" `Quick test_fig1b_oscillates;
+        Alcotest.test_case "celem settles" `Quick test_celem_all_vectors_settle;
+        Alcotest.test_case "stable self-loop" `Quick test_states_after_self_loop;
+        Alcotest.test_case "settle" `Quick test_settle;
+        Alcotest.test_case "reachable stable states" `Quick test_reachable_stable_states;
+      ] );
+    ( "sim.ternary",
+      [
+        Alcotest.test_case "valid vector binary" `Quick test_ternary_valid_vector_binary;
+        Alcotest.test_case "race detected" `Quick test_ternary_race_detected;
+        Alcotest.test_case "oscillation detected" `Quick test_ternary_oscillation_detected;
+        Alcotest.test_case "soundness sweep" `Slow test_ternary_soundness_sweep;
+      ] );
+    ( "sim.unit_delay",
+      [
+        Alcotest.test_case "settles" `Quick test_unit_delay_settles;
+        Alcotest.test_case "oscillation" `Quick test_unit_delay_oscillation;
+        Alcotest.test_case "optimism vs exact" `Quick test_unit_delay_optimism;
+      ] );
+    ( "sim.parallel",
+      [
+        Alcotest.test_case "matches scalar (celem)" `Quick test_parallel_matches_scalar_celem;
+        Alcotest.test_case "matches scalar (fig1a)" `Quick test_parallel_matches_scalar_fig1a;
+        Alcotest.test_case "matches scalar (mutex)" `Quick test_parallel_matches_scalar_mutex;
+        Alcotest.test_case "detection" `Quick test_parallel_detection;
+        Alcotest.test_case "word-size limit" `Quick test_parallel_too_many;
+      ] );
+  ]

@@ -1,0 +1,352 @@
+(* Tests for the STG toolkit: parsing, token-game reachability,
+   consistency / boundedness / CSC checks, and the two synthesis
+   backends. *)
+
+open Satg_logic
+open Satg_circuit
+open Satg_stg
+open Satg_sg
+
+let parse_exn text =
+  match Stg.parse_string text with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "parse error: %s" m
+
+let handshake_text =
+  {|.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.init req=0 ack=0
+.end|}
+
+let celem_text =
+  {|.model celem_stg
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.init a=0 b=0 c=0
+.end|}
+
+let test_parse_basic () =
+  let t = parse_exn handshake_text in
+  Alcotest.(check (list string)) "inputs" [ "req" ] (Stg.input_signals t);
+  Alcotest.(check (list string)) "outputs" [ "ack" ] (Stg.output_signals t);
+  Alcotest.(check int) "transitions" 4 (Array.length t.Stg.transitions);
+  Alcotest.(check int) "places" 4 (Array.length t.Stg.places);
+  Alcotest.(check int) "one token" 1
+    (Array.fold_left ( + ) 0 t.Stg.marking)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun text ->
+      let t = parse_exn text in
+      let t2 = parse_exn (Stg.to_string t) in
+      Alcotest.(check string) "names" t.Stg.name t2.Stg.name;
+      Alcotest.(check int) "transitions"
+        (Array.length t.Stg.transitions)
+        (Array.length t2.Stg.transitions);
+      (* Same reachable state count after a round trip. *)
+      match (Stg.explore t, Stg.explore t2) with
+      | Ok a, Ok b ->
+        Alcotest.(check int) "states" (Array.length a.Stg.states)
+          (Array.length b.Stg.states)
+      | _ -> Alcotest.fail "exploration failed")
+    [ handshake_text; celem_text ]
+
+let test_parse_errors () =
+  let check_err text frag =
+    match Stg.parse_string text with
+    | Ok _ -> Alcotest.failf "expected error with %S" frag
+    | Error m ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) (m ^ " contains " ^ frag) true (contains m frag)
+  in
+  check_err ".model x\n.inputs a\n.graph\nb+ a+\n.init a=0\n.end" "unknown signal";
+  check_err ".model x\n.inputs a\n.graph\na+ a-\n.marking { nosuch }\n.init a=0\n.end"
+    "unknown place";
+  check_err ".model x\n.inputs a\n.graph\na+ a-\n.marking { <a+,a-> }\n.end"
+    "not assigned"
+
+let test_explore_handshake () =
+  let t = parse_exn handshake_text in
+  match Stg.explore t with
+  | Error m -> Alcotest.fail m
+  | Ok sg ->
+    Alcotest.(check int) "4 states" 4 (Array.length sg.Stg.states);
+    Alcotest.(check bool) "csc holds" true (Stg.check_csc sg = Ok ());
+    (* Initial state: only req+ (an input) is enabled. *)
+    let ex0 = sg.Stg.excited.(sg.Stg.initial_state) in
+    Alcotest.(check bool) "req excited" true ex0.(0);
+    Alcotest.(check bool) "ack quiet" false ex0.(1)
+
+let test_explore_celem () =
+  let t = parse_exn celem_text in
+  match Stg.explore t with
+  | Error m -> Alcotest.fail m
+  | Ok sg ->
+    (* a and b fire concurrently in both phases: 4 + 4 markings around
+       the cycle with c switching in between: 8 states. *)
+    Alcotest.(check int) "8 states" 8 (Array.length sg.Stg.states);
+    Alcotest.(check bool) "csc holds" true (Stg.check_csc sg = Ok ())
+
+let test_inconsistent () =
+  let t =
+    parse_exn
+      {|.model bad
+.inputs a
+.outputs x
+.graph
+a+ a+/2
+a+/2 x+
+x+ a+
+.marking { <x+,a+> }
+.init a=0 x=0
+.end|}
+  in
+  match Stg.explore t with
+  | Error m ->
+    Alcotest.(check bool) "mentions consistency" true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "expected inconsistency"
+
+let test_unbounded () =
+  let t =
+    parse_exn
+      {|.model unb
+.inputs a
+.outputs x
+.graph
+a+ p a-
+a- a+
+p x+
+.marking { <a-,a+> }
+.init a=0 x=0
+.end|}
+  in
+  (* p receives a token on every a+ but x+ consumes only one: with the
+     default bound of 2 the third a+ overflows. *)
+  match Stg.explore t with
+  | Error m ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "mentions unbounded" true (contains m "unbounded")
+  | Ok _ -> Alcotest.fail "expected boundedness failure"
+
+let test_csc_violation () =
+  let t =
+    parse_exn
+      {|.model cscviol
+.inputs a
+.outputs x
+.graph
+a+ x+
+x+ a-
+a- a+/2
+a+/2 x-
+x- a-/2
+a-/2 a+
+.marking { <a-/2,a+> }
+.init a=0 x=0
+.end|}
+  in
+  match Stg.explore t with
+  | Error m -> Alcotest.fail m
+  | Ok sg -> (
+    match Stg.check_csc sg with
+    | Error m ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "names CSC" true (contains m "CSC")
+    | Ok () -> Alcotest.fail "expected CSC violation")
+
+(* --- synthesis ------------------------------------------------------------ *)
+
+let test_synth_handshake_complex () =
+  let t = parse_exn handshake_text in
+  match Synth.complex_gate t with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    Alcotest.(check bool) "validates" true (Circuit.validate c = Ok ());
+    Alcotest.(check bool) "has reset" true (Circuit.initial c <> None);
+    (* ack's next-state function is just req, so the only stable states
+       are all-zero and all-one (intermediate codes are transient). *)
+    let g = Explicit.build c in
+    Alcotest.(check int) "two stable states" 2 (Cssg.n_states g);
+    Alcotest.(check int) "request and release edges" 2 (Cssg.n_edges g)
+
+let canonical g =
+  let c = Cssg.circuit g in
+  List.concat
+    (List.init (Cssg.n_states g) (fun i ->
+         List.map
+           (fun e ->
+             ( Circuit.state_to_string c (Cssg.state g i),
+               Circuit.state_to_string c (Cssg.state g e.Cssg.target) ))
+           (Cssg.successors g i)))
+  |> List.sort Stdlib.compare
+
+let test_synth_celem_matches_primitive () =
+  (* The complex gate synthesized from the C-element STG must generate
+     exactly the same CSSG as the hand-written primitive C-element
+     circuit (same node layout, same behaviour). *)
+  let t = parse_exn celem_text in
+  match Synth.complex_gate t with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    let prim = Satg_bench.Figures.celem_handshake () in
+    let a = Explicit.build c and b = Explicit.build prim in
+    Alcotest.(check int) "state count" (Cssg.n_states b) (Cssg.n_states a);
+    Alcotest.(check int) "edge count" (Cssg.n_edges b) (Cssg.n_edges a);
+    List.iter2
+      (fun (s1, d1) (s2, d2) ->
+        Alcotest.(check string) "edge src" s2 s1;
+        Alcotest.(check string) "edge dst" d2 d1)
+      (canonical a) (canonical b)
+
+let test_synth_decomposed () =
+  let t = parse_exn celem_text in
+  match Synth.decomposed t with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    Alcotest.(check bool) "validates" true (Circuit.validate c = Ok ());
+    Alcotest.(check bool) "only simple gates" true
+      (Array.for_all
+         (fun gid ->
+           match Circuit.func c gid with
+           | Gatefunc.Sop _ | Gatefunc.Celem | Gatefunc.Mux -> false
+           | Gatefunc.And | Gatefunc.Or | Gatefunc.Not | Gatefunc.Buf
+           | Gatefunc.Const _ ->
+             Array.length (Circuit.fanins c gid) <= 2
+           | Gatefunc.Nand | Gatefunc.Nor | Gatefunc.Xor | Gatefunc.Xnor ->
+             false)
+         (Circuit.gates c));
+    Alcotest.(check bool) "more gates than complex" true
+      (Circuit.n_gates c > 3)
+
+let test_synth_redundant_no_smaller () =
+  (* The majority cover of the C-element has no opposing literal pairs,
+     so consensus closure is a no-op here; covers that do produce
+     redundancy are exercised by the benchmark suite tests. *)
+  let t = parse_exn celem_text in
+  match (Synth.decomposed t, Synth.decomposed ~redundant:true t) with
+  | Ok plain, Ok red ->
+    Alcotest.(check bool) "never smaller" true
+      (Circuit.n_gates red >= Circuit.n_gates plain)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_add_consensus () =
+  (* ab + !ac has consensus bc. *)
+  let f = Cover.make ~n:3 [ Cube.of_string "11-"; Cube.of_string "0-1" ] in
+  let g = Synth.add_consensus f in
+  Alcotest.(check int) "one term added" 3 (Cover.cube_count g);
+  Alcotest.(check bool) "same function" true (Cover.equal_semantics f g);
+  (* Ternary: the redundant cover is hazard-free at a=Phi, b=c=1. *)
+  Alcotest.(check bool) "hazard gone" true
+    (Ternary.equal
+       (Cover.eval_ternary g [| Ternary.Phi; Ternary.One; Ternary.One |])
+       Ternary.One);
+  (* Idempotent on already-closed covers. *)
+  Alcotest.(check int) "closed" 3 (Cover.cube_count (Synth.add_consensus g))
+
+let test_next_state_covers () =
+  let t = parse_exn celem_text in
+  match Stg.explore t with
+  | Error m -> Alcotest.fail m
+  | Ok sg ->
+    let covers = Synth.next_state_covers sg in
+    Alcotest.(check int) "one output" 1 (List.length covers);
+    let _, cover = List.hd covers in
+    (* majority(a, b, c) - verify semantically over reachable codes. *)
+    List.iter
+      (fun (code, expect) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "NS_c(%d)" code)
+          expect
+          (Cover.eval_minterm cover code))
+      [ (0b000, false); (0b100, false); (0b010, false); (0b110, true);
+        (0b111, true); (0b011, true); (0b101, true) ]
+
+let test_output_persistency () =
+  (* Every bundled benchmark is output-persistent... *)
+  List.iter
+    (fun e ->
+      match Stg.explore e.Satg_bench.Suite.stg with
+      | Error m -> Alcotest.fail m
+      | Ok sg ->
+        Alcotest.(check bool)
+          (e.Satg_bench.Suite.name ^ " persistent")
+          true
+          (Stg.check_output_persistency sg = Ok ()))
+    (Satg_bench.Suite.all ());
+  (* ... while a free choice between an output and an input is not:
+     the environment firing b+ steals the token that enabled x+. *)
+  let bad =
+    parse_exn
+      {|.model choice
+.inputs a b
+.outputs x
+.graph
+q a+
+a+ p
+p x+
+p b+
+.marking { q }
+.init a=0 b=0 x=0
+.end|}
+  in
+  match Stg.explore bad with
+  | Error m -> Alcotest.fail m
+  | Ok sg -> (
+    match Stg.check_output_persistency sg with
+    | Error m ->
+      Alcotest.(check bool) "mentions x+" true
+        (String.length m > 0 && String.sub m (String.length m - 2) 2 = "x+")
+    | Ok () -> Alcotest.fail "expected persistency violation")
+
+let suites =
+  [
+    ( "stg.model",
+      [
+        Alcotest.test_case "parse basic" `Quick test_parse_basic;
+        Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "explore handshake" `Quick test_explore_handshake;
+        Alcotest.test_case "explore celem" `Quick test_explore_celem;
+        Alcotest.test_case "inconsistency" `Quick test_inconsistent;
+        Alcotest.test_case "unboundedness" `Quick test_unbounded;
+        Alcotest.test_case "csc violation" `Quick test_csc_violation;
+        Alcotest.test_case "output persistency" `Quick test_output_persistency;
+      ] );
+    ( "stg.synth",
+      [
+        Alcotest.test_case "handshake complex" `Quick test_synth_handshake_complex;
+        Alcotest.test_case "celem = primitive" `Quick test_synth_celem_matches_primitive;
+        Alcotest.test_case "decomposed" `Quick test_synth_decomposed;
+        Alcotest.test_case "redundant not smaller" `Quick test_synth_redundant_no_smaller;
+        Alcotest.test_case "consensus" `Quick test_add_consensus;
+        Alcotest.test_case "next-state covers" `Quick test_next_state_covers;
+      ] );
+  ]

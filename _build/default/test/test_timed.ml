@@ -1,0 +1,144 @@
+(* Tests for the bounded-delay event simulator, including the paper's
+   §3 robustness claim: tests generated under unbounded delays keep
+   working for any concrete delay assignment. *)
+
+open Satg_circuit
+open Satg_fault
+open Satg_sim
+open Satg_core
+open Satg_bench
+
+let reset c = Option.get (Circuit.initial c)
+
+let test_valid_vector_matches_exact () =
+  (* On a valid CSSG edge every delay assignment must reach the unique
+     settling state the exact engine predicts. *)
+  let c = Figures.celem_handshake () in
+  List.iter
+    (fun seed ->
+      let sim = Timed_sim.create c ~delays:(Timed_sim.random_delays c ~seed) (reset c) in
+      let timed = Timed_sim.apply_vector sim [| true; true |] in
+      match Async_sim.apply_vector c ~k:64 (reset c) [| true; true |] with
+      | Async_sim.Settles s ->
+        Alcotest.(check string) (Printf.sprintf "seed %d" seed)
+          (Circuit.state_to_string c s)
+          (Circuit.state_to_string c timed)
+      | _ -> Alcotest.fail "expected settle")
+    [ 1; 2; 3; 42; 1000 ]
+
+let test_race_is_delay_dependent () =
+  (* fig1a's racing vector: a fast AND gate lets the pulse through and
+     sets the latch; a slow AND gets filtered.  Both outcomes are
+     members of the exact engine's non-confluent set. *)
+  let c = Figures.fig1a () in
+  let y = Option.get (Circuit.find_node c "y") in
+  let and_gate = Option.get (Circuit.find_node c "c") in
+  let b_buf = Option.get (Circuit.find_node c "B") in
+  let with_delays f =
+    let d = Array.make (Circuit.n_nodes c) 1.0 in
+    f d;
+    let sim = Timed_sim.create c ~delays:d (reset c) in
+    (Timed_sim.apply_vector sim [| true; false |]).(y)
+  in
+  let fast_and =
+    with_delays (fun d ->
+        d.(and_gate) <- 0.1;
+        d.(y) <- 0.1;
+        d.(b_buf) <- 3.0)
+  in
+  let slow_and = with_delays (fun d -> d.(and_gate) <- 5.0) in
+  Alcotest.(check bool) "pulse captured" true fast_and;
+  Alcotest.(check bool) "pulse filtered" false slow_and;
+  match Async_sim.apply_vector c ~k:64 (reset c) [| true; false |] with
+  | Async_sim.Non_confluent finals ->
+    let ys = List.map (fun s -> s.(y)) finals |> List.sort_uniq compare in
+    Alcotest.(check (list bool)) "both outcomes predicted" [ false; true ] ys
+  | _ -> Alcotest.fail "expected non-confluence"
+
+let test_oscillator_hits_window () =
+  let c = Figures.fig1b () in
+  let sim = Timed_sim.create c ~delays:(Timed_sim.random_delays c ~seed:7) (reset c) in
+  let s = Timed_sim.apply_vector sim ~settle_window:50.0 [| true |] in
+  (* It never settles; we just sample whatever it was doing and check
+     the clock advanced to the window. *)
+  Alcotest.(check bool) "time advanced" true (Timed_sim.now sim >= 40.0);
+  Alcotest.(check int) "state size" (Circuit.n_nodes c) (Array.length s)
+
+let test_program_robust_under_delays () =
+  (* The §3 claim, end to end: generate a tester program, then for
+     several random delay assignments (a) the good chip produces every
+     expected response and (b) every targeted faulty chip mismatches
+     somewhere in its burst. *)
+  List.iter
+    (fun name ->
+      let e = Option.get (Suite.find name) in
+      let c =
+        match Suite.speed_independent e with
+        | Ok c -> c
+        | Error m -> Alcotest.fail m
+      in
+      let r = Engine.run c ~faults:(Fault.universe_input_sa c) in
+      let program = Tester.of_result r in
+      List.iter
+        (fun seed ->
+          (* (a) good chip *)
+          List.iter
+            (fun burst ->
+              let sim =
+                Timed_sim.create c ~delays:(Timed_sim.random_delays c ~seed)
+                  (reset c)
+              in
+              List.iter
+                (fun step ->
+                  let s = Timed_sim.apply_vector sim step.Tester.inputs in
+                  Alcotest.(check (array bool))
+                    (Printf.sprintf "%s seed %d good response" name seed)
+                    step.Tester.expected
+                    (Circuit.output_values c s))
+                burst.Tester.steps)
+            program.Tester.bursts;
+          (* (b) faulty chips *)
+          List.iter
+            (fun burst ->
+              List.iter
+                (fun f ->
+                  let fc = Fault.inject c f in
+                  let sim =
+                    Timed_sim.create fc
+                      ~delays:(Timed_sim.random_delays fc ~seed)
+                      (Fault.initial_faulty_state c f (reset c))
+                  in
+                  let mismatch =
+                    (* observed at reset or after some step *)
+                    (Array.map (fun o -> (Timed_sim.state sim).(o))
+                       (Circuit.outputs fc)
+                    <> program.Tester.reset_outputs)
+                    || List.exists
+                         (fun step ->
+                           let s = Timed_sim.apply_vector sim step.Tester.inputs in
+                           Array.map (fun o -> s.(o)) (Circuit.outputs fc)
+                           <> step.Tester.expected)
+                         burst.Tester.steps
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s seed %d detects %s" name seed
+                       (Fault.to_string c f))
+                    true mismatch)
+                burst.Tester.targets)
+            program.Tester.bursts)
+        [ 11; 23 ])
+    [ "ebergen"; "vbe6a"; "sbuf-send-ctl" ]
+
+let suites =
+  [
+    ( "sim.timed",
+      [
+        Alcotest.test_case "valid vector matches exact" `Quick
+          test_valid_vector_matches_exact;
+        Alcotest.test_case "race is delay-dependent" `Quick
+          test_race_is_delay_dependent;
+        Alcotest.test_case "oscillator window" `Quick test_oscillator_hits_window;
+        Alcotest.test_case "program robust under delays" `Slow
+          test_program_robust_under_delays;
+      ] );
+  ]
