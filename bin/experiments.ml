@@ -36,6 +36,7 @@ type bench_row = {
   rnd : int;
   three_ph : int;
   fsim : int;
+  aborted : int;
   cpu : float;
 }
 
@@ -57,6 +58,7 @@ let run_benchmark ?(config = Engine.default_config) name circuit =
     fsim =
       Engine.detected_by in_r Testset.Fault_simulation
       + Engine.detected_by out_r Testset.Fault_simulation;
+    aborted = Engine.aborted in_r + Engine.aborted out_r;
     cpu = Sys.time () -. t0;
   }
 
@@ -65,7 +67,7 @@ let family_table title synth =
     Table.create
       ~header:
         [ "example"; "out tot"; "out cov"; "in tot"; "in cov"; "rnd"; "3-ph";
-          "sim"; "CPU(s)" ]
+          "sim"; "abort"; "CPU(s)" ]
   in
   let rows =
     List.filter_map
@@ -84,7 +86,8 @@ let family_table title synth =
           r.name; Table.cell_int r.out_tot; Table.cell_int r.out_cov;
           Table.cell_int r.in_tot; Table.cell_int r.in_cov;
           Table.cell_int r.rnd; Table.cell_int r.three_ph;
-          Table.cell_int r.fsim; Table.cell_float r.cpu;
+          Table.cell_int r.fsim; Table.cell_aborted r.aborted;
+          Table.cell_float r.cpu;
         ])
     rows;
   Table.add_separator table;
@@ -103,6 +106,7 @@ let family_table title synth =
       Table.cell_int (sum (fun r -> r.rnd));
       Table.cell_int (sum (fun r -> r.three_ph));
       Table.cell_int (sum (fun r -> r.fsim));
+      Table.cell_aborted (sum (fun r -> r.aborted));
       Table.cell_float (List.fold_left (fun acc r -> acc +. r.cpu) 0.0 rows);
     ];
   printf "\n== %s ==\n\n%s\n" title (render table)
@@ -358,8 +362,8 @@ let ablation_collapse () =
             e.Suite.name;
             Table.cell_int (List.length full);
             Table.cell_int (List.length collapsed);
-            Printf.sprintf "%d/%d" (Engine.detected rf) (Engine.total rf);
-            Printf.sprintf "%d/%d" (Engine.detected rc) (Engine.total rc);
+            Table.cell_ratio (Engine.detected rf) (Engine.total rf);
+            Table.cell_ratio (Engine.detected rc) (Engine.total rc);
             Table.cell_float t_full;
             Table.cell_float t_coll;
           ])
@@ -454,7 +458,8 @@ let robustness () =
    work -- gross gate-delay faults on the speed-independent family. *)
 let delay () =
   let table =
-    Table.create ~header:[ "example"; "delay faults"; "detected"; "CPU(s)" ]
+    Table.create
+      ~header:[ "example"; "delay faults"; "detected"; "abort"; "CPU(s)" ]
   in
   List.iter
     (fun e ->
@@ -468,6 +473,7 @@ let delay () =
             e.Suite.name;
             Table.cell_int (Delay_fault.total r);
             Table.cell_int (Delay_fault.detected r);
+            Table.cell_aborted (Delay_fault.aborted r);
             Table.cell_float r.Delay_fault.cpu_seconds;
           ])
     (Suite.all ());

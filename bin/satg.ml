@@ -8,15 +8,23 @@
      satg dft     FILE.cct recommend + evaluate observation points
      satg dot     FILE     graphviz (netlist .cct, spec .g, or --cssg)
      satg bench   [NAME]   list bundled benchmark STGs / print one
-     satg check   FILE.cct validate a netlist and print structural stats *)
+     satg check   FILE.cct validate a netlist and print structural stats
+
+   The graph/ATPG commands accept --timeout SEC, --max-states N and
+   --max-transitions N resource limits.  Exit codes: 0 = complete run,
+   2 = run completed but degraded (truncated CSSG and/or aborted
+   faults; printed results are lower bounds), 1 = error. *)
 
 open Cmdliner
+open Satg_guard
 open Satg_circuit
 open Satg_fault
 open Satg_sg
 open Satg_stg
 open Satg_core
 open Satg_bench
+
+let exit_partial = 2
 
 let read_circuit path =
   match Parser.parse_file path with
@@ -77,6 +85,32 @@ let k_arg =
     & opt (some int) None
     & info [ "k" ] ~docv:"K" ~doc:"Test-cycle budget in gate firings.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget in seconds.  On expiry the run degrades \
+           gracefully (truncated state graph, aborted faults) and exits \
+           with code 2 instead of failing.")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:
+          "Ceiling on explored states (CSSG construction and per-fault \
+           product search).")
+
+let max_transitions_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-transitions" ] ~docv:"N"
+        ~doc:"Ceiling on transition expansions, per phase / per fault.")
+
 let cssg_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
   let engine =
@@ -88,24 +122,24 @@ let cssg_cmd =
   let dump =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print every state and edge.")
   in
-  let run file engine dump =
+  let run file engine dump k timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
+    let guard = Guard.create ?timeout ?max_states ?max_transitions () in
     let g =
       match engine with
-      | `Explicit -> fun k -> Explicit.build ?k c
-      | `Symbolic -> fun k -> Symbolic.to_cssg (Symbolic.build ?k c)
+      | `Explicit -> Explicit.build ?k ~guard c
+      | `Symbolic -> Symbolic.to_cssg (Symbolic.build ?k ~guard c)
     in
-    let run_with k =
-      let g = g k in
-      if dump then Format.printf "%a@." Cssg.pp g
-      else Format.printf "%a@." Cssg.pp_stats g
-    in
-    fun k -> run_with k
+    if dump then Format.printf "%a@." Cssg.pp g
+    else Format.printf "%a@." Cssg.pp_stats g;
+    if Cssg.truncated g <> None then exit exit_partial
   in
   Cmd.v
     (Cmd.info "cssg"
        ~doc:"Build the Confluent Stable State Graph of a netlist.")
-    Term.(const run $ file $ engine $ dump $ k_arg)
+    Term.(
+      const run $ file $ engine $ dump $ k_arg $ timeout_arg $ max_states_arg
+      $ max_transitions_arg)
 
 (* --- atpg ----------------------------------------------------------------- *)
 
@@ -128,7 +162,8 @@ let atpg_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
   in
-  let run file universe no_random seed verbose k =
+  let run file universe no_random seed verbose k timeout max_states
+      max_transitions =
     let c = or_die (read_circuit file) in
     let faults =
       match universe with
@@ -141,6 +176,9 @@ let atpg_cmd =
         Engine.default_config with
         k;
         enable_random = not no_random;
+        timeout;
+        max_states;
+        max_transitions;
         random = { Random_tpg.default_config with seed };
       }
     in
@@ -150,11 +188,14 @@ let atpg_cmd =
         (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
         r.Engine.outcomes;
     Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
-    Format.printf "%a@." Engine.pp_summary r
+    Format.printf "%a@." Engine.pp_summary r;
+    if Engine.partial r then exit exit_partial
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate synchronous test patterns for a netlist.")
-    Term.(const run $ file $ universe $ no_random $ seed $ verbose $ k_arg)
+    Term.(
+      const run $ file $ universe $ no_random $ seed $ verbose $ k_arg
+      $ timeout_arg $ max_states_arg $ max_transitions_arg)
 
 (* --- bench ---------------------------------------------------------------- *)
 
@@ -207,39 +248,53 @@ let check_cmd =
 
 let program_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
-  let run file k =
+  let run file k timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
-    let config = { Engine.default_config with k } in
+    let config =
+      { Engine.default_config with k; timeout; max_states; max_transitions }
+    in
     let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
     let r = Engine.run ~config c ~faults in
-    print_string (Tester.to_string (Tester.of_result r))
+    print_string (Tester.to_string (Tester.of_result r));
+    if Engine.partial r then exit exit_partial
   in
   Cmd.v
     (Cmd.info "program"
        ~doc:"Generate tests and emit them as a synchronous tester program.")
-    Term.(const run $ file $ k_arg)
+    Term.(
+      const run $ file $ k_arg $ timeout_arg $ max_states_arg
+      $ max_transitions_arg)
 
 (* --- delay ----------------------------------------------------------------- *)
 
 let delay_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
-  let run file k =
+  let run file k timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
-    let g = Explicit.build ?k c in
-    let r = Delay_fault.run g in
+    let guard = Guard.create ?timeout ?max_states ?max_transitions () in
+    let g = Explicit.build ?k ~guard c in
+    let r = Delay_fault.run ~guard g in
     List.iter
-      (fun (f, seq) ->
-        match seq with
-        | Some seq ->
+      (fun (f, status) ->
+        match status with
+        | Delay_fault.Found seq ->
           Format.printf "%s: detected by [%s]@." (Delay_fault.to_string c f)
             (Testset.sequence_to_string seq)
-        | None -> Format.printf "%s: UNDETECTED@." (Delay_fault.to_string c f))
+        | Delay_fault.Not_found ->
+          Format.printf "%s: UNDETECTED@." (Delay_fault.to_string c f)
+        | Delay_fault.Aborted reason ->
+          Format.printf "%s: ABORTED (%s)@." (Delay_fault.to_string c f)
+            (Guard.reason_to_string reason))
       r.Delay_fault.outcomes;
-    Format.printf "%a@." Delay_fault.pp_summary r
+    Format.printf "%a@." Delay_fault.pp_summary r;
+    if Cssg.truncated g <> None || Delay_fault.aborted r > 0 then
+      exit exit_partial
   in
   Cmd.v
     (Cmd.info "delay" ~doc:"Gross gate-delay fault test generation.")
-    Term.(const run $ file $ k_arg)
+    Term.(
+      const run $ file $ k_arg $ timeout_arg $ max_states_arg
+      $ max_transitions_arg)
 
 (* --- dft ------------------------------------------------------------------- *)
 
@@ -254,19 +309,25 @@ let dft_cmd =
          ~doc:"Insert a control point (test-mode mux) on the signal and \
                re-run ATPG; repeatable.")
   in
-  let run file budget control =
+  let run file budget control k timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
     let faults = Fault.universe_input_sa c in
+    (* The same config (test-cycle budget and resource limits) governs
+       every ATPG run below, instrumented circuits included. *)
+    let config =
+      { Engine.default_config with k; timeout; max_states; max_transitions }
+    in
     if control = [] then begin
-      let imp = Dft.evaluate ~budget c ~faults in
+      let imp = Dft.evaluate ~budget ~config c ~faults in
       Format.printf "coverage before: %d/%d@." imp.Dft.before_detected imp.Dft.total;
-      match imp.Dft.points with
+      (match imp.Dft.points with
       | [] -> Format.printf "no observation points needed@."
       | points ->
         Format.printf "observation points:%s@."
           (String.concat ""
              (List.map (fun p -> " " ^ Circuit.node_name c p) points));
-        Format.printf "coverage after:  %d/%d@." imp.Dft.after_detected imp.Dft.total
+        Format.printf "coverage after:  %d/%d@." imp.Dft.after_detected imp.Dft.total);
+      if imp.Dft.partial then exit exit_partial
     end
     else begin
       let nodes =
@@ -277,18 +338,21 @@ let dft_cmd =
             | None -> or_die (Error ("unknown signal " ^ nm)))
           control
       in
-      let before = Engine.run c ~faults in
+      let before = Engine.run ~config c ~faults in
       let cp = Dft.insert_control_points c nodes in
-      let after = Engine.run cp ~faults:(Fault.universe_input_sa cp) in
+      let after = Engine.run ~config cp ~faults:(Fault.universe_input_sa cp) in
       Format.printf "before: %d/%d; with control points: %d/%d@."
         (Engine.detected before) (Engine.total before)
-        (Engine.detected after) (Engine.total after)
+        (Engine.detected after) (Engine.total after);
+      if Engine.partial before || Engine.partial after then exit exit_partial
     end
   in
   Cmd.v
     (Cmd.info "dft"
        ~doc:"Recommend and evaluate test observation/control points.")
-    Term.(const run $ file $ budget $ control)
+    Term.(
+      const run $ file $ budget $ control $ k_arg $ timeout_arg
+      $ max_states_arg $ max_transitions_arg)
 
 (* --- dot ------------------------------------------------------------------- *)
 

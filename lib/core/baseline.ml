@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_circuit
 open Satg_fault
 open Satg_sim
@@ -7,6 +8,7 @@ type claim = {
   sequence : Testset.sequence option;
   survives_validation : bool;
   truly_detects : bool;
+  aborted : Guard.reason option;
 }
 
 type result = {
@@ -63,7 +65,8 @@ let all_vectors n =
   List.init (1 lsl n) (fun mask ->
       Array.init n (fun i -> mask land (1 lsl i) <> 0))
 
-let find_test_sync ~max_depth ~max_states good_model fault_model f0 good0 =
+let find_test_sync ~max_depth ~max_states guard good_model fault_model f0 good0
+    =
   let c = good_model.sc in
   let vectors = all_vectors (Circuit.n_inputs c) in
   let key g fs =
@@ -85,6 +88,7 @@ let find_test_sync ~max_depth ~max_states good_model fault_model f0 good0 =
         List.iter
           (fun v ->
             if !result = None && Hashtbl.length seen < max_states then begin
+              Guard.spend_transition guard;
               let g' = sync_step good_model g v in
               let fs' = sync_step fault_model fs v in
               if differs g' fs' then result := Some (List.rev (v :: path))
@@ -126,7 +130,8 @@ let unit_delay_validates good fc reset freset seq =
   in
   go reset freset seq false
 
-let run ?(max_depth = 24) ?(max_states = 20_000) circuit ~cssg ~faults =
+let run ?(max_depth = 24) ?(max_states = 20_000) ?(guard = Guard.none) circuit
+    ~cssg ~faults =
   let t0 = Sys.time () in
   let reset =
     match Circuit.initial circuit with
@@ -137,26 +142,34 @@ let run ?(max_depth = 24) ?(max_states = 20_000) circuit ~cssg ~faults =
   let claims =
     List.map
       (fun f ->
-        let fc = Fault.inject circuit f in
-        let freset = Fault.initial_faulty_state circuit f reset in
-        (* Settle the faulty machine once synchronously (the virtual-FF
-           model needs a starting state). *)
-        let fault_model = make_sync_model fc in
-        let sequence =
-          find_test_sync ~max_depth ~max_states good_model fault_model freset
-            reset
+        let work () =
+          let fc = Fault.inject circuit f in
+          let freset = Fault.initial_faulty_state circuit f reset in
+          (* Settle the faulty machine once synchronously (the virtual-FF
+             model needs a starting state). *)
+          let fault_model = make_sync_model fc in
+          let sequence =
+            find_test_sync ~max_depth ~max_states guard good_model fault_model
+              freset reset
+          in
+          let survives_validation =
+            match sequence with
+            | None -> false
+            | Some seq -> unit_delay_validates circuit fc reset freset seq
+          in
+          let truly_detects =
+            match sequence with
+            | None -> false
+            | Some seq -> Detect.check cssg f seq
+          in
+          { fault = f; sequence; survives_validation; truly_detects;
+            aborted = None }
         in
-        let survives_validation =
-          match sequence with
-          | None -> false
-          | Some seq -> unit_delay_validates circuit fc reset freset seq
-        in
-        let truly_detects =
-          match sequence with
-          | None -> false
-          | Some seq -> Detect.check cssg f seq
-        in
-        { fault = f; sequence; survives_validation; truly_detects })
+        match Guard.guarded guard work with
+        | Ok claim -> claim
+        | Error reason ->
+          { fault = f; sequence = None; survives_validation = false;
+            truly_detects = false; aborted = Some reason })
       faults
   in
   { circuit; claims; cpu_seconds = Sys.time () -. t0 }
@@ -170,8 +183,12 @@ let validated r =
 let truly_detected r =
   List.length (List.filter (fun c -> c.truly_detects) r.claims)
 
+let aborted r =
+  List.length (List.filter (fun c -> c.aborted <> None) r.claims)
+
 let pp_summary fmt r =
   Format.fprintf fmt
     "baseline %s: %d/%d claimed, %d survive unit-delay validation, %d truly valid (%.2fs)"
     (Circuit.name r.circuit) (claimed r) (List.length r.claims) (validated r)
-    (truly_detected r) r.cpu_seconds
+    (truly_detected r) r.cpu_seconds;
+  if aborted r > 0 then Format.fprintf fmt " [%d aborted]" (aborted r)

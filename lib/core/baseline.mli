@@ -11,6 +11,7 @@
     the exact unbounded-delay model (our CSSG + ternary machinery) to
     quantify the optimism the paper describes. *)
 
+open Satg_guard
 open Satg_circuit
 open Satg_fault
 open Satg_sg
@@ -22,6 +23,8 @@ type claim = {
       (** unit-delay replay settles everywhere and shows the fault *)
   truly_detects : bool;
       (** valid CSSG path and conservative ternary detection *)
+  aborted : Guard.reason option;
+      (** the resource budget ran out while handling this fault *)
 }
 
 type result = {
@@ -33,13 +36,23 @@ type result = {
 val run :
   ?max_depth:int ->
   ?max_states:int ->
+  ?guard:Guard.t ->
   Circuit.t ->
   cssg:Cssg.t ->
   faults:Fault.t list ->
   result
-(** [cssg] is the exact graph used only for the final truth scoring. *)
+(** [cssg] is the exact graph used only for the final truth scoring.
+
+    [guard] is a budget for the whole baseline run (one transition per
+    product-BFS expansion); once it trips, the current and all
+    remaining faults are recorded with [aborted = Some _] rather than
+    raising. *)
 
 val claimed : result -> int
 val validated : result -> int
 val truly_detected : result -> int
+
+val aborted : result -> int
+(** Claims cut short by the resource budget. *)
+
 val pp_summary : Format.formatter -> result -> unit

@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_circuit
 open Satg_sim
 open Satg_sg
@@ -73,7 +74,9 @@ let set_key c states =
   List.map (Circuit.state_to_string c) states
   |> List.sort Stdlib.compare |> String.concat "|"
 
-let find_test ?(max_depth = 24) ?(max_states = 4_000) ?(max_set = 128) g f =
+let find_test ?(max_depth = 24) ?(max_states = 4_000) ?(max_set = 128)
+    ?(guard = Guard.none) g f =
+  Guard.check_time guard;
   let c = Cssg.circuit g in
   let seen = Hashtbl.create 256 in
   let queue = Queue.create () in
@@ -90,6 +93,7 @@ let find_test ?(max_depth = 24) ?(max_states = 4_000) ?(max_set = 128) g f =
       List.iter
         (fun e ->
           if !result = None && Hashtbl.length seen < max_states then begin
+            Guard.spend_transition guard;
             let j = e.Cssg.target in
             match step ~max_set g f fsts e.Cssg.vector with
             | None -> ()
@@ -127,27 +131,47 @@ let check g f seq =
     in
     go trace (start g) seq
 
+type status =
+  | Found of Testset.sequence
+  | Not_found
+  | Aborted of Guard.reason
+
 type result = {
   circuit : Circuit.t;
-  outcomes : (t * Testset.sequence option) list;
+  outcomes : (t * status) list;
   cpu_seconds : float;
 }
 
-let run ?max_depth ?max_states g =
+let run ?max_depth ?max_states ?(guard = Guard.none) g =
   let t0 = Sys.time () in
   let c = Cssg.circuit g in
   let outcomes =
     List.map
-      (fun f -> (f, find_test ?max_depth ?max_states g f))
+      (fun f ->
+        match
+          Guard.guarded guard (fun () ->
+              find_test ?max_depth ?max_states ~guard g f)
+        with
+        | Ok (Some seq) -> (f, Found seq)
+        | Ok None -> (f, Not_found)
+        | Error reason -> (f, Aborted reason))
       (universe c)
   in
   { circuit = c; outcomes; cpu_seconds = Sys.time () -. t0 }
 
 let detected r =
-  List.length (List.filter (fun (_, s) -> s <> None) r.outcomes)
+  List.length
+    (List.filter (fun (_, s) -> match s with Found _ -> true | _ -> false)
+       r.outcomes)
+
+let aborted r =
+  List.length
+    (List.filter (fun (_, s) -> match s with Aborted _ -> true | _ -> false)
+       r.outcomes)
 
 let total r = List.length r.outcomes
 
 let pp_summary fmt r =
   Format.fprintf fmt "%s: %d/%d gross delay faults detected (%.2fs)"
-    (Circuit.name r.circuit) (detected r) (total r) r.cpu_seconds
+    (Circuit.name r.circuit) (detected r) (total r) r.cpu_seconds;
+  if aborted r > 0 then Format.fprintf fmt " [%d aborted]" (aborted r)

@@ -16,6 +16,7 @@
     delay fault is observable by the same synchronous tester at the
     same cycle time. *)
 
+open Satg_guard
 open Satg_circuit
 open Satg_sg
 
@@ -35,23 +36,38 @@ val find_test :
   ?max_depth:int ->
   ?max_states:int ->
   ?max_set:int ->
+  ?guard:Guard.t ->
   Cssg.t ->
   t ->
   Testset.sequence option
 (** Breadth-first search over the product of the good CSSG and the
     exact set of delayed-machine states; the same bounds as
-    {!Three_phase.config}. *)
+    {!Three_phase.config}.  [guard] is charged one transition per edge
+    expansion and raises {!Guard.Exhausted} when spent. *)
 
 val check : Cssg.t -> t -> Testset.sequence -> bool
 (** Replay a sequence against the delayed machine (exact sets). *)
 
+type status =
+  | Found of Testset.sequence
+  | Not_found
+  | Aborted of Guard.reason
+      (** the run-wide budget ran out at or before this fault *)
+
 type result = {
   circuit : Circuit.t;
-  outcomes : (t * Testset.sequence option) list;
+  outcomes : (t * status) list;
   cpu_seconds : float;
 }
 
-val run : ?max_depth:int -> ?max_states:int -> Cssg.t -> result
+val run : ?max_depth:int -> ?max_states:int -> ?guard:Guard.t -> Cssg.t -> result
+(** [guard] is a budget for the whole sweep; faults reached after it
+    trips are recorded as {!Aborted} rather than raising. *)
+
 val detected : result -> int
+
+val aborted : result -> int
+(** Outcomes cut short by the resource budget. *)
+
 val total : result -> int
 val pp_summary : Format.formatter -> result -> unit

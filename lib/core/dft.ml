@@ -43,18 +43,19 @@ type improvement = {
   after_detected : int;
   total : int;
   points : int list;
+  partial : bool;
 }
 
 let evaluate ?budget ?(config = Engine.default_config) circuit ~faults =
   let before = Engine.run ~config circuit ~faults in
   let undetected = Engine.undetected_faults before in
   let points = recommend ?budget before.Engine.cssg ~undetected in
-  let after_detected =
-    if points = [] then Engine.detected before
+  let after_detected, after_partial =
+    if points = [] then (Engine.detected before, false)
     else begin
       let instrumented = observe circuit points in
       let after = Engine.run ~config instrumented ~faults in
-      Engine.detected after
+      (Engine.detected after, Engine.partial after)
     end
   in
   {
@@ -62,6 +63,7 @@ let evaluate ?budget ?(config = Engine.default_config) circuit ~faults =
     after_detected;
     total = Engine.total before;
     points;
+    partial = Engine.partial before || after_partial;
   }
 
 let insert_control_points c points =

@@ -38,6 +38,9 @@ type improvement = {
   after_detected : int;
   total : int;
   points : int list;  (** chosen observation nodes *)
+  partial : bool;
+      (** either ATPG run hit a resource ceiling (truncated CSSG or
+          aborted faults), so the coverages are lower bounds *)
 }
 
 val evaluate :
@@ -47,7 +50,8 @@ val evaluate :
   faults:Fault.t list ->
   improvement
 (** Run ATPG, pick observation points for what is left, re-run on the
-    instrumented circuit, and report both coverages. *)
+    instrumented circuit, and report both coverages.  The [config]
+    (including [k] and the resource limits) applies to both runs. *)
 
 val insert_control_points : Circuit.t -> int list -> Circuit.t
 (** Controllability DFT: for every listed gate node, insert a test

@@ -1,4 +1,6 @@
+open Satg_guard
 open Satg_circuit
+open Satg_fault
 open Satg_sg
 
 type config = {
@@ -6,6 +8,9 @@ type config = {
   enable_random : bool;
   enable_fault_sim : bool;
   symbolic_justification : bool;
+  timeout : float option;
+  max_states : int option;
+  max_transitions : int option;
   random : Random_tpg.config;
   three_phase : Three_phase.config;
 }
@@ -16,8 +21,20 @@ let default_config =
     enable_random = true;
     enable_fault_sim = true;
     symbolic_justification = false;
+    timeout = None;
+    max_states = None;
+    max_transitions = None;
     random = Random_tpg.default_config;
     three_phase = Three_phase.default_config;
+  }
+
+(* The retry config for a fault that exhausted its budget: same phases,
+   roughly half the search envelope, floors keeping it meaningful. *)
+let reduced_effort c =
+  {
+    Three_phase.max_depth = max 4 (c.Three_phase.max_depth / 2);
+    max_product_states = max 64 (c.Three_phase.max_product_states / 2);
+    max_activation_tries = max 2 (c.Three_phase.max_activation_tries / 2);
   }
 
 type result = {
@@ -29,42 +46,83 @@ type result = {
 
 let run ?(config = default_config) ?cssg circuit ~faults =
   let t0 = Sys.time () in
+  let run_guard =
+    Guard.create ?timeout:config.timeout ?max_states:config.max_states
+      ?max_transitions:config.max_transitions ()
+  in
+  (* Every phase below gets a sub-guard: fresh state/transition counters
+     (so one runaway fault cannot starve the others) under the shared
+     absolute deadline (so --timeout bounds the whole run). *)
+  let sub_guard () =
+    Guard.sub ?max_states:config.max_states
+      ?max_transitions:config.max_transitions run_guard
+  in
   let g =
     match cssg with
     | Some g -> g
-    | None -> Explicit.build ?k:config.k circuit
+    | None -> Explicit.build ?k:config.k ~guard:run_guard circuit
   in
   let symbolic =
     if config.symbolic_justification then
-      Some (Symbolic.build ~k:(Cssg.k g) circuit)
+      Some (Symbolic.build ~k:(Cssg.k g) ~guard:(sub_guard ()) circuit)
     else None
   in
   let status = Hashtbl.create (List.length faults) in
-  (* Phase 1: random TPG. *)
+  (* Phase 1: random TPG.  Runs even over a truncated graph (its edges
+     are all genuine); skipped only if the deadline is already gone. *)
   let remaining =
-    if config.enable_random then begin
-      let detected, remaining = Random_tpg.run ~config:config.random g ~faults in
-      List.iter
-        (fun (f, seq) ->
-          Hashtbl.replace status f
-            (Testset.Detected { sequence = seq; phase = Testset.Random }))
-        detected;
-      remaining
-    end
+    if config.enable_random then
+      match
+        Guard.guarded (sub_guard ()) (fun () ->
+            Random_tpg.run ~config:config.random g ~faults)
+      with
+      | Ok (detected, remaining) ->
+        List.iter
+          (fun (f, seq) ->
+            Hashtbl.replace status f
+              (Testset.Detected { sequence = seq; phase = Testset.Random }))
+          detected;
+        remaining
+      | Error _ -> faults
     else faults
   in
   (* Phase 2: three-phase ATPG per fault, with fault simulation of each
-     found test over the faults still pending. *)
+     found test over the faults still pending.  Each fault searches
+     under its own sub-guard; exhaustion aborts that fault only, after
+     one retry at reduced effort (explicit justification, smaller
+     search envelope).  A blown deadline is global, so it skips the
+     retry. *)
+  let attempt tp_config symbolic f =
+    match
+      Three_phase.find_test ~config:tp_config ~guard:(sub_guard ()) ?symbolic g
+        f
+    with
+    | Some seq -> `Found seq
+    | None -> `Not_found
+    | exception Guard.Exhausted r -> `Exhausted r
+  in
+  let find f =
+    match attempt config.three_phase symbolic f with
+    | `Exhausted Guard.Timeout -> `Aborted Guard.Timeout
+    | `Exhausted _ -> (
+      match attempt (reduced_effort config.three_phase) None f with
+      | `Exhausted r -> `Aborted r
+      | (`Found _ | `Not_found) as x -> x)
+    | (`Found _ | `Not_found) as x -> x
+  in
   let rec deterministic = function
     | [] -> ()
     | f :: rest ->
       if Hashtbl.mem status f then deterministic rest
       else begin
-        match Three_phase.find_test ~config:config.three_phase ?symbolic g f with
-        | None ->
+        match find f with
+        | `Aborted r ->
+          Hashtbl.replace status f (Testset.Aborted r);
+          deterministic rest
+        | `Not_found ->
           Hashtbl.replace status f Testset.Undetected;
           deterministic rest
-        | Some seq ->
+        | `Found seq ->
           Hashtbl.replace status f
             (Testset.Detected { sequence = seq; phase = Testset.Three_phase });
           let rest =
@@ -104,13 +162,17 @@ let detected r =
   List.length
     (List.filter (fun o -> Testset.is_detected o.Testset.status) r.outcomes)
 
+let aborted r =
+  List.length
+    (List.filter (fun o -> Testset.is_aborted o.Testset.status) r.outcomes)
+
 let detected_by r phase =
   List.length
     (List.filter
        (fun o ->
          match o.Testset.status with
          | Testset.Detected { phase = p; _ } -> p = phase
-         | Testset.Undetected -> false)
+         | Testset.Undetected | Testset.Aborted _ -> false)
        r.outcomes)
 
 let coverage_pct r =
@@ -122,8 +184,19 @@ let undetected_faults r =
     (fun o ->
       match o.Testset.status with
       | Testset.Undetected -> Some o.Testset.fault
-      | Testset.Detected _ -> None)
+      | Testset.Detected _ | Testset.Aborted _ -> None)
     r.outcomes
+
+let aborted_faults r =
+  List.filter_map
+    (fun o ->
+      match o.Testset.status with
+      | Testset.Aborted reason -> Some (o.Testset.fault, reason)
+      | Testset.Detected _ | Testset.Undetected -> None)
+    r.outcomes
+
+let truncated r = Cssg.truncated r.cssg
+let partial r = truncated r <> None || aborted r > 0
 
 let pp_summary fmt r =
   Format.fprintf fmt
@@ -132,4 +205,20 @@ let pp_summary fmt r =
     (detected_by r Testset.Random)
     (detected_by r Testset.Three_phase)
     (detected_by r Testset.Fault_simulation)
-    r.cpu_seconds
+    r.cpu_seconds;
+  (match truncated r with
+  | Some reason ->
+    Format.fprintf fmt "@\n  CSSG truncated (%s): coverage is a lower bound"
+      (Guard.reason_to_string reason)
+  | None -> ());
+  match aborted_faults r with
+  | [] -> ()
+  | fs ->
+    Format.fprintf fmt "@\n  aborted (%d): %s" (List.length fs)
+      (String.concat ", "
+         (List.map
+            (fun (f, reason) ->
+              Printf.sprintf "%s [%s]"
+                (Fault.to_string r.circuit f)
+                (Guard.reason_to_string reason))
+            fs))

@@ -1,7 +1,16 @@
 (** The full ATPG pipeline (paper §2): CSSG abstraction, random TPG,
     three-phase deterministic ATPG, and fault simulation of every found
-    test against the remaining faults. *)
+    test against the remaining faults.
 
+    The pipeline is {e fail-soft} under resource governance: CSSG
+    construction that exhausts its budget yields a truncated (but
+    sound) graph and the later phases still run over it; a fault whose
+    deterministic search exhausts its budget is retried once at reduced
+    effort and otherwise recorded as {!Testset.Aborted} while the rest
+    of the fault list proceeds.  No {!Satg_guard.Guard.Exhausted}
+    escapes {!run}. *)
+
+open Satg_guard
 open Satg_circuit
 open Satg_fault
 open Satg_sg
@@ -12,6 +21,12 @@ type config = {
   enable_fault_sim : bool;
   symbolic_justification : bool;
       (** justify through the BDD engine instead of explicit BFS *)
+  timeout : float option;
+      (** wall-clock budget in seconds for the whole run *)
+  max_states : int option;
+      (** CSSG state ceiling, also the per-fault product-state ceiling *)
+  max_transitions : int option;
+      (** transition-expansion ceiling, per phase / per fault *)
   random : Random_tpg.config;
   three_phase : Three_phase.config;
 }
@@ -27,14 +42,35 @@ type result = {
 
 val run : ?config:config -> ?cssg:Cssg.t -> Circuit.t -> faults:Fault.t list -> result
 (** [cssg] lets callers reuse a prebuilt graph (e.g. across the two
-    fault universes of one benchmark). *)
+    fault universes of one benchmark).
+
+    Resource limits come from the config: the wall-clock deadline is
+    global to the run, while state/transition counters are reset per
+    phase and per fault ({!Guard.sub}), so one pathological fault
+    cannot starve the others. *)
 
 val total : result -> int
 val detected : result -> int
+
+val aborted : result -> int
+(** Faults whose search blew its resource budget (after the retry). *)
 
 val detected_by : result -> Testset.phase -> int
 (** Faults whose first detection came from the given phase. *)
 
 val coverage_pct : result -> float
 val undetected_faults : result -> Fault.t list
+
+val aborted_faults : result -> (Fault.t * Guard.reason) list
+(** The aborted faults, in input order, with why each gave up. *)
+
+val truncated : result -> Guard.reason option
+(** Why CSSG construction stopped early, if it did. *)
+
+val partial : result -> bool
+(** True iff the CSSG is truncated or any fault aborted — the result
+    understates achievable coverage (CLI exit code 2). *)
+
 val pp_summary : Format.formatter -> result -> unit
+(** One-line coverage summary; appends a truncation note and the list
+    of aborted faults (with reasons) when the run was partial. *)

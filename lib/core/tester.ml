@@ -26,7 +26,7 @@ let of_result (r : Engine.result) =
   List.iter
     (fun o ->
       match o.Testset.status with
-      | Testset.Undetected -> ()
+      | Testset.Undetected | Testset.Aborted _ -> ()
       | Testset.Detected { sequence; _ } ->
         let key = Testset.sequence_to_string sequence in
         (match Hashtbl.find_opt by_sequence key with

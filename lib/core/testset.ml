@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_fault
 
 type sequence = bool array list
@@ -13,6 +14,7 @@ type status =
       phase : phase;
     }
   | Undetected
+  | Aborted of Guard.reason
 
 type outcome = {
   fault : Fault.t;
@@ -24,7 +26,8 @@ let phase_name = function
   | Three_phase -> "3-phase"
   | Fault_simulation -> "fault-sim"
 
-let is_detected = function Detected _ -> true | Undetected -> false
+let is_detected = function Detected _ -> true | Undetected | Aborted _ -> false
+let is_aborted = function Aborted _ -> true | Detected _ | Undetected -> false
 
 let sequence_to_string seq =
   String.concat " "
@@ -41,3 +44,6 @@ let pp_outcome c fmt o =
       (sequence_to_string sequence)
   | Undetected ->
     Format.fprintf fmt "%s: UNDETECTED" (Fault.to_string c o.fault)
+  | Aborted reason ->
+    Format.fprintf fmt "%s: ABORTED (%s)" (Fault.to_string c o.fault)
+      (Guard.reason_to_string reason)

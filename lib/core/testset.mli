@@ -1,5 +1,6 @@
 (** Test sequences and per-fault outcomes shared by all ATPG phases. *)
 
+open Satg_guard
 open Satg_circuit
 open Satg_fault
 
@@ -18,6 +19,13 @@ type status =
       phase : phase;
     }
   | Undetected
+      (** deterministic ATPG completed and found no test — under a
+          truncated CSSG this means "not detectable in the explored
+          region" *)
+  | Aborted of Guard.reason
+      (** the fault's own search blew its resource budget (even after
+          one retry at reduced effort); neither detected nor proven
+          undetectable *)
 
 type outcome = {
   fault : Fault.t;
@@ -26,6 +34,7 @@ type outcome = {
 
 val phase_name : phase -> string
 val is_detected : status -> bool
+val is_aborted : status -> bool
 
 val sequence_to_string : sequence -> string
 (** Vectors separated by spaces, e.g. ["10 11 01"]. *)

@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_circuit
 open Satg_fault
 open Satg_sg
@@ -46,12 +47,13 @@ let path_to parent i =
 (* Replay a justification prefix, tracking the exact faulty-state set.
    A definite full-set output difference along the way is the
    "corruption always" case of figure 3(a) and shortens the test. *)
-let replay_prefix g fm f0 prefix =
+let replay_prefix guard g fm f0 prefix =
   let rec go i fstates applied = function
     | [] ->
       if Detect.exact_differs g i fm fstates then `Detected (List.rev applied)
       else `At fstates
     | v :: rest -> (
+      Guard.tick guard;
       if Detect.exact_differs g i fm fstates then `Detected (List.rev applied)
       else
         match Cssg.apply g i v with
@@ -70,7 +72,7 @@ let set_key c fstates =
   |> List.sort Stdlib.compare |> String.concat "|"
 
 (* Differentiation: BFS over (good state, exact faulty-state set). *)
-let differentiate config g fm start_good fstates prefix =
+let differentiate config guard g fm start_good fstates prefix =
   let c = Cssg.circuit g in
   let seen = Hashtbl.create 256 in
   let queue = Queue.create () in
@@ -84,6 +86,7 @@ let differentiate config g fm start_good fstates prefix =
         (fun e ->
           if !result = None && Hashtbl.length seen < config.max_product_states
           then begin
+            Guard.spend_transition guard;
             let j = e.Cssg.target in
             match Detect.exact_apply fm fsts e.Cssg.vector with
             | None -> ()
@@ -102,7 +105,11 @@ let differentiate config g fm start_good fstates prefix =
   done;
   Option.map (fun suffix -> prefix @ suffix) !result
 
-let find_test ?(config = default_config) ?symbolic g f =
+let find_test ?(config = default_config) ?(guard = Guard.none) ?symbolic g f =
+  (* An already-expired deadline must abort even on graphs too small for
+     the per-edge ticks below to ever fire (e.g. an edgeless truncated
+     CSSG). *)
+  Guard.check_time guard;
   let good = Cssg.circuit g in
   let site = Fault.site_signal good f in
   let stuck = Fault.stuck_value f in
@@ -142,9 +149,9 @@ let find_test ?(config = default_config) ?symbolic g f =
     match justification_prefix act with
     | None -> None
     | Some prefix -> (
-      match replay_prefix g fm f0 prefix with
+      match replay_prefix guard g fm f0 prefix with
       | `Detected seq -> Some seq
       | `Abort -> None
-      | `At fstates -> differentiate config g fm act fstates prefix)
+      | `At fstates -> differentiate config guard g fm act fstates prefix)
   in
   List.find_map try_candidate candidates

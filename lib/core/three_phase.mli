@@ -17,6 +17,7 @@
     Faults whose site never takes the opposite value in a stable state
     skip activation and run differentiation from reset (§5.1). *)
 
+open Satg_guard
 open Satg_fault
 open Satg_sg
 
@@ -30,12 +31,18 @@ val default_config : config
 
 val find_test :
   ?config:config ->
+  ?guard:Guard.t ->
   ?symbolic:Symbolic.t ->
   Cssg.t ->
   Fault.t ->
   Testset.sequence option
 (** A valid test sequence detecting the fault, or [None] if the bounded
     search fails (undetectable or out of budget).
+
+    [guard] is consulted on entry and charged one transition per product
+    edge expanded during differentiation; exhaustion raises
+    {!Guard.Exhausted} (callers such as {!Engine.run} turn this into a
+    per-fault {!Testset.Aborted} outcome).
 
     With [?symbolic], state justification runs on the BDD engine
     (onion-ring image computation, as the paper does in §5) instead of

@@ -1,0 +1,97 @@
+type reason =
+  | Timeout
+  | State_limit
+  | Transition_limit
+
+exception Exhausted of reason
+
+type limits = {
+  deadline : float option;  (* absolute, Unix.gettimeofday basis *)
+  max_states : int option;
+  max_transitions : int option;
+}
+
+type t = {
+  limits : limits;
+  mutable states : int;
+  mutable transitions : int;
+  mutable ticks : int;
+  mutable tripped : reason option;
+}
+
+let tick_period = 256
+
+let make limits =
+  { limits; states = 0; transitions = 0; ticks = 0; tripped = None }
+
+(* Shared mutable value, but with every limit unlimited nothing ever
+   trips, so the shared counters are harmless noise. *)
+let none = make { deadline = None; max_states = None; max_transitions = None }
+
+let is_none t =
+  t.limits.deadline = None
+  && t.limits.max_states = None
+  && t.limits.max_transitions = None
+
+let create ?timeout ?max_states ?max_transitions () =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  make { deadline; max_states; max_transitions }
+
+let sub ?max_states ?max_transitions t =
+  make { deadline = t.limits.deadline; max_states; max_transitions }
+
+let trip t r =
+  t.tripped <- Some r;
+  raise (Exhausted r)
+
+let retrip t = match t.tripped with Some r -> raise (Exhausted r) | None -> ()
+
+let check_time t =
+  retrip t;
+  match t.limits.deadline with
+  | Some d when Unix.gettimeofday () > d -> trip t Timeout
+  | _ -> ()
+
+let tick t =
+  retrip t;
+  if t.limits.deadline <> None then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks land (tick_period - 1) = 0 then check_time t
+  end
+
+let spend_states t n =
+  t.states <- t.states + n;
+  (match t.limits.max_states with
+  | Some m when t.states > m -> trip t State_limit
+  | _ -> ());
+  tick t
+
+let spend_state t = spend_states t 1
+
+let spend_transitions t n =
+  t.transitions <- t.transitions + n;
+  (match t.limits.max_transitions with
+  | Some m when t.transitions > m -> trip t Transition_limit
+  | _ -> ());
+  tick t
+
+let spend_transition t = spend_transitions t 1
+
+let states_used t = t.states
+let transitions_used t = t.transitions
+let tripped t = t.tripped
+
+let guarded t f =
+  match
+    check_time t;
+    f ()
+  with
+  | v -> Ok v
+  | exception Exhausted r -> Error r
+
+let reason_to_string = function
+  | Timeout -> "timeout"
+  | State_limit -> "state-limit"
+  | Transition_limit -> "transition-limit"
+
+let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)

@@ -72,3 +72,7 @@ let to_csv t =
 let cell_int = string_of_int
 let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
 let cell_pct f = Printf.sprintf "%.2f%%" f
+let cell_ratio num den = Printf.sprintf "%d/%d" num den
+
+(* Aborted counts render as "-" when zero so complete runs stay clean. *)
+let cell_aborted n = if n = 0 then "-" else string_of_int n

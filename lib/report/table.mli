@@ -14,3 +14,10 @@ val to_csv : t -> string
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string
 val cell_pct : float -> string
+
+val cell_ratio : int -> int -> string
+(** ["num/den"]. *)
+
+val cell_aborted : int -> string
+(** An aborted-fault count: ["-"] when zero (a complete run), the count
+    otherwise. *)

@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_circuit
 
 type edge = {
@@ -13,6 +14,7 @@ type t = {
   succ : edge list array;
   initial : int list;
   deterministic : bool array;
+  truncated : Guard.reason option;
 }
 
 let reachable_via_edges succ initial n =
@@ -26,7 +28,7 @@ let reachable_via_edges succ initial n =
   List.iter visit initial;
   seen
 
-let make ~circuit ~k ~states ~succ ~initial =
+let make ?truncated ~circuit ~k ~states ~succ ~initial () =
   let n = Array.length states in
   if Array.length succ <> n then invalid_arg "Cssg.make: succ length mismatch";
   List.iter
@@ -52,10 +54,12 @@ let make ~circuit ~k ~states ~succ ~initial =
     succ;
     initial;
     deterministic = reachable_via_edges succ initial n;
+    truncated;
   }
 
 let circuit t = t.circuit
 let k t = t.k
+let truncated t = t.truncated
 let n_states t = Array.length t.states
 let n_edges t = Array.fold_left (fun acc es -> acc + List.length es) 0 t.succ
 let state t i = Array.copy t.states.(i)
@@ -122,8 +126,11 @@ let pp_stats fmt t =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.deterministic
   in
   Format.fprintf fmt
-    "CSSG(%s, k=%d): %d stable states (%d deterministically reachable), %d valid edges"
+    "CSSG(%s, k=%d): %d stable states (%d deterministically reachable), %d valid edges%s"
     (Circuit.name t.circuit) t.k (n_states t) det (n_edges t)
+    (match t.truncated with
+    | None -> ""
+    | Some r -> Printf.sprintf " [TRUNCATED: %s]" (Guard.reason_to_string r))
 
 let pp fmt t =
   pp_stats fmt t;

@@ -10,8 +10,17 @@
     Nodes reachable only through invalid (non-confluent) patterns are
     kept, as in the paper's figure 2 (they may still serve as forced
     reset states), but they are flagged as not deterministically
-    reachable and justification never routes through them. *)
+    reachable and justification never routes through them.
 
+    A graph may be {e truncated}: a builder that exhausted its
+    {!Satg_guard.Guard} budget returns the region explored so far,
+    tagged with the exhaustion reason.  A truncated graph is a sound
+    under-approximation — every state and edge it contains is a real
+    CSSG state/edge — so random TPG, fault simulation and deterministic
+    ATPG all remain valid over it; only completeness (coverage) is
+    lost. *)
+
+open Satg_guard
 open Satg_circuit
 
 type edge = {
@@ -22,11 +31,13 @@ type edge = {
 type t
 
 val make :
+  ?truncated:Guard.reason ->
   circuit:Circuit.t ->
   k:int ->
   states:bool array array ->
   succ:edge list array ->
   initial:int list ->
+  unit ->
   t
 (** Used by the builders; normalises nothing but checks array lengths
     and computes deterministic reachability.
@@ -34,6 +45,10 @@ val make :
 
 val circuit : t -> Circuit.t
 val k : t -> int
+
+val truncated : t -> Guard.reason option
+(** Why construction stopped early, if it did. *)
+
 val n_states : t -> int
 val n_edges : t -> int
 val state : t -> int -> bool array

@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_circuit
 open Satg_sim
 
@@ -5,7 +6,8 @@ let all_vectors n =
   List.init (1 lsl n) (fun mask ->
       Array.init n (fun i -> mask land (1 lsl i) <> 0))
 
-let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000) c =
+let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
+    ?(guard = Guard.none) c =
   let k = match k with Some k -> k | None -> Structure.default_k c in
   let reset =
     match Circuit.initial c with
@@ -23,6 +25,11 @@ let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000) c =
     match Hashtbl.find_opt index key with
     | Some i -> (i, false)
     | None ->
+      (* Spend before registering, so a truncated graph never holds
+         more than [max_states] states and every recorded edge points
+         at a registered state.  The reset state is exempt: even a
+         zero-budget build yields a valid one-state graph. *)
+      if !count > 0 then Guard.spend_state guard;
       let i = !count in
       incr count;
       Hashtbl.replace index key i;
@@ -43,7 +50,7 @@ let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000) c =
      definition); the hybrid fallback uses the early-exit classifier. *)
   let classify_pure s v =
     let s1 = Circuit.apply_input_vector c s v in
-    let finals = Async_sim.states_after c ~k s1 in
+    let finals = Async_sim.states_after ~guard c ~k s1 in
     let stables = List.filter (Circuit.is_stable c) finals in
     let ids = List.map enqueue stables in
     match (finals, ids) with
@@ -51,7 +58,7 @@ let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000) c =
     | _ -> None
   in
   let classify_fallback s v =
-    match Async_sim.classify_vector ~max_frontier c ~k s v with
+    match Async_sim.classify_vector ~max_frontier ~guard c ~k s v with
     | Async_sim.C_settles final -> Some (enqueue final)
     | Async_sim.C_invalid stables ->
       List.iter (fun s' -> ignore (enqueue s')) stables;
@@ -63,23 +70,31 @@ let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000) c =
     | `Pure -> classify_pure s v
     | `Hybrid -> classify_fallback s v
   in
-  let (_ : int) = enqueue reset in
-  while not (Queue.is_empty queue) do
-    let i, s = Queue.take queue in
-    let current_inputs = Circuit.input_vector_of_state c s in
-    let out = ref [] in
-    List.iter
-      (fun v ->
-        if v <> current_inputs then
-          match classify s v with
-          | Some target -> out := { Cssg.vector = v; target } :: !out
-          | None -> ())
-      vectors;
-    Hashtbl.replace edges i (List.rev !out)
-  done;
+  let truncated = ref None in
+  (* Fail-soft exploration: a tripped guard ends the BFS where it
+     stands.  States already interned keep their (possibly empty) edge
+     lists; the partially classified state of the moment drops its
+     in-flight edges, so everything recorded is exact. *)
+  (try
+     let (_ : int) = enqueue reset in
+     while not (Queue.is_empty queue) do
+       Guard.check_time guard;
+       let i, s = Queue.take queue in
+       let current_inputs = Circuit.input_vector_of_state c s in
+       let out = ref [] in
+       List.iter
+         (fun v ->
+           if v <> current_inputs then
+             match classify s v with
+             | Some target -> out := { Cssg.vector = v; target } :: !out
+             | None -> ())
+         vectors;
+       Hashtbl.replace edges i (List.rev !out)
+     done
+   with Guard.Exhausted r -> truncated := Some r);
   let states = Array.of_list (List.rev !rev_states) in
   let succ =
     Array.init (Array.length states) (fun i ->
         Option.value ~default:[] (Hashtbl.find_opt edges i))
   in
-  Cssg.make ~circuit:c ~k ~states ~succ ~initial:[ 0 ]
+  Cssg.make ?truncated:!truncated ~circuit:c ~k ~states ~succ ~initial:[ 0 ] ()

@@ -22,15 +22,24 @@
     The test suite contains a random-circuit property that distinguishes
     the two semantics. *)
 
+open Satg_guard
 open Satg_circuit
 
 val build :
   ?k:int ->
   ?exploration:[ `Hybrid | `Pure ] ->
   ?max_frontier:int ->
+  ?guard:Guard.t ->
   Circuit.t ->
   Cssg.t
 (** [k] defaults to {!Satg_circuit.Structure.default_k};
     [max_frontier] (default 20_000) only limits [`Hybrid] fallback
     exploration.
+
+    [guard] governs the whole construction: one state spent per
+    interned stable state (the reset state is exempt, so even a
+    zero-budget build yields a valid one-state graph), transitions
+    spent by the underlying unbounded-delay exploration.  Exhaustion
+    does {e not} raise out of [build]: the graph explored so far is
+    returned, tagged with {!Cssg.truncated}.
     @raise Invalid_argument if the circuit has no stable reset state. *)

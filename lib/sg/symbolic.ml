@@ -1,4 +1,5 @@
 open Satg_logic
+open Satg_guard
 open Satg_circuit
 open Satg_bdd
 
@@ -14,6 +15,7 @@ type t = {
   reachable : Bdd.t;  (* over x *)
   cssg : Bdd.t;  (* over (x, y) *)
   reset : bool array;
+  truncated : Guard.reason option;
 }
 
 (* Each node owns three adjacent BDD variables at its rank: present,
@@ -29,6 +31,7 @@ let man t = t.man
 let stable_set t = t.stable
 let reachable t = t.reachable
 let cssg_relation t = t.cssg
+let truncated t = t.truncated
 
 (* --- building blocks ---------------------------------------------------- *)
 
@@ -76,7 +79,7 @@ let gate_function t gid = func_bdd t.man t.circuit (x_of t) gid
 
 (* --- construction -------------------------------------------------------- *)
 
-let build ?k ?node_order c =
+let build ?k ?node_order ?(guard = Guard.none) c =
   let k = match k with Some k -> k | None -> Structure.default_k c in
   let reset =
     match Circuit.initial c with
@@ -163,10 +166,13 @@ let build ?k ?node_order c =
     let t0 = Bdd.and_ m srcs r_input in
     let rec iterate i t =
       if i >= k then t
-      else
+      else begin
+        Guard.spend_transition guard;
+        Guard.check_time guard;
         let t_xz = Bdd.permute m y_to_z t in
         let t' = Bdd.and_exists m ~vars:z_vars t_xz r_delta_zy in
         if Bdd.equal t' t then t else iterate (i + 1) t'
+      end
     in
     iterate 0 t0
   in
@@ -177,15 +183,36 @@ let build ?k ?node_order c =
       (List.init n (fun i ->
            if reset.(i) then Bdd.var m (xv i) else Bdd.nvar m (xv i)))
   in
-  let rec reach_loop reach =
-    let t = tcr reach in
-    let new_stables =
-      y_as_x (Bdd.exists m ~vars:x_vars (Bdd.and_ m t stable_y))
-    in
-    let reach' = Bdd.or_ m reach new_stables in
-    if Bdd.equal reach' reach then (reach, t) else reach_loop reach'
+  let count_states set =
+    let cnt = Bdd.sat_count m ~nvars:(3 * n) set in
+    int_of_float ((cnt /. (2.0 ** float_of_int (2 * n))) +. 0.5)
   in
-  let reachable, tcr_final = reach_loop reset_bdd in
+  (* Fail-soft reachability: a tripped guard keeps the last completed
+     ring.  The partial (reach, tcr) pair is a sound under-approximation
+     of the full graph — every state and edge in it is genuine — so the
+     CSSG pruning below still applies verbatim. *)
+  let truncated = ref None in
+  let rec reach_loop reach t_prev n_prev =
+    match
+      try
+        let t = tcr reach in
+        let new_stables =
+          y_as_x (Bdd.exists m ~vars:x_vars (Bdd.and_ m t stable_y))
+        in
+        let reach' = Bdd.or_ m reach new_stables in
+        let n' = count_states reach' in
+        if n' > n_prev then Guard.spend_states guard (n' - n_prev);
+        Guard.check_time guard;
+        `Step (reach', t, n')
+      with Guard.Exhausted r ->
+        truncated := Some r;
+        `Stop
+    with
+    | `Stop -> (reach, t_prev)
+    | `Step (reach', t, n') ->
+      if Bdd.equal reach' reach then (reach, t) else reach_loop reach' t n'
+  in
+  let reachable, tcr_final = reach_loop reset_bdd (Bdd.zero m) 1 in
   let tcr_xz = Bdd.permute m y_to_z tcr_final in
   let env_eq_yz =
     Array.fold_left
@@ -217,6 +244,7 @@ let build ?k ?node_order c =
     reachable;
     cssg;
     reset;
+    truncated = !truncated;
   }
 
 (* --- queries ------------------------------------------------------------- *)
@@ -333,7 +361,8 @@ let to_cssg t =
                }))
       states
   in
-  Cssg.make ~circuit:t.circuit ~k:t.k ~states ~succ ~initial:[ id_of t.reset ]
+  Cssg.make ?truncated:t.truncated ~circuit:t.circuit ~k:t.k ~states ~succ
+    ~initial:[ id_of t.reset ] ()
 
 (* Greedy sifting at node-triple granularity.  Candidate orders are
    evaluated by transferring the two big artefacts (CSSG relation and

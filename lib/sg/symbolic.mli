@@ -9,16 +9,26 @@
     permutation is configurable ([?node_order]), which is the paper's
     §6 suggestion of studying variable-ordering strategies. *)
 
+open Satg_guard
 open Satg_circuit
 open Satg_bdd
 
 type t
 
-val build : ?k:int -> ?node_order:int array -> Circuit.t -> t
+val build : ?k:int -> ?node_order:int array -> ?guard:Guard.t -> Circuit.t -> t
 (** [node_order] maps each node id to its rank in the variable order
     (default: creation order, which interleaves inputs and gates).
+
+    [guard] governs the traversal: one transition per relational
+    product, states spent as the reachable set grows (counted by
+    sat-count after each ring).  Exhaustion does {e not} raise: the
+    last completed ring is kept and the result is tagged
+    {!truncated} — a sound under-approximation of the full graph.
     @raise Invalid_argument if the circuit has no (stable) reset state
     or [node_order] is not a permutation. *)
+
+val truncated : t -> Guard.reason option
+(** Why the reachability traversal stopped early, if it did. *)
 
 val live_nodes : t -> int
 (** Total BDD nodes of the retained artefacts (transition relations,
@@ -54,7 +64,8 @@ val justify :
 
 val to_cssg : t -> Cssg.t
 (** Enumerate the symbolic graph into the explicit representation
-    (for cross-checks and for the concrete ATPG phases). *)
+    (for cross-checks and for the concrete ATPG phases).  The
+    {!truncated} tag carries over to {!Cssg.truncated}. *)
 
 val sift_order : t -> int array
 (** Greedy sifting over node ranks: starting from this instance's

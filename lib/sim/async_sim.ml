@@ -1,3 +1,4 @@
+open Satg_guard
 open Satg_circuit
 
 type outcome =
@@ -37,12 +38,17 @@ let fire_all _ _ = true
 
 exception Frontier_limit
 
-let states_after ?(max_frontier = max_int) ?(can_fire = fire_all) c ~k s =
+let states_after ?(max_frontier = max_int) ?(can_fire = fire_all)
+    ?(guard = Guard.none) c ~k s =
   let rec go i frontier =
-    if StringSet.cardinal frontier > max_frontier then raise Frontier_limit;
+    let width = StringSet.cardinal frontier in
+    if width > max_frontier then raise Frontier_limit;
     if i >= k then frontier
     else if all_stable c can_fire frontier then frontier
-    else go (i + 1) (step_frontier c can_fire frontier)
+    else begin
+      Guard.spend_transitions guard width;
+      go (i + 1) (step_frontier c can_fire frontier)
+    end
   in
   let final = go 0 (StringSet.singleton (key c s)) in
   StringSet.elements final |> List.map state_of_key
@@ -110,7 +116,7 @@ type classification =
   | C_invalid of bool array list
   | C_capped
 
-let classify_vector ?(max_frontier = max_int) c ~k s v =
+let classify_vector ?(max_frontier = max_int) ?(guard = Guard.none) c ~k s v =
   if not (Circuit.is_stable c s) then
     invalid_arg "Async_sim.classify_vector: state not stable";
   let s1 = Circuit.apply_input_vector c s v in
@@ -128,6 +134,7 @@ let classify_vector ?(max_frontier = max_int) c ~k s v =
   in
   let seen_frontiers = Hashtbl.create 16 in
   let rec go i frontier =
+    Guard.spend_transitions guard (StringSet.cardinal frontier);
     harvest frontier;
     if Hashtbl.length stables >= 2 then
       (* Two distinct final stable states are already reachable. *)

@@ -6,6 +6,7 @@
     CSSG is built from, and also the oracle the ternary simulator is
     tested against. *)
 
+open Satg_guard
 open Satg_circuit
 
 type outcome =
@@ -26,6 +27,7 @@ exception Frontier_limit
 val states_after :
   ?max_frontier:int ->
   ?can_fire:(bool array -> int -> bool) ->
+  ?guard:Guard.t ->
   Circuit.t ->
   k:int ->
   bool array ->
@@ -37,8 +39,11 @@ val states_after :
     [can_fire s g] may veto individual transitions (used to model
     delay faults: a slow gate's transition is suppressed); a state
     whose every excited gate is vetoed behaves as stable.
+
+    [guard] is charged one transition per frontier state per layer.
     @raise Frontier_limit when some layer grows beyond [max_frontier]
-    (default: unlimited). *)
+    (default: unlimited).
+    @raise Satg_guard.Guard.Exhausted when [guard] trips. *)
 
 val apply_vector : Circuit.t -> k:int -> bool array -> bool array -> outcome
 (** [apply_vector c ~k s v] applies input vector [v] to the stable
@@ -65,10 +70,17 @@ type classification =
   | C_capped  (** frontier limit hit before a verdict *)
 
 val classify_vector :
-  ?max_frontier:int -> Circuit.t -> k:int -> bool array -> bool array -> classification
+  ?max_frontier:int ->
+  ?guard:Guard.t ->
+  Circuit.t ->
+  k:int ->
+  bool array ->
+  bool array ->
+  classification
 (** [classify_vector c ~k s v] decides the CSSG validity of applying
     [v] to the stable state [s], with early exits: a second distinct
     stable state or a repeated non-stable frontier ends the analysis
     immediately.  Agrees with {!apply_vector} wherever both give a
-    verdict.
-    @raise Invalid_argument if [s] is not stable. *)
+    verdict.  [guard] is charged like in {!states_after}.
+    @raise Invalid_argument if [s] is not stable.
+    @raise Satg_guard.Guard.Exhausted when [guard] trips. *)

@@ -138,16 +138,47 @@ let eval_gate p gid =
   force_output p gid
     (eval_func p.mask (Circuit.func p.circuit gid) ~self ins)
 
-(* Chaotic iteration of [update] over gates until no rail changes. *)
-let fixpoint p update =
+(* Monotone closure: the dual-rail analogue of Ternary_sim.lub_closure.
+   Rails only gain bits (forced rails are already pinned and never lose
+   their pin), so the sweep terminates in at most [2 * word_size *
+   n_gates] rail-bit flips; at the fixpoint every still-oscillating
+   machine/signal pair carries both rails, i.e. Phi. *)
+let lub_closure p =
   let gates = Circuit.gates p.circuit in
-  let budget = (2 * Circuit.n_nodes p.circuit * word_size) + 2 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun gid ->
+        let cur = read_rails p gid in
+        let e = eval_gate p gid in
+        let next =
+          force_output p gid
+            { one = cur.one lor e.one; zero = cur.zero lor e.zero }
+        in
+        if next.one <> cur.one || next.zero <> cur.zero then begin
+          write_rails p gid next;
+          progress := true
+        end)
+      gates
+  done
+
+(* Chaotic iteration of [update] over gates until no rail changes.
+   Like Ternary_sim.fixpoint, exhausting the round budget is a legal
+   oscillation verdict, not a program bug: the iteration saturates via
+   the monotone closure instead of dying. *)
+let fixpoint ?budget p update =
+  let gates = Circuit.gates p.circuit in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> (2 * Circuit.n_nodes p.circuit * word_size) + 2
+  in
   let rounds = ref 0 in
   let changed = ref true in
-  while !changed do
+  while !changed && !rounds < budget do
     changed := false;
     incr rounds;
-    assert (!rounds <= budget);
     Array.iter
       (fun gid ->
         let cur = read_rails p gid in
@@ -157,26 +188,27 @@ let fixpoint p update =
           changed := true
         end)
       gates
-  done
+  done;
+  if !changed then lub_closure p
 
-let algorithm_a p =
-  fixpoint p (fun gid cur ->
+let algorithm_a ?budget p =
+  fixpoint ?budget p (fun gid cur ->
       let e = eval_gate p gid in
       (* lub: union of rails, but forced outputs stay pinned *)
       force_output p gid { one = cur.one lor e.one; zero = cur.zero lor e.zero })
 
-let algorithm_b p = fixpoint p (fun gid _cur -> eval_gate p gid)
+let algorithm_b ?budget p = fixpoint ?budget p (fun gid _cur -> eval_gate p gid)
 
 let set_inputs p rails_of_input =
   Array.iteri
     (fun k env -> write_rails p env (rails_of_input k))
     (Circuit.inputs p.circuit)
 
-let settle p =
-  algorithm_a p;
-  algorithm_b p
+let settle ?budget p =
+  algorithm_a ?budget p;
+  algorithm_b ?budget p
 
-let apply_vector p v =
+let apply_vector ?budget p v =
   if Array.length v <> Circuit.n_inputs p.circuit then
     invalid_arg "Parallel_sim.apply_vector: wrong vector length";
   let old = Array.map (fun env -> read_rails p env) (Circuit.inputs p.circuit) in
@@ -184,9 +216,9 @@ let apply_vector p v =
   set_inputs p (fun k ->
       let nw = r_const p.mask v.(k) in
       { one = old.(k).one lor nw.one; zero = old.(k).zero lor nw.zero });
-  algorithm_a p;
+  algorithm_a ?budget p;
   set_inputs p (fun k -> r_const p.mask v.(k));
-  algorithm_b p
+  algorithm_b ?budget p
 
 let ternary_of_rails r machine =
   let bit = 1 lsl machine in

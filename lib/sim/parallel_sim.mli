@@ -9,7 +9,12 @@
     Faults are {e forced}, not structurally injected: input stuck-at
     faults override the read value of one pin for one machine, output
     stuck-at faults pin a gate's rails for one machine.  All machines
-    therefore share the good netlist and evaluate in lock-step. *)
+    therefore share the good netlist and evaluate in lock-step.
+
+    Settling is fail-soft like {!Ternary_sim}: a machine that exhausts
+    the round budget saturates to Phi on every still-oscillating rail
+    pair via a monotone closure instead of crashing.  [?budget] forces
+    a smaller round budget (tests, resource-constrained callers). *)
 
 open Satg_logic
 open Satg_circuit
@@ -29,7 +34,7 @@ val create : Circuit.t -> Fault.t array -> reset:bool array -> pack
 val n_machines : pack -> int
 val fault : pack -> int -> Fault.t
 
-val apply_vector : pack -> bool array -> unit
+val apply_vector : ?budget:int -> pack -> bool array -> unit
 (** Run one test cycle (algorithm A with blurred inputs, then algorithm
     B with the new inputs) on every machine.  Mutates the pack. *)
 

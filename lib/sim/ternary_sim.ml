@@ -10,19 +10,45 @@ let to_bool_state_opt s =
     Some (Array.map (fun v -> v = Ternary.One) s)
   else None
 
+(* Monotone lub closure: [v <- lub v (eval v)] only climbs the
+   information order, so it reaches a fixpoint in at most [n_gates + 1]
+   sweeps.  At the fixpoint every gate either agrees with its function
+   or is Phi, which keeps the state a sound over-approximation of every
+   delayed execution — this is exactly algorithm A's invariant. *)
+let lub_closure c s =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun gid ->
+        let v = Ternary.lub s.(gid) (Circuit.eval_gate_ternary c s gid) in
+        if not (Ternary.equal v s.(gid)) then begin
+          s.(gid) <- v;
+          progress := true
+        end)
+      (Circuit.gates c)
+  done;
+  s
+
 (* Chaotic iteration to a fixpoint.  [update] computes the new value of
-   a gate from the current state; both algorithms are monotone in the
-   information order, so sweeping until quiescence terminates in at
-   most [n_gates + 1] rounds per direction change. *)
-let fixpoint c update s =
+   a gate from the current state; when the algorithms are well-behaved
+   this quiesces within [2 * n_gates + 2] rounds.  A circuit that
+   exhausts the round budget (possible for pathological gate functions,
+   or when a caller forces a tiny [budget]) is not a program bug:
+   oscillation under ternary simulation is a legal outcome per
+   Eichelberger, so instead of dying the iteration *saturates* — it
+   switches to the monotone lub closure, which always terminates and
+   degrades every still-oscillating signal to Phi. *)
+let fixpoint ?budget c update s =
   let s = Array.copy s in
   let changed = ref true in
   let rounds = ref 0 in
-  let budget = (2 * Circuit.n_gates c) + 2 in
-  while !changed do
+  let budget =
+    match budget with Some b -> b | None -> (2 * Circuit.n_gates c) + 2
+  in
+  while !changed && !rounds < budget do
     changed := false;
     incr rounds;
-    assert (!rounds <= budget);
     Array.iter
       (fun gid ->
         let v = update s gid in
@@ -32,29 +58,30 @@ let fixpoint c update s =
         end)
       (Circuit.gates c)
   done;
-  s
+  if !changed then lub_closure c s else s
 
-let algorithm_a c s =
-  fixpoint c
+let algorithm_a ?budget c s =
+  fixpoint ?budget c
     (fun s gid -> Ternary.lub s.(gid) (Circuit.eval_gate_ternary c s gid))
     s
 
-let algorithm_b c s = fixpoint c (fun s gid -> Circuit.eval_gate_ternary c s gid) s
+let algorithm_b ?budget c s =
+  fixpoint ?budget c (fun s gid -> Circuit.eval_gate_ternary c s gid) s
 
 let set_inputs c s v =
   let s = Array.copy s in
   Array.iteri (fun k env -> s.(env) <- v.(k)) (Circuit.inputs c);
   s
 
-let apply_vector_ternary c s v =
+let apply_vector_ternary ?budget c s v =
   if Array.length v <> Circuit.n_inputs c then
     invalid_arg "Ternary_sim.apply_vector: wrong vector length";
   let old = Array.map (fun env -> s.(env)) (Circuit.inputs c) in
   let blurred = Ternary.vector_lub old v in
-  let s = algorithm_a c (set_inputs c s blurred) in
-  algorithm_b c (set_inputs c s v)
+  let s = algorithm_a ?budget c (set_inputs c s blurred) in
+  algorithm_b ?budget c (set_inputs c s v)
 
-let apply_vector c s v =
-  apply_vector_ternary c s (Array.map Ternary.of_bool v)
+let apply_vector ?budget c s v =
+  apply_vector_ternary ?budget c s (Array.map Ternary.of_bool v)
 
 let outputs c s = Array.map (fun o -> s.(o)) (Circuit.outputs c)

@@ -7,7 +7,15 @@
     delay-independent.  If the result is fully binary, the circuit
     settles confluently to exactly that state; any remaining [Phi]
     means a potential race, oscillation, or genuinely uncertain
-    memory. *)
+    memory.
+
+    Settling is {e fail-soft}: if an iteration exhausts its round
+    budget (a legal outcome — oscillation under ternary simulation is
+    not a program bug), it saturates by switching to a monotone lub
+    closure that floods every still-oscillating signal with [Phi] and
+    always terminates.  The [?budget] parameters below override the
+    default round budget of [2 * n_gates + 2]; they exist so tests and
+    resource-constrained callers can force early saturation. *)
 
 open Satg_logic
 open Satg_circuit
@@ -18,18 +26,19 @@ type state = Ternary.t array
 val of_bool_state : bool array -> state
 val to_bool_state_opt : state -> bool array option
 
-val algorithm_a : Circuit.t -> state -> state
+val algorithm_a : ?budget:int -> Circuit.t -> state -> state
 (** Least fixpoint of [v <- lub v (eval v)] over gate nodes; inputs
     are left untouched. *)
 
-val algorithm_b : Circuit.t -> state -> state
+val algorithm_b : ?budget:int -> Circuit.t -> state -> state
 (** Greatest fixpoint of [v <- eval v] below the given state. *)
 
-val apply_vector : Circuit.t -> state -> bool array -> state
+val apply_vector : ?budget:int -> Circuit.t -> state -> bool array -> state
 (** Full test-cycle analysis: inputs go to [lub old new], algorithm A
     runs, inputs go to [new], algorithm B runs. *)
 
-val apply_vector_ternary : Circuit.t -> state -> Ternary.t array -> state
+val apply_vector_ternary :
+  ?budget:int -> Circuit.t -> state -> Ternary.t array -> state
 (** Like {!apply_vector} with a possibly uncertain input vector. *)
 
 val outputs : Circuit.t -> state -> Ternary.t array

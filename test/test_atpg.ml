@@ -19,7 +19,7 @@ let check_result_sound r =
   List.iter
     (fun o ->
       match o.Testset.status with
-      | Testset.Undetected -> ()
+      | Testset.Undetected | Testset.Aborted _ -> ()
       | Testset.Detected { sequence; phase } ->
         Alcotest.(check bool)
           ("valid path for " ^ Fault.to_string r.Engine.circuit o.Testset.fault)
@@ -72,7 +72,8 @@ let test_engine_oscillator_untestable () =
   | Testset.Detected { sequence; _ } ->
     Alcotest.(check int) "empty sequence (reset observation)" 0
       (List.length sequence)
-  | Testset.Undetected -> Alcotest.fail "d/sa0 should be caught at reset"
+  | Testset.Undetected | Testset.Aborted _ ->
+    Alcotest.fail "d/sa0 should be caught at reset"
 
 let test_random_tpg_alone () =
   let c = Figures.celem_handshake () in

@@ -14,4 +14,5 @@ let () =
          Test_report.suites;
          Test_extensions.suites;
          Test_timed.suites;
+         Test_robustness.suites;
        ])
