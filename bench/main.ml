@@ -63,8 +63,10 @@ let bench_ternary =
 let bench_parallel =
   let c = get_circuit Suite.speed_independent "master-read" in
   let reset = Option.get (Circuit.initial c) in
-  let faults = Array.of_list (Fault.universe_input_sa c) in
-  let faults = Array.sub faults 0 (min 62 (Array.length faults)) in
+  (* the whole universe in one multi-word pack — no 62-fault cap *)
+  let faults =
+    Array.of_list (Fault.universe_input_sa c @ Fault.universe_output_sa c)
+  in
   Test.make ~name:"sim/parallel-fault-pack"
     (Staged.stage (fun () ->
          let pack = Parallel_sim.create c faults ~reset in
@@ -169,6 +171,150 @@ let bench_baseline =
   Test.make ~name:"baseline/row-vbe6a"
     (Staged.stage (fun () -> ignore (Baseline.run c ~cssg:g ~faults)))
 
+(* --- parallel fault-sim throughput ----------------------------------------- *)
+
+(* Head-to-head: one multi-word Parallel_sim pack over the whole fault
+   universe versus one scalar Ternary_sim run per fault, on the same
+   deterministic vector stream.  The result (patterns/sec each way and
+   the speedup) is written to BENCH_parallel_sim.json — the first data
+   point of the perf trajectory (see docs/PERF.md). *)
+
+let toggle_farm_fallback () =
+  let n = 14 in
+  let b = Circuit.Builder.create "toggle_farm" in
+  let xs =
+    List.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "X%d" i))
+  in
+  let ys =
+    List.mapi
+      (fun i x ->
+        Circuit.Builder.add_gate b ~name:(Printf.sprintf "Y%d" i) Gatefunc.Buf
+          [ x ])
+      xs
+  in
+  List.iter (Circuit.Builder.mark_output b) ys;
+  let c = Circuit.Builder.finalize b in
+  Circuit.with_initial c (Array.make (Circuit.n_nodes c) false)
+
+let load_netlist path =
+  if Sys.file_exists path then
+    match Parser.parse_file path with
+    | Ok c -> c
+    | Error m -> failwith (path ^ ": " ^ m)
+  else toggle_farm_fallback ()
+
+(* Deterministic vector stream (xorshift), identical for both sides. *)
+let vector_stream n_inputs n =
+  let state = ref 0x2545F4914F6CDD1D in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x;
+    x
+  in
+  List.init n (fun _ ->
+      let bits = next () in
+      Array.init n_inputs (fun i -> (bits lsr i) land 1 = 1))
+
+(* Wall-clock a thunk, repeating until the total is long enough to
+   trust (>= 0.2 s) and reporting seconds per repetition. *)
+let time_thunk f =
+  let rec go reps acc =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    let acc = acc +. dt in
+    if acc >= 0.2 || reps >= 9 then acc /. float_of_int (reps + 1)
+    else go (reps + 1) acc
+  in
+  go 0 0.0
+
+let fault_sim_bench path =
+  let c = load_netlist path in
+  let reset =
+    match Circuit.initial c with
+    | Some s -> s
+    | None -> failwith "fault-sim bench: netlist has no reset state"
+  in
+  let faults =
+    Array.of_list (Fault.universe_input_sa c @ Fault.universe_output_sa c)
+  in
+  let n_faults = Array.length faults in
+  let n_vectors = 64 in
+  let vectors = vector_stream (Circuit.n_inputs c) n_vectors in
+  let parallel_seconds =
+    time_thunk (fun () ->
+        let pack = Parallel_sim.create c faults ~reset in
+        List.iter (fun v -> Parallel_sim.apply_vector pack v) vectors)
+  in
+  let scalar_seconds =
+    time_thunk (fun () ->
+        Array.iter
+          (fun f ->
+            let fc = Fault.inject c f in
+            let st =
+              ref
+                (Ternary_sim.of_bool_state (Fault.initial_faulty_state c f reset))
+            in
+            let v0 = Circuit.input_vector_of_state c reset in
+            st := Ternary_sim.apply_vector fc !st v0;
+            List.iter (fun v -> st := Ternary_sim.apply_vector fc !st v) vectors)
+          faults)
+  in
+  (* Fault-dropping detection pass (good machine simulated alongside),
+     for the record: how many of the universe the stream catches. *)
+  let pack = Parallel_sim.create c faults ~reset in
+  let good = ref (Ternary_sim.of_bool_state reset) in
+  let detected = ref 0 in
+  List.iter
+    (fun v ->
+      if Parallel_sim.n_live pack > 0 then begin
+        Parallel_sim.apply_vector pack v;
+        good := Ternary_sim.apply_vector c !good v;
+        detected :=
+          !detected
+          + List.length
+              (Parallel_sim.detected pack
+                 ~good_outputs:(Ternary_sim.outputs c !good))
+      end)
+    vectors;
+  let patterns = float_of_int (n_faults * n_vectors) in
+  let parallel_pps = patterns /. parallel_seconds in
+  let scalar_pps = patterns /. scalar_seconds in
+  let speedup = scalar_seconds /. parallel_seconds in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "parallel_fault_sim",
+  "circuit": "%s",
+  "n_faults": %d,
+  "n_words": %d,
+  "n_vectors": %d,
+  "detected_by_stream": %d,
+  "parallel": { "seconds": %.6f, "patterns_per_sec": %.1f },
+  "scalar_ternary": { "seconds": %.6f, "patterns_per_sec": %.1f },
+  "speedup": %.2f
+}
+|}
+      (Circuit.name c) n_faults
+      (Parallel_sim.n_words pack)
+      n_vectors !detected parallel_seconds parallel_pps scalar_seconds
+      scalar_pps speedup
+  in
+  let oc = open_out "BENCH_parallel_sim.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "parallel fault sim (%s): %d faults x %d vectors\n\
+    \  pack:   %8.4f s  (%10.1f patterns/s, %d words)\n\
+    \  scalar: %8.4f s  (%10.1f patterns/s)\n\
+    \  speedup: %.2fx  -> BENCH_parallel_sim.json\n"
+    (Circuit.name c) n_faults n_vectors parallel_seconds parallel_pps
+    (Parallel_sim.n_words pack)
+    scalar_seconds scalar_pps speedup
+
 (* --- driver ---------------------------------------------------------------- *)
 
 let tests =
@@ -181,7 +327,9 @@ let tests =
       bench_delay_fault; bench_baseline;
     ]
 
-let () =
+let default_netlist = "examples/netlists/toggle_farm.cct"
+
+let run_bechamel () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -205,3 +353,16 @@ let () =
          match Analyze.OLS.estimates ols with
          | Some (t :: _) -> Printf.printf "%-42s %12s\n" name (pretty t)
          | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")
+
+(* [--fault-sim [FILE.cct]] runs only the parallel fault-sim
+   throughput bench (CI smoke job); the default runs the full bechamel
+   suite and then the throughput bench. *)
+let () =
+  let argv = Array.to_list Sys.argv in
+  match argv with
+  | _ :: "--fault-sim" :: rest ->
+    let path = match rest with p :: _ -> p | [] -> default_netlist in
+    fault_sim_bench path
+  | _ ->
+    run_bechamel ();
+    fault_sim_bench default_netlist

@@ -1,0 +1,8 @@
+let () =
+  let write path c =
+    let oc = open_out path in
+    output_string oc (Satg_circuit.Parser.to_string c);
+    close_out oc
+  in
+  write "examples/netlists/celem_handshake.cct" (Satg_bench.Figures.celem_handshake ());
+  write "examples/netlists/mutex_latch.cct" (Satg_bench.Figures.mutex_latch ())

@@ -157,12 +157,7 @@ let run ?(max_depth = 24) ?(max_states = 20_000) ?(guard = Guard.none) circuit
             | None -> false
             | Some seq -> unit_delay_validates circuit fc reset freset seq
           in
-          let truly_detects =
-            match sequence with
-            | None -> false
-            | Some seq -> Detect.check cssg f seq
-          in
-          { fault = f; sequence; survives_validation; truly_detects;
+          { fault = f; sequence; survives_validation; truly_detects = false;
             aborted = None }
         in
         match Guard.guarded guard work with
@@ -171,6 +166,35 @@ let run ?(max_depth = 24) ?(max_states = 20_000) ?(guard = Guard.none) circuit
           { fault = f; sequence = None; survives_validation = false;
             truly_detects = false; aborted = Some reason })
       faults
+  in
+  (* The CSSG-truth check runs batched: claims sharing a candidate
+     sequence (BFS often finds the same short test for many faults) are
+     fault-simulated together in one multi-word bit-parallel sweep
+     instead of one scalar ternary replay per fault. *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      match c.sequence with
+      | None -> ()
+      | Some seq ->
+        let key = Testset.sequence_to_string seq in
+        let fs =
+          match Hashtbl.find_opt groups key with
+          | Some (_, fs) -> fs
+          | None -> []
+        in
+        Hashtbl.replace groups key (seq, c.fault :: fs))
+    claims;
+  let truly = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (seq, fs) ->
+      let det, _ = Detect.sweep cssg seq fs in
+      List.iter (fun f -> Hashtbl.replace truly f ()) det)
+    groups;
+  let claims =
+    List.map
+      (fun c -> { c with truly_detects = Hashtbl.mem truly c.fault })
+      claims
   in
   { circuit; claims; cpu_seconds = Sys.time () -. t0 }
 

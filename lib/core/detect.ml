@@ -68,50 +68,50 @@ let check g f seq =
     in
     step trace fstate seq
 
+(* Repack once the survivors fit in half the words the pack currently
+   sweeps: the copy is O(nodes * survivors), amortized against every
+   subsequent per-word fixpoint (see docs/PERF.md). *)
+let maybe_repack pack =
+  if
+    Parallel_sim.n_words pack > 1
+    && Parallel_sim.n_live pack
+       <= Parallel_sim.n_words pack / 2 * Parallel_sim.word_size
+  then Parallel_sim.repack pack
+  else pack
+
 let sweep g seq faults =
-  let good = Cssg.circuit g in
-  let reset = reset_of g in
-  match good_trace g seq with
-  | None -> ([], faults)
-  | Some trace ->
-    let rec packs = function
-      | [] -> []
-      | fs ->
-        let rec take n acc = function
-          | rest when n = 0 -> (List.rev acc, rest)
-          | [] -> (List.rev acc, [])
-          | f :: rest -> take (n - 1) (f :: acc) rest
+  if faults = [] then ([], [])
+  else
+    let good = Cssg.circuit g in
+    let reset = reset_of g in
+    match good_trace g seq with
+    | None -> ([], faults)
+    | Some trace ->
+      let trace = Array.of_list trace in
+      let detected = Hashtbl.create 16 in
+      (* One pack for the whole fault list; detected machines are
+         dropped on the spot, and the pack is recompacted as it
+         thins. *)
+      let pack = ref (Parallel_sim.create good (Array.of_list faults) ~reset) in
+      let observe i =
+        let good_out =
+          Array.map Ternary.of_bool (Circuit.output_values good (Cssg.state g i))
         in
-        let batch, rest = take Parallel_sim.word_size [] fs in
-        batch :: packs rest
-    in
-    let detected = Hashtbl.create 16 in
-    List.iter
-      (fun batch ->
-        let pack = Parallel_sim.create good (Array.of_list batch) ~reset in
-        let mask = ref 0 in
-        let observe i =
-          let good_out =
-            Array.map Ternary.of_bool
-              (Circuit.output_values good (Cssg.state g i))
-          in
-          mask := !mask lor Parallel_sim.detected pack ~good_outputs:good_out
-        in
-        (match trace with
-        | i0 :: _ -> observe i0
-        | [] -> ());
-        List.iteri
-          (fun step v ->
-            Parallel_sim.apply_vector pack v;
-            match List.nth_opt trace (step + 1) with
-            | Some i -> observe i
-            | None -> ())
-          seq;
-        List.iteri
-          (fun j f -> if !mask land (1 lsl j) <> 0 then Hashtbl.replace detected f ())
-          batch)
-      (packs faults);
-    List.partition (fun f -> Hashtbl.mem detected f) faults
+        List.iter
+          (fun m -> Hashtbl.replace detected (Parallel_sim.fault !pack m) ())
+          (Parallel_sim.detected !pack ~good_outputs:good_out)
+      in
+      if Array.length trace > 0 then observe trace.(0);
+      (try
+         List.iteri
+           (fun step v ->
+             if Parallel_sim.n_live !pack = 0 then raise Exit;
+             pack := maybe_repack !pack;
+             Parallel_sim.apply_vector !pack v;
+             if step + 1 < Array.length trace then observe trace.(step + 1))
+           seq
+       with Exit -> ());
+      List.partition (fun f -> Hashtbl.mem detected f) faults
 
 (* --- exact faulty-state sets ---------------------------------------------- *)
 

@@ -2,8 +2,8 @@
 
     The good machine follows CSSG edges (binary states by
     construction); faulty machines are simulated conservatively with
-    ternary simulation, scalar ({!check}) or 62-way bit-parallel
-    ({!sweep}).  A fault counts as detected only when some primary
+    ternary simulation, scalar ({!check}) or bit-parallel over a
+    multi-word pack of any size ({!sweep}).  A fault counts as detected only when some primary
     output is binary in the good machine and takes the {e opposite
     binary} value in the faulty machine — a [Phi] is never conclusive
     (paper §5.4). *)
@@ -30,7 +30,10 @@ val check : Cssg.t -> Fault.t -> Testset.sequence -> bool
 val sweep :
   Cssg.t -> Testset.sequence -> Fault.t list -> Fault.t list * Fault.t list
 (** Bit-parallel: [(detected, remaining)] after replaying the sequence
-    against every fault (packs of {!Parallel_sim.word_size}). *)
+    against every fault at once — one multi-word
+    {!Satg_sim.Parallel_sim} pack, however many faults there are.
+    Detected machines are dropped mid-replay and the pack is repacked
+    as it thins; the replay stops early once every fault is caught. *)
 
 (** {1 Exact faulty-machine simulation}
 

@@ -68,8 +68,11 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     else None
   in
   let status = Hashtbl.create (List.length faults) in
-  (* Phase 1: random TPG.  Runs even over a truncated graph (its edges
-     are all genuine); skipped only if the deadline is already gone. *)
+  (* Phase 1: random TPG.  Each walk fault-simulates the whole
+     remaining list in one multi-word bit-parallel pack, dropping
+     machines as they are detected.  Runs even over a truncated graph
+     (its edges are all genuine); skipped only if the deadline is
+     already gone. *)
   let remaining =
     if config.enable_random then
       match
@@ -87,7 +90,8 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     else faults
   in
   (* Phase 2: three-phase ATPG per fault, with fault simulation of each
-     found test over the faults still pending.  Each fault searches
+     found test over the faults still pending (one pack per test, all
+     pending faults at once).  Each fault searches
      under its own sub-guard; exhaustion aborts that fault only, after
      one retry at reduced effort (explicit justification, smaller
      search envelope).  A blown deadline is global, so it skips the

@@ -8,32 +8,49 @@ type config = {
 
 let default_config = { walks = 1; walk_length = 3; seed = 0x5eed }
 
-let random_walk rng g len =
+(* Successor lists are pre-converted to arrays once per run: picking a
+   random successor is then O(1) instead of the two O(n) list walks
+   (length + nth) the naive version pays on every step. *)
+let random_walk rng succ start len =
   let rec go i acc n =
     if n = 0 then List.rev acc
     else
-      match Cssg.successors g i with
-      | [] -> List.rev acc
-      | succs ->
-        let e = List.nth succs (Random.State.int rng (List.length succs)) in
+      let s = succ.(i) in
+      if Array.length s = 0 then List.rev acc
+      else
+        let e = s.(Random.State.int rng (Array.length s)) in
         go e.Cssg.target (e.Cssg.vector :: acc) (n - 1)
   in
-  match Cssg.initial g with
-  | i :: _ -> go i [] len
-  | [] -> []
+  go start [] len
 
+(* Budgeted batched loop: each walk fault-simulates the whole remaining
+   list in one multi-word sweep (Detect.sweep drops machines as they
+   are detected), the survivors carry to the next walk, and the loop
+   exits as soon as the list runs dry or the walk budget is spent. *)
 let run ?(config = default_config) g ~faults =
-  let rng = Random.State.make [| config.seed |] in
-  let rec walks n detected remaining =
-    if n = 0 || remaining = [] then (List.rev detected, remaining)
-    else
-      let seq = random_walk rng g config.walk_length in
-      if seq = [] then (List.rev detected, remaining)
-      else
-        let caught, rest = Detect.sweep g seq remaining in
-        let detected =
-          List.fold_left (fun acc f -> (f, seq) :: acc) detected caught
-        in
-        walks (n - 1) detected rest
-  in
-  walks config.walks [] faults
+  match Cssg.initial g with
+  | [] -> ([], faults)
+  | start :: _ ->
+    let succ =
+      Array.init (Cssg.n_states g) (fun i ->
+          Array.of_list (Cssg.successors g i))
+    in
+    let rec walks w detected remaining =
+      if w >= config.walks || remaining = [] then (List.rev detected, remaining)
+      else begin
+        (* Each walk owns a generator seeded from (seed, walk index):
+           the vectors of walk [w] do not depend on walk_length or on
+           how much randomness earlier walks consumed, so multi-walk
+           runs stay decorrelated. *)
+        let rng = Random.State.make [| config.seed; w |] in
+        let seq = random_walk rng succ start config.walk_length in
+        if seq = [] then (List.rev detected, remaining)
+        else
+          let caught, rest = Detect.sweep g seq remaining in
+          let detected =
+            List.fold_left (fun acc f -> (f, seq) :: acc) detected caught
+          in
+          walks (w + 1) detected rest
+      end
+    in
+    walks 0 [] faults

@@ -2,7 +2,11 @@
 
     Random walks over the CSSG (so every generated vector is valid by
     construction) are fault-simulated bit-parallel against the whole
-    remaining fault list.  Cheap, and typically covers 40–80% of the
+    remaining fault list — one multi-word pack per walk, machines
+    dropped as they are detected, the loop exiting as soon as the list
+    runs dry.  Each walk is seeded independently from [(seed, walk
+    index)], so the vectors of walk [w] do not depend on [walk_length]
+    or on earlier walks.  Cheap, and typically covers 40–80% of the
     faults before the expensive three-phase ATPG runs. *)
 
 open Satg_fault

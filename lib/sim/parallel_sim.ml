@@ -9,20 +9,50 @@ type rails = {
   zero : int;
 }
 
+(* A pack holds any number of machines, laid out as lanes of 62-bit
+   words: machine [m] is lane [m mod word_size] of word [m / word_size].
+   Rails are flat arrays indexed [node * n_words + word] so one word of
+   one node is a single cache line away from the next word.  [live.(w)]
+   masks the lanes of word [w] still being simulated: detected machines
+   are dropped (their rail bits zeroed everywhere) and excluded from
+   the fixpoints, and whole words whose lanes are all dead are skipped
+   outright. *)
 type pack = {
   circuit : Circuit.t;
   faults : Fault.t array;
-  mask : int;  (* low n_machines bits *)
-  can1 : int array;  (* per node *)
+  n_words : int;
+  live : int array;  (* per word: lanes still simulated *)
+  can1 : int array;  (* node * n_words + word *)
   can0 : int array;
-  (* Per gate: value overrides of individual pins, and output pinning. *)
-  pin_overrides : (int * int * bool) list array;  (* gate -> (pin, machines, stuck) *)
-  out_force1 : int array;  (* gate -> machines whose output is pinned to 1 *)
+  (* Per (gate, word): value overrides of individual pins, and output
+     pinning, as lane masks. *)
+  pin_overrides : (int * int * bool) list array;  (* gate*n_words+w -> (pin, lanes, stuck) *)
+  out_force1 : int array;  (* gate*n_words+w -> lanes pinned to 1 *)
   out_force0 : int array;
 }
 
 let n_machines p = Array.length p.faults
+let n_words p = p.n_words
 let fault p i = p.faults.(i)
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let n_live p = Array.fold_left (fun acc w -> acc + popcount w) 0 p.live
+
+let word_of m = m / word_size
+let lane_of m = 1 lsl (m mod word_size)
+
+let is_live p m =
+  m >= 0 && m < n_machines p && p.live.(word_of m) land lane_of m <> 0
+
+let live_faults p =
+  let acc = ref [] in
+  for m = n_machines p - 1 downto 0 do
+    if p.live.(word_of m) land lane_of m <> 0 then acc := p.faults.(m) :: !acc
+  done;
+  !acc
 
 (* --- dual-rail word algebra ------------------------------------------- *)
 
@@ -40,13 +70,20 @@ let r_xor a b =
   }
 
 let r_mux s a b =
-  (* out = s ? a : b, computed as (s&a) | (!s&b); on the rails this is
-     exactly the monotone ternary mux. *)
-  r_or (r_and s a) (r_and (r_not s) b)
+  (* out = s ? a : b, computed as (s&a) | (!s&b) | (a&b).  The
+     consensus term makes this lane-equal to the precise ternary mux
+     (Gatefunc.eval_ternary): with s = Phi but a = b binary the output
+     is that binary value, not Phi — without it the pack would be
+     strictly blurrier than scalar Ternary_sim on Mux gates (e.g. the
+     test-mode muxes Dft.insert_control_points adds). *)
+  r_or (r_or (r_and s a) (r_and (r_not s) b)) (r_and a b)
 
 let r_fold_and mask = Array.fold_left r_and (r_const mask true)
 let r_fold_or mask = Array.fold_left r_or (r_const mask false)
 let r_fold_xor mask = Array.fold_left r_xor (r_const mask false)
+
+let r_celem mask ~self ins =
+  r_or (r_fold_and mask ins) (r_and self (r_fold_or mask ins))
 
 let eval_cover mask cover ins =
   List.fold_left
@@ -74,100 +111,136 @@ let eval_func mask func ~self ins =
   | Gatefunc.Xor -> r_fold_xor mask ins
   | Gatefunc.Xnor -> r_not (r_fold_xor mask ins)
   | Gatefunc.Mux -> r_mux ins.(0) ins.(1) ins.(2)
-  | Gatefunc.Celem ->
-    r_or (r_fold_and mask ins) (r_and self (r_fold_or mask ins))
+  | Gatefunc.Celem -> r_celem mask ~self ins
   | Gatefunc.Const b -> r_const mask b
   | Gatefunc.Sop cover -> eval_cover mask cover ins
 
+let ternary_of_rails r lane =
+  let bit = 1 lsl lane in
+  match (r.one land bit <> 0, r.zero land bit <> 0) with
+  | true, false -> Ternary.One
+  | false, true -> Ternary.Zero
+  | true, true -> Ternary.Phi
+  | false, false ->
+    invalid_arg "Parallel_sim.ternary_of_rails: empty lane (dropped machine?)"
+
+let rails_of_ternaries ts =
+  let one = ref 0 and zero = ref 0 in
+  Array.iteri
+    (fun lane t ->
+      let bit = 1 lsl lane in
+      match t with
+      | Ternary.One -> one := !one lor bit
+      | Ternary.Zero -> zero := !zero lor bit
+      | Ternary.Phi ->
+        one := !one lor bit;
+        zero := !zero lor bit)
+    ts;
+  { one = !one; zero = !zero }
+
 (* --- pack construction ------------------------------------------------- *)
 
-let create c faults ~reset =
+(* Skeleton: lanes allocated, overrides installed, all rails empty. *)
+let skeleton c faults =
   let n = Array.length faults in
-  if n > word_size then invalid_arg "Parallel_sim.create: too many faults";
-  if Array.length reset <> Circuit.n_nodes c then
-    invalid_arg "Parallel_sim.create: bad reset state";
-  let mask = (1 lsl n) - 1 in
+  let n_words = (n + word_size - 1) / word_size in
   let nodes = Circuit.n_nodes c in
-  let can1 = Array.make nodes 0 and can0 = Array.make nodes 0 in
+  let live = Array.make n_words 0 in
+  Array.iteri (fun m _ -> live.(word_of m) <- live.(word_of m) lor lane_of m)
+    faults;
+  let can1 = Array.make (nodes * n_words) 0 in
+  let can0 = Array.make (nodes * n_words) 0 in
+  let pin_overrides = Array.make (nodes * n_words) [] in
+  let out_force1 = Array.make (nodes * n_words) 0 in
+  let out_force0 = Array.make (nodes * n_words) 0 in
   Array.iteri
-    (fun i v -> if v then can1.(i) <- mask else can0.(i) <- mask)
-    reset;
-  let pin_overrides = Array.make nodes [] in
-  let out_force1 = Array.make nodes 0 and out_force0 = Array.make nodes 0 in
-  Array.iteri
-    (fun machine f ->
-      let bit = 1 lsl machine in
+    (fun m f ->
+      let w = word_of m and bit = lane_of m in
       match f with
       | Fault.Input_sa { gate; pin; stuck } ->
-        pin_overrides.(gate) <- (pin, bit, stuck) :: pin_overrides.(gate)
+        let i = (gate * n_words) + w in
+        pin_overrides.(i) <- (pin, bit, stuck) :: pin_overrides.(i)
       | Fault.Output_sa { gate; stuck } ->
-        if stuck then out_force1.(gate) <- out_force1.(gate) lor bit
-        else out_force0.(gate) <- out_force0.(gate) lor bit)
+        let i = (gate * n_words) + w in
+        if stuck then out_force1.(i) <- out_force1.(i) lor bit
+        else out_force0.(i) <- out_force0.(i) lor bit)
     faults;
-  (* Merge overrides hitting the same pin into single-pass masks. *)
-  let p = { circuit = c; faults; mask; can1; can0; pin_overrides; out_force1; out_force0 } in
-  p
+  { circuit = c; faults; n_words; live; can1; can0; pin_overrides;
+    out_force1; out_force0 }
 
-let read_rails p i = { one = p.can1.(i); zero = p.can0.(i) }
+let read_rails p w i =
+  let k = (i * p.n_words) + w in
+  { one = p.can1.(k); zero = p.can0.(k) }
 
-let write_rails p i r =
-  p.can1.(i) <- r.one;
-  p.can0.(i) <- r.zero
+let write_rails p w i r =
+  let k = (i * p.n_words) + w in
+  p.can1.(k) <- r.one;
+  p.can0.(k) <- r.zero
 
-let force_output p gid r =
-  let f1 = p.out_force1.(gid) and f0 = p.out_force0.(gid) in
+let force_output p w gid r =
+  let k = (gid * p.n_words) + w in
+  let f1 = p.out_force1.(k) and f0 = p.out_force0.(k) in
   {
     one = (r.one land lnot f0) lor f1;
     zero = (r.zero land lnot f1) lor f0;
   }
 
-let eval_gate p gid =
+(* Clip to live lanes: dead lanes carry no information and never
+   trigger further fixpoint rounds. *)
+let clip mask r = { one = r.one land mask; zero = r.zero land mask }
+
+let eval_gate p w gid =
+  let mask = p.live.(w) in
   let fanin = Circuit.fanins p.circuit gid in
-  let ins = Array.map (read_rails p) fanin in
+  let ins = Array.map (read_rails p w) fanin in
   List.iter
-    (fun (pin, machines, stuck) ->
-      let r = ins.(pin) in
-      let forced = r_const machines stuck in
-      ins.(pin) <-
-        {
-          one = (r.one land lnot machines) lor forced.one;
-          zero = (r.zero land lnot machines) lor forced.zero;
-        })
-    p.pin_overrides.(gid);
-  let self = read_rails p gid in
-  force_output p gid
-    (eval_func p.mask (Circuit.func p.circuit gid) ~self ins)
+    (fun (pin, lanes, stuck) ->
+      let lanes = lanes land mask in
+      if lanes <> 0 then begin
+        let r = ins.(pin) in
+        let forced = r_const lanes stuck in
+        ins.(pin) <-
+          {
+            one = (r.one land lnot lanes) lor forced.one;
+            zero = (r.zero land lnot lanes) lor forced.zero;
+          }
+      end)
+    p.pin_overrides.((gid * p.n_words) + w);
+  let self = read_rails p w gid in
+  clip mask
+    (force_output p w gid (eval_func mask (Circuit.func p.circuit gid) ~self ins))
 
 (* Monotone closure: the dual-rail analogue of Ternary_sim.lub_closure.
    Rails only gain bits (forced rails are already pinned and never lose
    their pin), so the sweep terminates in at most [2 * word_size *
    n_gates] rail-bit flips; at the fixpoint every still-oscillating
    machine/signal pair carries both rails, i.e. Phi. *)
-let lub_closure p =
+let lub_closure p w =
   let gates = Circuit.gates p.circuit in
   let progress = ref true in
   while !progress do
     progress := false;
     Array.iter
       (fun gid ->
-        let cur = read_rails p gid in
-        let e = eval_gate p gid in
+        let cur = read_rails p w gid in
+        let e = eval_gate p w gid in
         let next =
-          force_output p gid
-            { one = cur.one lor e.one; zero = cur.zero lor e.zero }
+          clip p.live.(w)
+            (force_output p w gid
+               { one = cur.one lor e.one; zero = cur.zero lor e.zero })
         in
         if next.one <> cur.one || next.zero <> cur.zero then begin
-          write_rails p gid next;
+          write_rails p w gid next;
           progress := true
         end)
       gates
   done
 
-(* Chaotic iteration of [update] over gates until no rail changes.
-   Like Ternary_sim.fixpoint, exhausting the round budget is a legal
-   oscillation verdict, not a program bug: the iteration saturates via
-   the monotone closure instead of dying. *)
-let fixpoint ?budget p update =
+(* Chaotic iteration of [update] over the gates of one word until no
+   rail changes.  Like Ternary_sim.fixpoint, exhausting the round
+   budget is a legal oscillation verdict, not a program bug: the
+   iteration saturates via the monotone closure instead of dying. *)
+let fixpoint_word ?budget p w update =
   let gates = Circuit.gates p.circuit in
   let budget =
     match budget with
@@ -181,77 +254,168 @@ let fixpoint ?budget p update =
     incr rounds;
     Array.iter
       (fun gid ->
-        let cur = read_rails p gid in
+        let cur = read_rails p w gid in
         let next = update gid cur in
         if next.one <> cur.one || next.zero <> cur.zero then begin
-          write_rails p gid next;
+          write_rails p w gid next;
           changed := true
         end)
       gates
   done;
-  if !changed then lub_closure p
+  if !changed then lub_closure p w
 
-let algorithm_a ?budget p =
-  fixpoint ?budget p (fun gid cur ->
-      let e = eval_gate p gid in
+let algorithm_a ?budget p w =
+  fixpoint_word ?budget p w (fun gid cur ->
+      let e = eval_gate p w gid in
       (* lub: union of rails, but forced outputs stay pinned *)
-      force_output p gid { one = cur.one lor e.one; zero = cur.zero lor e.zero })
+      clip p.live.(w)
+        (force_output p w gid
+           { one = cur.one lor e.one; zero = cur.zero lor e.zero }))
 
-let algorithm_b ?budget p = fixpoint ?budget p (fun gid _cur -> eval_gate p gid)
+let algorithm_b ?budget p w =
+  fixpoint_word ?budget p w (fun gid _cur -> eval_gate p w gid)
 
-let set_inputs p rails_of_input =
+let set_inputs p w rails_of_input =
   Array.iteri
-    (fun k env -> write_rails p env (rails_of_input k))
+    (fun k env -> write_rails p w env (rails_of_input k))
     (Circuit.inputs p.circuit)
 
 let settle ?budget p =
-  algorithm_a ?budget p;
-  algorithm_b ?budget p
+  for w = 0 to p.n_words - 1 do
+    if p.live.(w) <> 0 then begin
+      algorithm_a ?budget p w;
+      algorithm_b ?budget p w
+    end
+  done
 
 let apply_vector ?budget p v =
   if Array.length v <> Circuit.n_inputs p.circuit then
     invalid_arg "Parallel_sim.apply_vector: wrong vector length";
-  let old = Array.map (fun env -> read_rails p env) (Circuit.inputs p.circuit) in
-  (* Blur the changing inputs: lub of old and new. *)
-  set_inputs p (fun k ->
-      let nw = r_const p.mask v.(k) in
-      { one = old.(k).one lor nw.one; zero = old.(k).zero lor nw.zero });
-  algorithm_a ?budget p;
-  set_inputs p (fun k -> r_const p.mask v.(k));
-  algorithm_b ?budget p
+  for w = 0 to p.n_words - 1 do
+    let mask = p.live.(w) in
+    if mask <> 0 then begin
+      let old =
+        Array.map (fun env -> read_rails p w env) (Circuit.inputs p.circuit)
+      in
+      (* Blur the changing inputs: lub of old and new. *)
+      set_inputs p w (fun k ->
+          let nw = r_const mask v.(k) in
+          { one = old.(k).one lor nw.one; zero = old.(k).zero lor nw.zero });
+      algorithm_a ?budget p w;
+      set_inputs p w (fun k -> r_const mask v.(k));
+      algorithm_b ?budget p w
+    end
+  done
 
-let ternary_of_rails r machine =
-  let bit = 1 lsl machine in
-  match (r.one land bit <> 0, r.zero land bit <> 0) with
-  | true, false -> Ternary.One
-  | false, true -> Ternary.Zero
-  | true, true -> Ternary.Phi
-  | false, false -> assert false
-
-let machine_outputs p machine =
+let machine_outputs p m =
+  let w = word_of m and lane = m mod word_size in
   Array.map
-    (fun o -> ternary_of_rails (read_rails p o) machine)
+    (fun o -> ternary_of_rails (read_rails p w o) lane)
     (Circuit.outputs p.circuit)
 
-let machine_state p machine =
+let machine_state p m =
+  let w = word_of m and lane = m mod word_size in
   Array.init (Circuit.n_nodes p.circuit) (fun i ->
-      ternary_of_rails (read_rails p i) machine)
+      ternary_of_rails (read_rails p w i) lane)
 
-let detected p ~good_outputs =
+(* --- fault dropping ----------------------------------------------------- *)
+
+(* Kill the given lanes of word [w]: clear them from the live mask and
+   erase every trace of them (rails, output pinning) so dead lanes can
+   never re-trigger a fixpoint round.  Pin overrides are masked lazily
+   at eval time against [live]. *)
+let drop_lanes p w lanes =
+  let lanes = lanes land p.live.(w) in
+  if lanes <> 0 then begin
+    p.live.(w) <- p.live.(w) land lnot lanes;
+    let keep = lnot lanes in
+    let nodes = Circuit.n_nodes p.circuit in
+    for i = 0 to nodes - 1 do
+      let k = (i * p.n_words) + w in
+      p.can1.(k) <- p.can1.(k) land keep;
+      p.can0.(k) <- p.can0.(k) land keep;
+      p.out_force1.(k) <- p.out_force1.(k) land keep;
+      p.out_force0.(k) <- p.out_force0.(k) land keep
+    done
+  end
+
+let detected_word p w ~good_outputs =
   let acc = ref 0 in
   Array.iteri
     (fun k o ->
-      let r = read_rails p o in
+      let r = read_rails p w o in
       match good_outputs.(k) with
       | Ternary.One -> acc := !acc lor (r.zero land lnot r.one)
       | Ternary.Zero -> acc := !acc lor (r.one land lnot r.zero)
       | Ternary.Phi -> ())
     (Circuit.outputs p.circuit);
-  !acc land p.mask
+  !acc land p.live.(w)
 
-(* Settle the freshly created pack: faults may make the reset state
-   unstable; conservatively flood-and-resolve before the first vector. *)
+let detected ?(drop = true) p ~good_outputs =
+  let hits = ref [] in
+  for w = p.n_words - 1 downto 0 do
+    if p.live.(w) <> 0 then begin
+      let det = detected_word p w ~good_outputs in
+      if det <> 0 then begin
+        for lane = word_size - 1 downto 0 do
+          if det land (1 lsl lane) <> 0 then
+            hits := ((w * word_size) + lane) :: !hits
+        done;
+        if drop then drop_lanes p w det
+      end
+    end
+  done;
+  !hits
+
+(* --- repacking ----------------------------------------------------------- *)
+
+(* Compact the survivors into the fewest words, carrying their settled
+   ternary state over.  Worth doing between vectors once a pack is
+   mostly dead: the per-word fixpoints then run over fewer words. *)
+let repack p =
+  let n = n_machines p in
+  let survivors = ref [] in
+  for m = n - 1 downto 0 do
+    if p.live.(word_of m) land lane_of m <> 0 then survivors := m :: !survivors
+  done;
+  let survivors = Array.of_list !survivors in
+  if Array.length survivors = n then p
+  else begin
+    let q = skeleton p.circuit (Array.map (fun m -> p.faults.(m)) survivors) in
+    let nodes = Circuit.n_nodes p.circuit in
+    Array.iteri
+      (fun m' m ->
+        let w = word_of m and lane = m mod word_size in
+        let w' = word_of m' and bit' = lane_of m' in
+        for i = 0 to nodes - 1 do
+          let r = read_rails p w i in
+          let k' = (i * q.n_words) + w' in
+          (match ternary_of_rails r lane with
+          | Ternary.One -> q.can1.(k') <- q.can1.(k') lor bit'
+          | Ternary.Zero -> q.can0.(k') <- q.can0.(k') lor bit'
+          | Ternary.Phi ->
+            q.can1.(k') <- q.can1.(k') lor bit';
+            q.can0.(k') <- q.can0.(k') lor bit')
+        done)
+      survivors;
+    q
+  end
+
+(* --- creation ------------------------------------------------------------- *)
+
 let create c faults ~reset =
-  let p = create c faults ~reset in
+  if Array.length reset <> Circuit.n_nodes c then
+    invalid_arg "Parallel_sim.create: bad reset state";
+  let p = skeleton c faults in
+  Array.iteri
+    (fun i v ->
+      for w = 0 to p.n_words - 1 do
+        let k = (i * p.n_words) + w in
+        if v then p.can1.(k) <- p.live.(w) else p.can0.(k) <- p.live.(w)
+      done)
+    reset;
+  (* Settle the freshly created pack: faults may make the reset state
+     unstable; conservatively flood-and-resolve before the first
+     vector. *)
   settle p;
   p

@@ -1,15 +1,25 @@
-(** Bit-parallel ternary fault simulation.
+(** Bit-parallel ternary fault simulation, multi-word with fault
+    dropping.
 
-    Simulates up to {!word_size} faulty machines at once (Seshu-style
+    Simulates any number of faulty machines at once (Seshu-style
     parallel simulation crossed with Eichelberger's ternary algorithm,
-    as in the paper §5.4).  Each node carries two machine-indexed bit
-    words — a "can be 1" rail and a "can be 0" rail; both bits set
+    as in the paper §5.4).  Machines are laid out as lanes of
+    {!word_size}-bit words: machine [m] is lane [m mod word_size] of
+    word [m / word_size]; each node carries per word two machine-indexed
+    bit words — a "can be 1" rail and a "can be 0" rail; both bits set
     encode {!Satg_logic.Ternary.Phi}.
 
     Faults are {e forced}, not structurally injected: input stuck-at
     faults override the read value of one pin for one machine, output
     stuck-at faults pin a gate's rails for one machine.  All machines
     therefore share the good netlist and evaluate in lock-step.
+
+    {b Fault dropping}: each word keeps a live-lane mask.  {!detected}
+    (by default) drops the machines it reports — their rail bits are
+    erased everywhere, they stop contributing to the fixpoints, and a
+    word whose lanes are all dead is skipped outright.  {!repack}
+    compacts the survivors of a mostly-dead pack into fewer words,
+    carrying their settled state over.
 
     Settling is fail-soft like {!Ternary_sim}: a machine that exhausts
     the round budget saturates to Phi on every still-oscillating rail
@@ -21,30 +31,89 @@ open Satg_circuit
 open Satg_fault
 
 val word_size : int
-(** Maximum machines per pack (62). *)
+(** Machines per word (62). *)
+
+(** {1 Dual-rail word algebra}
+
+    Exposed for property testing: each lane encodes a ternary value as
+    a ("can be 1", "can be 0") rail pair; [one land zero] lanes are
+    Phi, and a lane with neither rail carries no information (only
+    dropped machines).  All operators are monotone in the information
+    order (rails only gain bits). *)
+
+type rails = {
+  one : int;
+  zero : int;
+}
+
+val r_const : int -> bool -> rails
+(** [r_const mask b]: the constant [b] on every lane of [mask]. *)
+
+val r_not : rails -> rails
+val r_and : rails -> rails -> rails
+val r_or : rails -> rails -> rails
+val r_xor : rails -> rails -> rails
+
+val r_mux : rails -> rails -> rails -> rails
+(** [r_mux s a b] = [s ? a : b], the monotone ternary mux. *)
+
+val r_celem : int -> self:rails -> rails array -> rails
+(** Muller C-element: all-1 sets, all-0 resets, otherwise [self]. *)
+
+val eval_func : int -> Gatefunc.t -> self:rails -> rails array -> rails
+(** One gate function over rail words ([mask] = lanes in use). *)
+
+val ternary_of_rails : rails -> int -> Ternary.t
+(** Decode one lane.
+    @raise Invalid_argument on an empty (dropped) lane. *)
+
+val rails_of_ternaries : Ternary.t array -> rails
+(** Encode lane [i] from element [i] (inverse of {!ternary_of_rails}
+    over the first [Array.length] lanes). *)
+
+(** {1 Packs} *)
 
 type pack
 
 val create : Circuit.t -> Fault.t array -> reset:bool array -> pack
-(** Build a pack of [Array.length faults] machines (≤ {!word_size}),
-    all starting from the good circuit's [reset] state with their fault
-    forced, then conservatively settled (ternary).
-    @raise Invalid_argument on too many faults. *)
+(** Build a pack of [Array.length faults] machines — any number; the
+    pack spans as many words as needed — all starting from the good
+    circuit's [reset] state with their fault forced, then
+    conservatively settled (ternary).
+    @raise Invalid_argument on a reset state of the wrong size. *)
 
 val n_machines : pack -> int
+(** Machines the pack was created with (live or dropped). *)
+
+val n_words : pack -> int
 val fault : pack -> int -> Fault.t
+
+val n_live : pack -> int
+(** Machines not yet dropped. *)
+
+val is_live : pack -> int -> bool
+val live_faults : pack -> Fault.t list
+(** Faults of the live machines, in machine order. *)
 
 val apply_vector : ?budget:int -> pack -> bool array -> unit
 (** Run one test cycle (algorithm A with blurred inputs, then algorithm
-    B with the new inputs) on every machine.  Mutates the pack. *)
+    B with the new inputs) on every live machine.  Mutates the pack;
+    fully-dead words are skipped. *)
 
 val machine_outputs : pack -> int -> Ternary.t array
-(** Primary-output values of one machine. *)
+(** Primary-output values of one live machine. *)
 
-val detected : pack -> good_outputs:Ternary.t array -> int
-(** Bitmask of machines whose outputs {e definitely} differ from the
+val detected : ?drop:bool -> pack -> good_outputs:Ternary.t array -> int list
+(** Machines (ascending) whose outputs {e definitely} differ from the
     good machine right now: some output where the good value is binary
-    and the machine's value is the opposite binary value. *)
+    and the machine's value is the opposite binary value.  With [drop]
+    (the default) the reported machines are dropped from the pack. *)
+
+val repack : pack -> pack
+(** Compact the live machines into the fewest words, carrying their
+    current state; machine indices are renumbered (use {!fault} on the
+    {e new} pack).  Returns the pack unchanged if nothing was
+    dropped. *)
 
 val machine_state : pack -> int -> Ternary.t array
-(** Full node state of one machine (diagnostics, tests). *)
+(** Full node state of one live machine (diagnostics, tests). *)

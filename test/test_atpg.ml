@@ -142,6 +142,61 @@ let test_fault_sim_sweep () =
         (List.mem f detected) (Detect.check g f seq))
     (all_faults c)
 
+(* A fault list far beyond one 62-bit word sweeps in a single pass:
+   one multi-word pack, no batching, no cap — and the partition still
+   agrees with the scalar checker fault by fault. *)
+let test_big_pack_sweep () =
+  let b = Circuit.Builder.create "wide" in
+  let a = Circuit.Builder.add_input b "a" in
+  let bb = Circuit.Builder.add_input b "b" in
+  let n_chain = 60 in
+  let last = ref [ a; bb ] in
+  let gates =
+    List.init n_chain (fun i ->
+        let src = List.nth !last (i mod List.length !last) in
+        let func = if i mod 2 = 0 then Gatefunc.Buf else Gatefunc.Not in
+        let g =
+          Circuit.Builder.add_gate b ~name:(Printf.sprintf "g%d" i) func [ src ]
+        in
+        last := [ g ];
+        g)
+  in
+  List.iteri
+    (fun i g -> if i >= n_chain - 2 then Circuit.Builder.mark_output b g)
+    gates;
+  let c = Circuit.Builder.finalize b in
+  let n = Circuit.n_nodes c in
+  let zero = Array.make n false in
+  let reset =
+    match Satg_sim.Async_sim.settle c ~max_steps:(4 * n) zero with
+    | Some s -> s
+    | None -> Alcotest.fail "chain circuit must settle"
+  in
+  let c = Circuit.with_initial c reset in
+  let faults = all_faults c in
+  Alcotest.(check bool) "universe is big" true (List.length faults >= 200);
+  (* direct pack creation: no 62-fault ceiling *)
+  let pack =
+    Satg_sim.Parallel_sim.create c (Array.of_list faults) ~reset
+  in
+  Alcotest.(check bool) "several words" true
+    (Satg_sim.Parallel_sim.n_words pack >= 4);
+  Alcotest.(check int) "all machines live" (List.length faults)
+    (Satg_sim.Parallel_sim.n_live pack);
+  let g = Explicit.build c in
+  let seq = [ [| true; true |]; [| false; false |]; [| true; false |] ] in
+  Alcotest.(check bool) "valid path" true (Detect.good_trace g seq <> None);
+  let detected, remaining = Detect.sweep g seq faults in
+  Alcotest.(check int) "partition" (List.length faults)
+    (List.length detected + List.length remaining);
+  Alcotest.(check bool) "detects plenty" true (List.length detected > 62);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        ("agree " ^ Fault.to_string c f)
+        (Detect.check g f seq) (List.mem f detected))
+    faults
+
 let test_engine_phases_accounted () =
   let c = Figures.celem_handshake () in
   let r = Engine.run c ~faults:(all_faults c) in
@@ -218,7 +273,10 @@ let suites =
         Alcotest.test_case "undetectable" `Quick test_three_phase_undetectable;
       ] );
     ( "atpg.fault_sim",
-      [ Alcotest.test_case "sweep" `Quick test_fault_sim_sweep ] );
+      [
+        Alcotest.test_case "sweep" `Quick test_fault_sim_sweep;
+        Alcotest.test_case "big pack one-pass sweep" `Quick test_big_pack_sweep;
+      ] );
     ( "atpg.baseline",
       [
         Alcotest.test_case "celem" `Quick test_baseline_celem;

@@ -1,0 +1,169 @@
+(* Property tests for the dual-rail word algebra underlying
+   Parallel_sim: each lane of a (one, zero) rail pair encodes a ternary
+   value; the operators must be the lane-wise monotone ternary
+   functions.  Checked here:
+
+   - lane-wise agreement with the scalar ternary algebra, for every
+     gate function (the algebra's defining property),
+   - commutativity and De Morgan duality of the word operators,
+   - monotonicity w.r.t. the information (Phi) order: blurring an
+     operand can only blur the result,
+   - rails <-> ternary-vector round-trips. *)
+
+open Satg_logic
+open Satg_circuit
+open Satg_sim
+
+let lanes = 16
+let mask = (1 lsl lanes) - 1
+
+(* --- generators ----------------------------------------------------------- *)
+
+let gen_ternary =
+  QCheck.Gen.oneofl [ Ternary.Zero; Ternary.One; Ternary.Phi ]
+
+let gen_tvec = QCheck.Gen.(array_size (return lanes) gen_ternary)
+
+let gen_rails = QCheck.Gen.map Parallel_sim.rails_of_ternaries gen_tvec
+
+let print_rails r =
+  Printf.sprintf "{one=%x; zero=%x}" r.Parallel_sim.one r.Parallel_sim.zero
+
+let rails_arb = QCheck.make gen_rails ~print:print_rails
+
+let rails_pair = QCheck.pair rails_arb rails_arb
+let rails_triple = QCheck.triple rails_arb rails_arb rails_arb
+
+let decode r = Array.init lanes (Parallel_sim.ternary_of_rails r)
+
+let rails_equal a b =
+  a.Parallel_sim.one = b.Parallel_sim.one
+  && a.Parallel_sim.zero = b.Parallel_sim.zero
+
+(* Information order, lane-wise: [a] below [b] iff every rail bit of
+   [a] is a rail bit of [b] (rails only gain bits; Phi is top). *)
+let rails_leq a b =
+  a.Parallel_sim.one land lnot b.Parallel_sim.one = 0
+  && a.Parallel_sim.zero land lnot b.Parallel_sim.zero = 0
+
+(* Blur: lub with Phi on a lane subset — strictly climbs the order. *)
+let blur extra r =
+  let extra = extra land mask in
+  Parallel_sim.
+    { one = r.one lor extra; zero = r.zero lor extra }
+
+(* --- P1: lane-wise agreement with the scalar ternary algebra -------------- *)
+
+(* One property per shape; Sop is exercised through Parallel_sim's
+   eval_cover path in the circuit-level differential oracle. *)
+let funcs_2in =
+  Gatefunc.[ And; Or; Nand; Nor; Xor; Xnor ]
+
+let prop_func_lanes =
+  QCheck.Test.make ~name:"rails: eval_func = lane-wise eval_ternary" ~count:500
+    rails_triple (fun (a, b, self) ->
+      let ta = decode a and tb = decode b and tself = decode self in
+      List.for_all
+        (fun f ->
+          let word = Parallel_sim.eval_func mask f ~self [| a; b |] in
+          let ok = ref true in
+          for l = 0 to lanes - 1 do
+            let want = Gatefunc.eval_ternary f ~self:tself.(l) [| ta.(l); tb.(l) |] in
+            if
+              not
+                (Ternary.equal (Parallel_sim.ternary_of_rails word l) want)
+            then ok := false
+          done;
+          !ok)
+        (Gatefunc.Celem :: funcs_2in))
+
+let prop_mux_lanes =
+  QCheck.Test.make ~name:"rails: mux = lane-wise ternary mux" ~count:500
+    rails_triple (fun (s, a, b) ->
+      let ts = decode s and ta = decode a and tb = decode b in
+      let word = Parallel_sim.r_mux s a b in
+      let ok = ref true in
+      for l = 0 to lanes - 1 do
+        let want =
+          Gatefunc.eval_ternary Gatefunc.Mux ~self:Ternary.Phi
+            [| ts.(l); ta.(l); tb.(l) |]
+        in
+        if not (Ternary.equal (Parallel_sim.ternary_of_rails word l) want) then
+          ok := false
+      done;
+      !ok)
+
+(* --- P2: commutativity ----------------------------------------------------- *)
+
+let prop_commutative =
+  QCheck.Test.make ~name:"rails: and/or/xor commute" ~count:500 rails_pair
+    (fun (a, b) ->
+      rails_equal (Parallel_sim.r_and a b) (Parallel_sim.r_and b a)
+      && rails_equal (Parallel_sim.r_or a b) (Parallel_sim.r_or b a)
+      && rails_equal (Parallel_sim.r_xor a b) (Parallel_sim.r_xor b a))
+
+(* --- P3: De Morgan ---------------------------------------------------------- *)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"rails: De Morgan" ~count:500 rails_pair
+    (fun (a, b) ->
+      let open Parallel_sim in
+      rails_equal (r_not (r_and a b)) (r_or (r_not a) (r_not b))
+      && rails_equal (r_not (r_or a b)) (r_and (r_not a) (r_not b))
+      && rails_equal (r_not (r_not a)) a)
+
+(* --- P4: monotonicity in the Phi order -------------------------------------- *)
+
+let prop_monotone =
+  QCheck.Test.make ~name:"rails: operators monotone w.r.t. Phi order"
+    ~count:500
+    QCheck.(pair rails_triple small_int)
+    (fun ((a, b, c), extra) ->
+      let a' = blur extra a in
+      rails_leq a a'
+      && rails_leq (Parallel_sim.r_and a b) (Parallel_sim.r_and a' b)
+      && rails_leq (Parallel_sim.r_or a b) (Parallel_sim.r_or a' b)
+      && rails_leq (Parallel_sim.r_xor a b) (Parallel_sim.r_xor a' b)
+      && rails_leq (Parallel_sim.r_not a) (Parallel_sim.r_not a')
+      && rails_leq (Parallel_sim.r_mux a b c) (Parallel_sim.r_mux a' b c)
+      && rails_leq (Parallel_sim.r_mux b a c) (Parallel_sim.r_mux b a' c)
+      && rails_leq
+           (Parallel_sim.r_celem mask ~self:b [| a; c |])
+           (Parallel_sim.r_celem mask ~self:b [| a'; c |])
+      && rails_leq
+           (Parallel_sim.r_celem mask ~self:a [| b; c |])
+           (Parallel_sim.r_celem mask ~self:a' [| b; c |]))
+
+(* --- P5: round-trips --------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"rails: ternary round-trip" ~count:500
+    (QCheck.make gen_tvec
+       ~print:(fun ts -> Ternary.vector_to_string ts))
+    (fun ts ->
+      let r = Parallel_sim.rails_of_ternaries ts in
+      let back = decode r in
+      Array.for_all2 Ternary.equal ts back
+      && rails_equal r (Parallel_sim.rails_of_ternaries back))
+
+let prop_const_lanes =
+  QCheck.Test.make ~name:"rails: const decodes to its value" ~count:100
+    QCheck.bool (fun v ->
+      let r = Parallel_sim.r_const mask v in
+      Array.for_all
+        (fun t -> Ternary.equal t (Ternary.of_bool v))
+        (decode r))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_func_lanes;
+      prop_mux_lanes;
+      prop_commutative;
+      prop_de_morgan;
+      prop_monotone;
+      prop_roundtrip;
+      prop_const_lanes;
+    ]
+
+let suites = [ ("rails", qcheck_cases) ]

@@ -22,7 +22,7 @@ type spec = {
 }
 
 let func_pool =
-  Gatefunc.[ And; Or; Nand; Nor; Not; Buf; Xor; Celem ]
+  Gatefunc.[ And; Or; Nand; Nor; Not; Buf; Xor; Celem; Mux ]
 
 let gen_spec =
   let open QCheck.Gen in
@@ -44,6 +44,12 @@ let arity_for func picks =
     match picks with
     | a :: b :: _ -> [ a; b ]
     | [ a ] -> [ a; a ]
+    | [] -> assert false)
+  | Gatefunc.Mux -> (
+    match picks with
+    | a :: b :: c :: _ -> [ a; b; c ]
+    | [ a; b ] -> [ a; b; b ]
+    | [ a ] -> [ a; a; a ]
     | [] -> assert false)
   | _ -> picks
 
@@ -170,60 +176,97 @@ let prop_engines_agree =
         let sym = Symbolic.to_cssg (Symbolic.build ~k c) in
         canonical pure = canonical sym && canonical pure = canonical hybrid)
 
-(* --- P3: parallel pack = scalar ternary ----------------------------------- *)
+(* --- P3: multi-word pack differential oracle ------------------------------- *)
 
-let prop_parallel_matches_scalar =
-  QCheck.Test.make ~name:"random circuits: parallel = scalar ternary" ~count:60
+(* The strongest pack property: replicate the whole fault universe past
+   one word (so the pack spans several words), and after creation and
+   after every vector assert that {e every} machine lane equals a
+   standalone scalar Ternary_sim run of the same structurally injected
+   fault — full node state, primary outputs, and the [detected] bits
+   against the good machine's ternary outputs. *)
+let prop_differential_oracle =
+  QCheck.Test.make ~name:"random circuits: multi-word differential oracle"
+    ~count:120
     QCheck.(pair spec_arb (small_list (int_bound 3)))
     (fun (spec, vec_picks) ->
       match build_spec spec with
       | None -> QCheck.assume_fail ()
       | Some c ->
         let reset = Option.get (Circuit.initial c) in
-        let faults = Array.of_list (Fault.universe_output_sa c) in
-        let faults =
-          Array.sub faults 0 (min (Array.length faults) Parallel_sim.word_size)
+        let base = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+        let rec grow fs =
+          if List.length fs > Parallel_sim.word_size then fs
+          else grow (fs @ base)
         in
+        let faults = Array.of_list (grow base) in
         let pack = Parallel_sim.create c faults ~reset in
-        let scalar =
-          Array.map
-            (fun f ->
-              let fc = Fault.inject c f in
-              let init =
-                Ternary_sim.of_bool_state (Fault.initial_faulty_state c f reset)
-              in
-              let v0 = Circuit.input_vector_of_state c reset in
-              (fc, ref (Ternary_sim.apply_vector fc init v0)))
-            faults
-        in
-        let vectors =
-          List.map
-            (fun p ->
-              Array.init (Circuit.n_inputs c) (fun i ->
-                  (p lsr i) land 1 = 1))
-            vec_picks
-        in
-        let ok = ref true in
-        let compare_all () =
-          Array.iteri
-            (fun m (fc, st) ->
-              let got = Parallel_sim.machine_state pack m in
-              for node = 0 to Circuit.n_nodes c - 1 do
-                if not (Ternary.equal !st.(node) got.(node)) then ok := false
-              done;
-              ignore fc)
-            scalar
-        in
-        compare_all ();
-        List.iter
-          (fun v ->
-            Parallel_sim.apply_vector pack v;
-            Array.iter
-              (fun (fc, st) -> st := Ternary_sim.apply_vector fc !st v)
+        if Parallel_sim.n_words pack < 2 then false
+        else begin
+          let scalar =
+            Array.map
+              (fun f ->
+                let fc = Fault.inject c f in
+                let init =
+                  Ternary_sim.of_bool_state
+                    (Fault.initial_faulty_state c f reset)
+                in
+                let v0 = Circuit.input_vector_of_state c reset in
+                (fc, ref (Ternary_sim.apply_vector fc init v0)))
+              faults
+          in
+          let good = ref (Ternary_sim.of_bool_state reset) in
+          let ok = ref true in
+          let compare_all () =
+            Array.iteri
+              (fun m (fc, st) ->
+                ignore fc;
+                let got = Parallel_sim.machine_state pack m in
+                for node = 0 to Circuit.n_nodes c - 1 do
+                  if not (Ternary.equal !st.(node) got.(node)) then ok := false
+                done;
+                let gout = Parallel_sim.machine_outputs pack m in
+                Array.iteri
+                  (fun k o ->
+                    if not (Ternary.equal gout.(k) !st.(o)) then ok := false)
+                  (Circuit.outputs c))
               scalar;
-            compare_all ())
-          vectors;
-        !ok)
+            let good_out = Ternary_sim.outputs c !good in
+            let expected =
+              Array.to_list (Array.mapi (fun m s -> (m, s)) scalar)
+              |> List.filter_map (fun (m, (_, st)) ->
+                     let hit = ref false in
+                     Array.iteri
+                       (fun k o ->
+                         match (good_out.(k), !st.(o)) with
+                         | Ternary.One, Ternary.Zero
+                         | Ternary.Zero, Ternary.One -> hit := true
+                         | _ -> ())
+                       (Circuit.outputs c);
+                     if !hit then Some m else None)
+            in
+            let got =
+              Parallel_sim.detected ~drop:false pack ~good_outputs:good_out
+            in
+            if got <> expected then ok := false
+          in
+          let vectors =
+            List.map
+              (fun p ->
+                Array.init (Circuit.n_inputs c) (fun i -> (p lsr i) land 1 = 1))
+              vec_picks
+          in
+          compare_all ();
+          List.iter
+            (fun v ->
+              Parallel_sim.apply_vector pack v;
+              good := Ternary_sim.apply_vector c !good v;
+              Array.iter
+                (fun (fc, st) -> st := Ternary_sim.apply_vector fc !st v)
+                scalar;
+              compare_all ())
+            vectors;
+          !ok
+        end)
 
 (* --- P4: text format round-trips behaviour --------------------------------- *)
 
@@ -327,7 +370,7 @@ let qcheck_cases =
     [
       prop_ternary_sound;
       prop_engines_agree;
-      prop_parallel_matches_scalar;
+      prop_differential_oracle;
       prop_parser_roundtrip;
       prop_exact_dominates_when_settled;
       prop_timed_matches_exact_on_valid_edges;

@@ -260,19 +260,89 @@ let test_parallel_detection () =
   let good = Ternary_sim.of_bool_state (reset c) in
   let good = Ternary_sim.apply_vector c good (v2 true true) in
   Parallel_sim.apply_vector pack (v2 true true);
-  let mask = Parallel_sim.detected pack ~good_outputs:(Ternary_sim.outputs c good) in
-  Alcotest.(check int) "machine 0 detected" 1 mask;
-  Alcotest.(check int) "one machine" 1 (Parallel_sim.n_machines pack)
+  let hits =
+    Parallel_sim.detected pack ~good_outputs:(Ternary_sim.outputs c good)
+  in
+  Alcotest.(check (list int)) "machine 0 detected" [ 0 ] hits;
+  Alcotest.(check int) "one machine" 1 (Parallel_sim.n_machines pack);
+  (* default drop: the machine is dead now and cannot re-detect *)
+  Alcotest.(check int) "dropped" 0 (Parallel_sim.n_live pack);
+  Alcotest.(check (list int)) "no re-detection" []
+    (Parallel_sim.detected pack ~good_outputs:(Ternary_sim.outputs c good))
 
-let test_parallel_too_many () =
+(* A pack larger than one word spreads over several words and every
+   machine still matches the scalar reference. *)
+let test_parallel_multiword () =
   let c = Figures.celem_handshake () in
-  let f = Fault.Output_sa { gate = 0; stuck = false } in
-  Alcotest.check_raises "limit"
-    (Invalid_argument "Parallel_sim.create: too many faults") (fun () ->
-      ignore
-        (Parallel_sim.create c
-           (Array.make (Parallel_sim.word_size + 1) f)
-           ~reset:(reset c)))
+  let base = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  (* replicate the universe until it overflows two words *)
+  let rec grow fs = if List.length fs > 2 * Parallel_sim.word_size then fs
+    else grow (fs @ base)
+  in
+  let faults = grow base in
+  let pack =
+    Parallel_sim.create c (Array.of_list faults) ~reset:(reset c)
+  in
+  Alcotest.(check bool) "several words" true (Parallel_sim.n_words pack > 2);
+  check_pack_vs_scalar c faults
+    [ v2 true true; v2 true false; v2 false false; v2 true true ]
+
+(* Dropping + repack: detected machines disappear, survivors compact
+   into fewer words and keep simulating correctly. *)
+let test_parallel_drop_and_repack () =
+  let c = Figures.celem_handshake () in
+  let base = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  let rec grow fs = if List.length fs > 2 * Parallel_sim.word_size then fs
+    else grow (fs @ base)
+  in
+  let faults = Array.of_list (grow base) in
+  let pack = Parallel_sim.create c faults ~reset:(reset c) in
+  let good = ref (Ternary_sim.of_bool_state (reset c)) in
+  let vectors = [ v2 true true; v2 false false; v2 true false ] in
+  let survivors = ref (Array.length faults) in
+  let pack = ref pack in
+  List.iter
+    (fun v ->
+      Parallel_sim.apply_vector !pack v;
+      good := Ternary_sim.apply_vector c !good v;
+      let hits =
+        Parallel_sim.detected !pack ~good_outputs:(Ternary_sim.outputs c !good)
+      in
+      survivors := !survivors - List.length hits;
+      Alcotest.(check int) "live count tracks drops" !survivors
+        (Parallel_sim.n_live !pack);
+      let before = Parallel_sim.live_faults !pack in
+      pack := Parallel_sim.repack !pack;
+      Alcotest.(check int) "repack preserves live count" !survivors
+        (Parallel_sim.n_live !pack);
+      Alcotest.(check bool) "repack preserves faults" true
+        (before = Parallel_sim.live_faults !pack);
+      Alcotest.(check bool) "repack compacts" true
+        (Parallel_sim.n_words !pack
+        = (!survivors + Parallel_sim.word_size - 1) / Parallel_sim.word_size))
+    vectors;
+  Alcotest.(check bool) "something was dropped" true
+    (!survivors < Array.length faults);
+  (* survivors still match a fresh scalar replay of the whole prefix
+     (after the final repack every machine of the pack is live) *)
+  for m = 0 to Parallel_sim.n_machines !pack - 1 do
+    let fault = Parallel_sim.fault !pack m in
+    let fc = Fault.inject c fault in
+    let st =
+      ref
+        (Ternary_sim.of_bool_state (Fault.initial_faulty_state c fault (reset c)))
+    in
+    let v0 = Circuit.input_vector_of_state c (reset c) in
+    st := Ternary_sim.apply_vector fc !st v0;
+    List.iter (fun v -> st := Ternary_sim.apply_vector fc !st v) vectors;
+    let got = Parallel_sim.machine_state !pack m in
+    for node = 0 to Circuit.n_nodes c - 1 do
+      if not (Ternary.equal !st.(node) got.(node)) then
+        Alcotest.failf "survivor %d node %d: scalar %c, pack %c" m node
+          (Ternary.to_char !st.(node))
+          (Ternary.to_char got.(node))
+    done
+  done
 
 let suites =
   [
@@ -303,7 +373,8 @@ let suites =
         Alcotest.test_case "matches scalar (celem)" `Quick test_parallel_matches_scalar_celem;
         Alcotest.test_case "matches scalar (fig1a)" `Quick test_parallel_matches_scalar_fig1a;
         Alcotest.test_case "matches scalar (mutex)" `Quick test_parallel_matches_scalar_mutex;
-        Alcotest.test_case "detection" `Quick test_parallel_detection;
-        Alcotest.test_case "word-size limit" `Quick test_parallel_too_many;
+        Alcotest.test_case "detection + drop" `Quick test_parallel_detection;
+        Alcotest.test_case "multi-word pack" `Quick test_parallel_multiword;
+        Alcotest.test_case "drop + repack" `Quick test_parallel_drop_and_repack;
       ] );
   ]
