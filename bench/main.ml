@@ -315,6 +315,328 @@ let fault_sim_bench path =
     (Parallel_sim.n_words pack)
     scalar_seconds scalar_pps speedup
 
+(* --- BDD engine throughput -------------------------------------------------- *)
+
+(* Head-to-head: the int-packed manager (open-addressing unique table,
+   direct-mapped shared op cache) versus the pre-rewrite design
+   (tuple-keyed Hashtbl unique table, one unbounded Hashtbl cache per
+   operation), kept here as the frozen baseline.  Both sides run the
+   same netlist-derived workload through a shared formula builder, so
+   the logical work is identical; the result goes to BENCH_bdd.json. *)
+
+module Legacy = struct
+  type t = {
+    mutable var_ : int array;
+    mutable low : int array;
+    mutable high : int array;
+    mutable n : int;
+    unique : (int * int * int, int) Hashtbl.t;
+    and_c : (int * int, int) Hashtbl.t;
+    or_c : (int * int, int) Hashtbl.t;
+    xor_c : (int * int, int) Hashtbl.t;
+    not_c : (int, int) Hashtbl.t;
+    ite_c : (int * int * int, int) Hashtbl.t;
+    mutable ops : int;  (* cache probes, the apply-throughput unit *)
+  }
+
+  let create () =
+    let var_ = Array.make 1024 max_int in
+    {
+      var_;
+      low = Array.make 1024 (-1);
+      high = Array.make 1024 (-1);
+      n = 2;
+      unique = Hashtbl.create 1024;
+      and_c = Hashtbl.create 256;
+      or_c = Hashtbl.create 256;
+      xor_c = Hashtbl.create 256;
+      not_c = Hashtbl.create 256;
+      ite_c = Hashtbl.create 256;
+      ops = 0;
+    }
+
+  let grow m =
+    let cap = 2 * Array.length m.var_ in
+    let g a def =
+      let b = Array.make cap def in
+      Array.blit a 0 b 0 m.n;
+      b
+    in
+    m.var_ <- g m.var_ max_int;
+    m.low <- g m.low (-1);
+    m.high <- g m.high (-1)
+
+  let mk m v l h =
+    if l = h then l
+    else
+      match Hashtbl.find_opt m.unique (v, l, h) with
+      | Some u -> u
+      | None ->
+        if m.n >= Array.length m.var_ then grow m;
+        let u = m.n in
+        m.n <- u + 1;
+        m.var_.(u) <- v;
+        m.low.(u) <- l;
+        m.high.(u) <- h;
+        Hashtbl.add m.unique (v, l, h) u;
+        u
+
+  let level m u = if u < 2 then max_int else m.var_.(u)
+  let var m v = mk m v 0 1
+
+  let rec not_ m a =
+    if a < 2 then 1 - a
+    else begin
+      m.ops <- m.ops + 1;
+      match Hashtbl.find_opt m.not_c a with
+      | Some r -> r
+      | None ->
+        let r = mk m m.var_.(a) (not_ m m.low.(a)) (not_ m m.high.(a)) in
+        Hashtbl.add m.not_c a r;
+        r
+    end
+
+  let rec apply m op cache a b =
+    let shortcut =
+      match op with
+      | `And ->
+        if a = 0 || b = 0 then Some 0
+        else if a = 1 then Some b
+        else if b = 1 then Some a
+        else if a = b then Some a
+        else None
+      | `Or ->
+        if a = 1 || b = 1 then Some 1
+        else if a = 0 then Some b
+        else if b = 0 then Some a
+        else if a = b then Some a
+        else None
+      | `Xor ->
+        if a = 0 then Some b
+        else if b = 0 then Some a
+        else if a = 1 then Some (not_ m b)
+        else if b = 1 then Some (not_ m a)
+        else if a = b then Some 0
+        else None
+    in
+    match shortcut with
+    | Some r -> r
+    | None -> begin
+      m.ops <- m.ops + 1;
+      let key = if a <= b then (a, b) else (b, a) in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let va = level m a and vb = level m b in
+        let v = min va vb in
+        let a0, a1 = if va = v then (m.low.(a), m.high.(a)) else (a, a) in
+        let b0, b1 = if vb = v then (m.low.(b), m.high.(b)) else (b, b) in
+        let r = mk m v (apply m op cache a0 b0) (apply m op cache a1 b1) in
+        Hashtbl.add cache key r;
+        r
+    end
+
+  let and_ m a b = apply m `And m.and_c a b
+  let or_ m a b = apply m `Or m.or_c a b
+  let xor_ m a b = apply m `Xor m.xor_c a b
+
+  let rec ite m f g h =
+    if f = 1 then g
+    else if f = 0 then h
+    else if g = h then g
+    else begin
+      m.ops <- m.ops + 1;
+      match Hashtbl.find_opt m.ite_c (f, g, h) with
+      | Some r -> r
+      | None ->
+        let v = min (level m f) (min (level m g) (level m h)) in
+        let cof u = if level m u = v then (m.low.(u), m.high.(u)) else (u, u) in
+        let f0, f1 = cof f in
+        let g0, g1 = cof g in
+        let h0, h1 = cof h in
+        let r = mk m v (ite m f0 g0 h0) (ite m f1 g1 h1) in
+        Hashtbl.add m.ite_c (f, g, h) r;
+        r
+    end
+end
+
+(* Manager-agnostic boolean constructors, so both engines build the
+   exact same formulas. *)
+type 'b bool_ops = {
+  b_zero : 'b;
+  b_one : 'b;
+  b_var : int -> 'b;
+  b_and : 'b -> 'b -> 'b;
+  b_or : 'b -> 'b -> 'b;
+  b_xor : 'b -> 'b -> 'b;
+  b_not : 'b -> 'b;
+  b_ite : 'b -> 'b -> 'b -> 'b;
+}
+
+(* A gate's output function over current-value variables (var 2i for
+   node i; 2i+1 is reserved for its next value). *)
+let func_formula ops c gid =
+  let fanin = Circuit.fanins c gid in
+  let in_ p = ops.b_var (2 * fanin.(p)) in
+  let fold op unit_ =
+    let acc = ref unit_ in
+    Array.iteri (fun p _ -> acc := op !acc (in_ p)) fanin;
+    !acc
+  in
+  match Circuit.func c gid with
+  | Gatefunc.Buf -> in_ 0
+  | Gatefunc.Not -> ops.b_not (in_ 0)
+  | Gatefunc.And -> fold ops.b_and ops.b_one
+  | Gatefunc.Or -> fold ops.b_or ops.b_zero
+  | Gatefunc.Nand -> ops.b_not (fold ops.b_and ops.b_one)
+  | Gatefunc.Nor -> ops.b_not (fold ops.b_or ops.b_zero)
+  | Gatefunc.Xor -> fold ops.b_xor ops.b_zero
+  | Gatefunc.Xnor -> ops.b_not (fold ops.b_xor ops.b_zero)
+  | Gatefunc.Mux -> ops.b_ite (in_ 0) (in_ 1) (in_ 2)
+  | Gatefunc.Celem ->
+    let all = fold ops.b_and ops.b_one in
+    let any = fold ops.b_or ops.b_zero in
+    ops.b_or all (ops.b_and (ops.b_var (2 * gid)) any)
+  | Gatefunc.Const b -> if b then ops.b_one else ops.b_zero
+  | Gatefunc.Sop cover ->
+    List.fold_left
+      (fun acc cube ->
+        let term = ref ops.b_one in
+        Array.iteri
+          (fun p l ->
+            match l with
+            | Cube.D -> ()
+            | Cube.T -> term := ops.b_and !term (in_ p)
+            | Cube.F -> term := ops.b_and !term (ops.b_not (in_ p)))
+          (Cube.lits cube);
+        ops.b_or acc !term)
+      ops.b_zero (Cover.cubes cover)
+
+(* The workload: build the circuit's transition relation
+   (next(g) <-> f_g over all gates) and its excitation set, then a few
+   ite mixes of the two — the same shapes the symbolic CSSG engine
+   produces, deterministic per netlist. *)
+let bdd_workload ops c =
+  let iff a b = ops.b_not (ops.b_xor a b) in
+  let gates = Circuit.gates c in
+  let delta =
+    Array.fold_left
+      (fun acc gid ->
+        ops.b_and acc (iff (ops.b_var ((2 * gid) + 1)) (func_formula ops c gid)))
+      ops.b_one gates
+  in
+  let excited =
+    Array.fold_left
+      (fun acc gid ->
+        ops.b_or acc (ops.b_xor (ops.b_var (2 * gid)) (func_formula ops c gid)))
+      ops.b_zero gates
+  in
+  ignore (ops.b_ite excited delta (ops.b_not delta));
+  ignore (ops.b_and delta (ops.b_not excited))
+
+let packed_run c =
+  let m = Bdd.create ~nvars:(2 * Circuit.n_nodes c) () in
+  bdd_workload
+    {
+      b_zero = Bdd.zero m;
+      b_one = Bdd.one m;
+      b_var = Bdd.var m;
+      b_and = Bdd.and_ m;
+      b_or = Bdd.or_ m;
+      b_xor = Bdd.xor_ m;
+      b_not = Bdd.not_ m;
+      b_ite = Bdd.ite m;
+    }
+    c;
+  Bdd.stats m
+
+let legacy_run c =
+  let m = Legacy.create () in
+  bdd_workload
+    {
+      b_zero = 0;
+      b_one = 1;
+      b_var = Legacy.var m;
+      b_and = Legacy.and_ m;
+      b_or = Legacy.or_ m;
+      b_xor = Legacy.xor_ m;
+      b_not = Legacy.not_ m;
+      b_ite = Legacy.ite m;
+    }
+    c;
+  m
+
+let bdd_netlists =
+  [
+    "examples/netlists/celem_handshake.cct";
+    "examples/netlists/mutex_latch.cct";
+    "examples/netlists/ring_storm.cct";
+    "examples/netlists/toggle_farm.cct";
+  ]
+
+let bdd_engine_bench () =
+  let row path =
+    let c = load_netlist path in
+    (* Fresh manager per repetition on both sides: cold caches each
+       time, so the comparison is build throughput, not cache replay. *)
+    let stats = packed_run c in
+    let legacy = legacy_run c in
+    let packed_ops = Bdd.apply_ops stats in
+    let legacy_ops = legacy.Legacy.ops in
+    let packed_seconds = time_thunk (fun () -> ignore (packed_run c)) in
+    let legacy_seconds = time_thunk (fun () -> ignore (legacy_run c)) in
+    let packed_ops_s = float_of_int packed_ops /. packed_seconds in
+    let legacy_ops_s = float_of_int legacy_ops /. legacy_seconds in
+    let speedup = legacy_seconds /. packed_seconds in
+    Printf.printf
+      "bdd engine (%s): %d vars\n\
+      \  packed: %8.5f s  (%12.1f apply ops/s, peak %d nodes, %.1f%% cache hits)\n\
+      \  legacy: %8.5f s  (%12.1f apply ops/s, peak %d nodes)\n\
+      \  speedup: %.2fx\n"
+      (Circuit.name c)
+      (2 * Circuit.n_nodes c)
+      packed_seconds packed_ops_s stats.Bdd.peak_nodes
+      (100.0 *. Bdd.cache_hit_rate stats)
+      legacy_seconds legacy_ops_s legacy.Legacy.n speedup;
+    Printf.sprintf
+      {|    {
+      "circuit": "%s",
+      "nvars": %d,
+      "packed": { "seconds": %.6f, "apply_ops": %d, "ops_per_sec": %.1f,
+                  "peak_nodes": %d, "cache_hit_rate": %.4f },
+      "legacy": { "seconds": %.6f, "apply_ops": %d, "ops_per_sec": %.1f,
+                  "peak_nodes": %d },
+      "speedup": %.2f
+    }|}
+      (Circuit.name c)
+      (2 * Circuit.n_nodes c)
+      packed_seconds packed_ops packed_ops_s stats.Bdd.peak_nodes
+      (Bdd.cache_hit_rate stats) legacy_seconds legacy_ops legacy_ops_s
+      legacy.Legacy.n speedup
+    |> fun json -> (json, speedup)
+  in
+  let rows = List.map row bdd_netlists in
+  let max_speedup =
+    List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 rows
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "bdd_engine",
+  "circuits": [
+%s
+  ],
+  "max_speedup": %.2f
+}
+|}
+      (String.concat ",\n" (List.map fst rows))
+      max_speedup
+  in
+  let oc = open_out "BENCH_bdd.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "max speedup: %.2fx  -> BENCH_bdd.json\n" max_speedup
+
 (* --- driver ---------------------------------------------------------------- *)
 
 let tests =
@@ -355,14 +677,17 @@ let run_bechamel () =
          | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")
 
 (* [--fault-sim [FILE.cct]] runs only the parallel fault-sim
-   throughput bench (CI smoke job); the default runs the full bechamel
-   suite and then the throughput bench. *)
+   throughput bench and [--bdd] only the BDD engine head-to-head (the
+   CI smoke jobs); the default runs the full bechamel suite and then
+   both throughput benches. *)
 let () =
   let argv = Array.to_list Sys.argv in
   match argv with
   | _ :: "--fault-sim" :: rest ->
     let path = match rest with p :: _ -> p | [] -> default_netlist in
     fault_sim_bench path
+  | _ :: "--bdd" :: _ -> bdd_engine_bench ()
   | _ ->
     run_bechamel ();
-    fault_sim_bench default_netlist
+    fault_sim_bench default_netlist;
+    bdd_engine_bench ()

@@ -111,6 +111,15 @@ let max_transitions_arg =
     & info [ "max-transitions" ] ~docv:"N"
         ~doc:"Ceiling on transition expansions, per phase / per fault.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print BDD-manager statistics (node counts, unique-table load, \
+           per-op cache hit/miss) after the run.  Only the symbolic engine \
+           has a BDD manager to report on.")
+
 let cssg_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
   let engine =
@@ -122,24 +131,32 @@ let cssg_cmd =
   let dump =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print every state and edge.")
   in
-  let run file engine dump k timeout max_states max_transitions =
+  let run file engine dump stats k timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
     let guard = Guard.create ?timeout ?max_states ?max_transitions () in
-    let g =
+    let g, bdd_stats =
       match engine with
-      | `Explicit -> Explicit.build ?k ~guard c
-      | `Symbolic -> Symbolic.to_cssg (Symbolic.build ?k ~guard c)
+      | `Explicit -> (Explicit.build ?k ~guard c, None)
+      | `Symbolic ->
+        let sym = Symbolic.build ?k ~guard c in
+        let g = Symbolic.to_cssg sym in
+        (* sampled after enumeration so the whole build is covered *)
+        (g, Some (Symbolic.bdd_stats sym))
     in
     if dump then Format.printf "%a@." Cssg.pp g
     else Format.printf "%a@." Cssg.pp_stats g;
+    (if stats then
+       match bdd_stats with
+       | Some s -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
+       | None -> Format.printf "bdd stats: n/a (explicit engine)@.");
     if Cssg.truncated g <> None then exit exit_partial
   in
   Cmd.v
     (Cmd.info "cssg"
        ~doc:"Build the Confluent Stable State Graph of a netlist.")
     Term.(
-      const run $ file $ engine $ dump $ k_arg $ timeout_arg $ max_states_arg
-      $ max_transitions_arg)
+      const run $ file $ engine $ dump $ stats_arg $ k_arg $ timeout_arg
+      $ max_states_arg $ max_transitions_arg)
 
 (* --- atpg ----------------------------------------------------------------- *)
 
@@ -162,8 +179,14 @@ let atpg_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
   in
-  let run file universe no_random seed verbose k timeout max_states
-      max_transitions =
+  let symbolic =
+    Arg.(
+      value & flag
+      & info [ "symbolic" ]
+          ~doc:"Justify through the BDD engine instead of explicit BFS.")
+  in
+  let run file universe no_random seed verbose symbolic stats k timeout
+      max_states max_transitions =
     let c = or_die (read_circuit file) in
     let faults =
       match universe with
@@ -176,6 +199,7 @@ let atpg_cmd =
         Engine.default_config with
         k;
         enable_random = not no_random;
+        symbolic_justification = symbolic;
         timeout;
         max_states;
         max_transitions;
@@ -189,13 +213,18 @@ let atpg_cmd =
         r.Engine.outcomes;
     Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
     Format.printf "%a@." Engine.pp_summary r;
+    (if stats then
+       match r.Engine.bdd_stats with
+       | Some s -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
+       | None ->
+         Format.printf "bdd stats: n/a (pass --symbolic to engage the BDD engine)@.");
     if Engine.partial r then exit exit_partial
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate synchronous test patterns for a netlist.")
     Term.(
-      const run $ file $ universe $ no_random $ seed $ verbose $ k_arg
-      $ timeout_arg $ max_states_arg $ max_transitions_arg)
+      const run $ file $ universe $ no_random $ seed $ verbose $ symbolic
+      $ stats_arg $ k_arg $ timeout_arg $ max_states_arg $ max_transitions_arg)
 
 (* --- bench ---------------------------------------------------------------- *)
 

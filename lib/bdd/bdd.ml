@@ -1,45 +1,94 @@
 (* Hash-consed ROBDDs, struct-of-arrays node store.  Node ids:
    0 = terminal false, 1 = terminal true, >= 2 internal.  The variable
-   of a terminal is [terminal_var], larger than any real variable. *)
+   of a terminal is [terminal_var], larger than any real variable.
+
+   The hot paths (mk / apply / ite / not) are allocation-free:
+
+   - The unique table is open addressing with linear probing over one
+     int array.  A bucket holds [node id + 1] (0 = empty); the key
+     (var, low, high) is never materialised — it is hashed inline and
+     compared against the struct-of-arrays store.  The table grows at
+     3/4 occupancy; nodes are never deleted, so probing needs no
+     tombstones.
+   - All operation results share one fixed-size direct-mapped cache
+     (CUDD-style): a flat int array of 4-int entries
+     [key1; key2; key3; result], where key1 packs the first operand
+     and the op tag ((a lsl 3) lor op).  Collisions simply overwrite
+     (lossy); correctness never depends on the cache, only speed.
+   - [Guard.tick] is probed on every cache miss and node allocation,
+     so a deadline (or an already-tripped guard) aborts a runaway
+     symbolic computation from *inside* the recursion instead of
+     waiting for the caller's next loop boundary. *)
+
+open Satg_guard
 
 type t = int
 
 let terminal_var = max_int
+
+(* op tags, also the index into the per-op hit/miss counters *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_not = 3
+let op_ite = 4
+let n_ops = 5
 
 type man = {
   mutable var_of : int array;
   mutable low_of : int array;
   mutable high_of : int array;
   mutable n_nodes : int;
-  unique : (int * int * int, int) Hashtbl.t;
-  mutable bin_cache : (int * int * int, int) Hashtbl.t;
-      (* key: (op_tag, a, b) with a normalised first for commutative ops *)
-  mutable ite_cache : (int * int * int, int) Hashtbl.t;
-  mutable not_cache : (int, int) Hashtbl.t;
+  (* unique table: open addressing, bucket = node id + 1, 0 = empty *)
+  mutable table : int array;
+  mutable umask : int;  (* Array.length table - 1 (power of two) *)
+  mutable ulimit : int;  (* rehash threshold: 3/4 of the buckets *)
+  (* shared direct-mapped op cache: 4 ints per entry *)
+  cache : int array;
+  cmask : int;  (* entry count - 1 (power of two) *)
+  hits : int array;  (* per op tag *)
+  misses : int array;
   mutable n_vars : int;
+  mutable guard : Guard.t;
 }
 
-let op_and = 0
-let op_or = 1
-let op_xor = 2
+let rec pow2_ge n acc = if acc >= n then acc else pow2_ge n (acc * 2)
 
-let create ?(unique_size = 1024) ~nvars () =
-  let cap = 1024 in
-  let man =
-    {
-      var_of = Array.make cap terminal_var;
-      low_of = Array.make cap (-1);
-      high_of = Array.make cap (-1);
-      n_nodes = 2;
-      unique = Hashtbl.create unique_size;
-      bin_cache = Hashtbl.create unique_size;
-      ite_cache = Hashtbl.create 256;
-      not_cache = Hashtbl.create 256;
-      n_vars = nvars;
-    }
+(* Inline hash of an int triple; multiplications wrap mod 2^63 and the
+   caller masks to a power of two, so only mixing quality matters. *)
+let mix a b c =
+  let h =
+    (a * 0x2545F4914F6CDD1)
+    lxor (b * 0x9E3779B97F4A7C1)
+    lxor (c * 0x85EBCA77C2B2AE6)
   in
-  man
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x27D4EB2F165667C in
+  h lxor (h lsr 32)
 
+let create ?(unique_size = 1024) ?(cache_size = 8192) ?(guard = Guard.none)
+    ~nvars () =
+  let cap = 1024 in
+  let usize = pow2_ge (max 16 unique_size) 16 in
+  let csize = pow2_ge (max 256 cache_size) 256 in
+  {
+    var_of = Array.make cap terminal_var;
+    low_of = Array.make cap (-1);
+    high_of = Array.make cap (-1);
+    n_nodes = 2;
+    table = Array.make usize 0;
+    umask = usize - 1;
+    ulimit = usize * 3 / 4;
+    cache = Array.make (csize * 4) (-1);
+    cmask = csize - 1;
+    hits = Array.make n_ops 0;
+    misses = Array.make n_ops 0;
+    n_vars = nvars;
+    guard;
+  }
+
+let set_guard m g = m.guard <- g
+let guard m = m.guard
 let nvars m = m.n_vars
 
 let add_var m =
@@ -70,21 +119,47 @@ let grow m =
     m.high_of <- extend m.high_of (-1)
   end
 
+let rehash m =
+  let size = (m.umask + 1) * 2 in
+  let table = Array.make size 0 in
+  let mask = size - 1 in
+  for id = 2 to m.n_nodes - 1 do
+    let j = ref (mix m.var_of.(id) m.low_of.(id) m.high_of.(id) land mask) in
+    while table.(!j) <> 0 do
+      j := (!j + 1) land mask
+    done;
+    table.(!j) <- id + 1
+  done;
+  m.table <- table;
+  m.umask <- mask;
+  m.ulimit <- size * 3 / 4
+
 let mk m v l h =
   if l = h then l
-  else
-    let key = (v, l, h) in
-    match Hashtbl.find_opt m.unique key with
-    | Some id -> id
-    | None ->
-      grow m;
-      let id = m.n_nodes in
-      m.n_nodes <- id + 1;
-      m.var_of.(id) <- v;
-      m.low_of.(id) <- l;
-      m.high_of.(id) <- h;
-      Hashtbl.replace m.unique key id;
-      id
+  else begin
+    let rec probe i =
+      let e = m.table.(i) in
+      if e = 0 then begin
+        (* miss: allocate in place *)
+        Guard.tick m.guard;
+        grow m;
+        let id = m.n_nodes in
+        m.n_nodes <- id + 1;
+        m.var_of.(id) <- v;
+        m.low_of.(id) <- l;
+        m.high_of.(id) <- h;
+        m.table.(i) <- id + 1;
+        (* n_nodes - 2 entries occupy the table (terminals are not in it) *)
+        if m.n_nodes - 2 >= m.ulimit then rehash m;
+        id
+      end
+      else
+        let n = e - 1 in
+        if m.var_of.(n) = v && m.low_of.(n) = l && m.high_of.(n) = h then n
+        else probe ((i + 1) land m.umask)
+    in
+    probe (mix v l h land m.umask)
+  end
 
 let var m v =
   if v < 0 || v >= m.n_vars then invalid_arg "Bdd.var: out of range";
@@ -106,54 +181,78 @@ let high m t =
   if t < 2 then invalid_arg "Bdd.high: terminal";
   m.high_of.(t)
 
-let rec not_ m t =
-  if t = 0 then 1
-  else if t = 1 then 0
-  else
-    match Hashtbl.find_opt m.not_cache t with
-    | Some r -> r
-    | None ->
-      let r = mk m m.var_of.(t) (not_ m m.low_of.(t)) (not_ m m.high_of.(t)) in
-      Hashtbl.replace m.not_cache t r;
-      r
+(* NOT, binary APPLY (and/or/xor) and ITE share the op cache; each is
+   written so the cached path touches only int arrays. *)
 
-(* Generic binary APPLY for and/or/xor with shared cache. *)
-let rec apply m op a b =
-  let shortcut =
-    if op = op_and then
-      if a = 0 || b = 0 then Some 0
-      else if a = 1 then Some b
-      else if b = 1 then Some a
-      else if a = b then Some a
-      else None
-    else if op = op_or then
-      if a = 1 || b = 1 then Some 1
-      else if a = 0 then Some b
-      else if b = 0 then Some a
-      else if a = b then Some a
-      else None
-    else if a = b then Some 0
-    else if a = 0 then Some b
-    else if b = 0 then Some a
-    else if a = 1 then Some (not_ m b)
-    else if b = 1 then Some (not_ m a)
-    else None
-  in
-  match shortcut with
-  | Some r -> r
-  | None ->
-    let a, b = if a <= b then (a, b) else (b, a) in
-    let key = (op, a, b) in
-    (match Hashtbl.find_opt m.bin_cache key with
-    | Some r -> r
-    | None ->
-      let va = m.var_of.(a) and vb = m.var_of.(b) in
-      let v = min va vb in
-      let a0, a1 = if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a) in
-      let b0, b1 = if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b) in
-      let r = mk m v (apply m op a0 b0) (apply m op a1 b1) in
-      Hashtbl.replace m.bin_cache key r;
-      r)
+let rec not_ m t =
+  if t < 2 then t lxor 1
+  else begin
+    let idx = (mix op_not t 0 land m.cmask) * 4 in
+    let c = m.cache in
+    let k1 = (t lsl 3) lor op_not in
+    if c.(idx) = k1 then begin
+      m.hits.(op_not) <- m.hits.(op_not) + 1;
+      c.(idx + 3)
+    end
+    else begin
+      m.misses.(op_not) <- m.misses.(op_not) + 1;
+      Guard.tick m.guard;
+      let r = mk m m.var_of.(t) (not_ m m.low_of.(t)) (not_ m m.high_of.(t)) in
+      c.(idx) <- k1;
+      c.(idx + 3) <- r;
+      r
+    end
+  end
+
+(* [a] and [b] are internal and a < b (callers normalise). *)
+let rec apply_slow m op a b =
+  let idx = (mix op a b land m.cmask) * 4 in
+  let c = m.cache in
+  let k1 = (a lsl 3) lor op in
+  if c.(idx) = k1 && c.(idx + 1) = b then begin
+    m.hits.(op) <- m.hits.(op) + 1;
+    c.(idx + 3)
+  end
+  else begin
+    m.misses.(op) <- m.misses.(op) + 1;
+    Guard.tick m.guard;
+    let va = m.var_of.(a) and vb = m.var_of.(b) in
+    let v = if va < vb then va else vb in
+    let a0 = if va = v then m.low_of.(a) else a in
+    let a1 = if va = v then m.high_of.(a) else a in
+    let b0 = if vb = v then m.low_of.(b) else b in
+    let b1 = if vb = v then m.high_of.(b) else b in
+    let r0 = apply m op a0 b0 in
+    let r1 = apply m op a1 b1 in
+    let r = mk m v r0 r1 in
+    c.(idx) <- k1;
+    c.(idx + 1) <- b;
+    c.(idx + 3) <- r;
+    r
+  end
+
+and apply m op a b =
+  if op = op_and then
+    if a = 0 || b = 0 then 0
+    else if a = 1 then b
+    else if b = 1 then a
+    else if a = b then a
+    else if a < b then apply_slow m op_and a b
+    else apply_slow m op_and b a
+  else if op = op_or then
+    if a = 1 || b = 1 then 1
+    else if a = 0 then b
+    else if b = 0 then a
+    else if a = b then a
+    else if a < b then apply_slow m op_or a b
+    else apply_slow m op_or b a
+  else if a = b then 0
+  else if a = 0 then b
+  else if b = 0 then a
+  else if a = 1 then not_ m b
+  else if b = 1 then not_ m a
+  else if a < b then apply_slow m op_xor a b
+  else apply_slow m op_xor b a
 
 let and_ m a b = apply m op_and a b
 let or_ m a b = apply m op_or a b
@@ -168,25 +267,39 @@ let rec ite m f g h =
   else if g = h then g
   else if g = 1 && h = 0 then f
   else if g = 0 && h = 1 then not_ m f
-  else
-    let key = (f, g, h) in
-    match Hashtbl.find_opt m.ite_cache key with
-    | Some r -> r
-    | None ->
-      let var_or t = if t < 2 then terminal_var else m.var_of.(t) in
-      let v = min (var_or f) (min (var_or g) (var_or h)) in
-      let branch t value =
-        if t < 2 || m.var_of.(t) <> v then t
-        else if value then m.high_of.(t)
-        else m.low_of.(t)
-      in
-      let r =
-        mk m v
-          (ite m (branch f false) (branch g false) (branch h false))
-          (ite m (branch f true) (branch g true) (branch h true))
-      in
-      Hashtbl.replace m.ite_cache key r;
+  else begin
+    let idx = (mix f g h land m.cmask) * 4 in
+    let c = m.cache in
+    let k1 = (f lsl 3) lor op_ite in
+    if c.(idx) = k1 && c.(idx + 1) = g && c.(idx + 2) = h then begin
+      m.hits.(op_ite) <- m.hits.(op_ite) + 1;
+      c.(idx + 3)
+    end
+    else begin
+      m.misses.(op_ite) <- m.misses.(op_ite) + 1;
+      Guard.tick m.guard;
+      (* f is internal here; g and h may be terminals *)
+      let vf = m.var_of.(f) in
+      let vg = if g < 2 then terminal_var else m.var_of.(g) in
+      let vh = if h < 2 then terminal_var else m.var_of.(h) in
+      let v = if vf < vg then if vf < vh then vf else vh
+              else if vg < vh then vg else vh in
+      let f0 = if vf = v then m.low_of.(f) else f in
+      let f1 = if vf = v then m.high_of.(f) else f in
+      let g0 = if vg = v then m.low_of.(g) else g in
+      let g1 = if vg = v then m.high_of.(g) else g in
+      let h0 = if vh = v then m.low_of.(h) else h in
+      let h1 = if vh = v then m.high_of.(h) else h in
+      let r0 = ite m f0 g0 h0 in
+      let r1 = ite m f1 g1 h1 in
+      let r = mk m v r0 r1 in
+      c.(idx) <- k1;
+      c.(idx + 1) <- g;
+      c.(idx + 2) <- h;
+      c.(idx + 3) <- r;
       r
+    end
+  end
 
 let and_list m ts = List.fold_left (and_ m) 1 ts
 let or_list m ts = List.fold_left (or_ m) 0 ts
@@ -278,13 +391,16 @@ let and_exists m ~vars a b =
         if v < 0 || v >= m.n_vars then invalid_arg "Bdd.and_exists: bad var";
         in_set.(v) <- true)
       vars;
+    (* per-call memo keyed by the packed pair — node ids stay far below
+       2^31, so the pack is injective *)
     let cache = Hashtbl.create 1024 in
     let rec go a b =
       if a = 0 || b = 0 then 0
       else if a = 1 && b = 1 then 1
       else
         let a, b = if a <= b then (a, b) else (b, a) in
-        match Hashtbl.find_opt cache (a, b) with
+        let key = (a lsl 31) lor b in
+        match Hashtbl.find_opt cache key with
         | Some r -> r
         | None ->
           let var_or t = if t < 2 then terminal_var else m.var_of.(t) in
@@ -307,7 +423,7 @@ let and_exists m ~vars a b =
               else mk m v (go a0 b0) (go a1 b1)
             end
           in
-          Hashtbl.replace cache (a, b) r;
+          Hashtbl.replace cache key r;
           r
     in
     go a b
@@ -352,25 +468,123 @@ let eval m t assign =
   in
   go t
 
-let sat_count m ~nvars t =
+(* --- exact satisfying-assignment counting -------------------------------- *)
+
+(* Minimal unsigned bignum (little-endian base-2^30 limb arrays, [||]
+   is zero): sat counting only ever adds and multiplies by powers of
+   two, so this stays tiny and dependency-free while being exact far
+   beyond the 2^53 float-mantissa cliff. *)
+module Big = struct
+  let limb_bits = 30
+  let limb_mask = (1 lsl limb_bits) - 1
+
+  let zero = [||]
+
+  let trim r =
+    let len = ref (Array.length r) in
+    while !len > 0 && r.(!len - 1) = 0 do
+      decr len
+    done;
+    if !len = Array.length r then r else Array.sub r 0 !len
+
+  let of_pow2 k =
+    let a = Array.make ((k / limb_bits) + 1) 0 in
+    a.(k / limb_bits) <- 1 lsl (k mod limb_bits);
+    a
+
+  let add a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let l = max la lb in
+      let r = Array.make (l + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to l - 1 do
+        let s =
+          (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+        in
+        r.(i) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      r.(l) <- !carry;
+      trim r
+    end
+
+  let shl a k =
+    if Array.length a = 0 then a
+    else if k = 0 then a
+    else begin
+      let q = k / limb_bits and s = k mod limb_bits in
+      let la = Array.length a in
+      let r = Array.make (la + q + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl s) lor !carry in
+        r.(i + q) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      r.(la + q) <- !carry;
+      trim r
+    end
+
+  let to_float a =
+    let r = ref 0.0 in
+    for i = Array.length a - 1 downto 0 do
+      r := (!r *. 1073741824.0) +. float_of_int a.(i)
+    done;
+    !r
+
+  let bits a =
+    let l = Array.length a in
+    if l = 0 then 0
+    else begin
+      let top = a.(l - 1) in
+      let b = ref 0 in
+      while top lsr !b > 0 do
+        incr b
+      done;
+      ((l - 1) * limb_bits) + !b
+    end
+
+  let to_int_opt a =
+    if bits a > 62 then None
+    else begin
+      let v = ref 0 in
+      for i = Array.length a - 1 downto 0 do
+        v := (!v lsl limb_bits) lor a.(i)
+      done;
+      Some !v
+    end
+end
+
+(* Exact count over variables [0..nvars-1]: every internal variable of
+   [t] must be < nvars (same contract as before). *)
+let sat_count_big m ~nvars t =
+  let level u = if u < 2 then nvars else m.var_of.(u) in
   let cache = Hashtbl.create 256 in
-  (* count over variables [var..nvars-1] *)
-  let rec go t var =
-    if var >= nvars then if t = 1 then 1.0 else 0.0
-    else if t = 0 then 0.0
-    else if t = 1 then 2.0 ** Float.of_int (nvars - var)
+  (* f u = exact count over variables [level u .. nvars-1] *)
+  let rec f u =
+    if u = 0 then Big.zero
+    else if u = 1 then Big.of_pow2 0
     else
-      let v = m.var_of.(t) in
-      if v > var then 2.0 *. go t (var + 1)
-      else
-        match Hashtbl.find_opt cache (t, var) with
-        | Some r -> r
-        | None ->
-          let r = go m.low_of.(t) (var + 1) +. go m.high_of.(t) (var + 1) in
-          Hashtbl.replace cache (t, var) r;
-          r
+      match Hashtbl.find_opt cache u with
+      | Some r -> r
+      | None ->
+        let v = m.var_of.(u) in
+        let l = m.low_of.(u) and h = m.high_of.(u) in
+        let r =
+          Big.add
+            (Big.shl (f l) (level l - v - 1))
+            (Big.shl (f h) (level h - v - 1))
+        in
+        Hashtbl.replace cache u r;
+        r
   in
-  go t 0
+  Big.shl (f t) (level t)
+
+let sat_count m ~nvars t = Big.to_float (sat_count_big m ~nvars t)
+let sat_count_int m ~nvars t = Big.to_int_opt (sat_count_big m ~nvars t)
 
 let any_sat m t =
   if t = 0 then raise Not_found;
@@ -410,10 +624,70 @@ let size m t =
 
 let node_count m = m.n_nodes
 
-let clear_caches m =
-  m.bin_cache <- Hashtbl.create 1024;
-  m.ite_cache <- Hashtbl.create 256;
-  m.not_cache <- Hashtbl.create 256
+let clear_caches m = Array.fill m.cache 0 (Array.length m.cache) (-1)
+
+type stats = {
+  live_nodes : int;
+  peak_nodes : int;
+  n_vars : int;
+  unique_buckets : int;
+  unique_load : float;
+  cache_slots : int;
+  and_hits : int;
+  and_misses : int;
+  or_hits : int;
+  or_misses : int;
+  xor_hits : int;
+  xor_misses : int;
+  not_hits : int;
+  not_misses : int;
+  ite_hits : int;
+  ite_misses : int;
+}
+
+let stats (m : man) =
+  {
+    (* no garbage collection yet, so everything ever allocated is live
+       and the peak is the current count *)
+    live_nodes = m.n_nodes;
+    peak_nodes = m.n_nodes;
+    n_vars = m.n_vars;
+    unique_buckets = m.umask + 1;
+    unique_load = float_of_int (m.n_nodes - 2) /. float_of_int (m.umask + 1);
+    cache_slots = m.cmask + 1;
+    and_hits = m.hits.(op_and);
+    and_misses = m.misses.(op_and);
+    or_hits = m.hits.(op_or);
+    or_misses = m.misses.(op_or);
+    xor_hits = m.hits.(op_xor);
+    xor_misses = m.misses.(op_xor);
+    not_hits = m.hits.(op_not);
+    not_misses = m.misses.(op_not);
+    ite_hits = m.hits.(op_ite);
+    ite_misses = m.misses.(op_ite);
+  }
+
+let apply_ops s =
+  s.and_hits + s.and_misses + s.or_hits + s.or_misses + s.xor_hits
+  + s.xor_misses + s.not_hits + s.not_misses + s.ite_hits + s.ite_misses
+
+let cache_hit_rate s =
+  let hits =
+    s.and_hits + s.or_hits + s.xor_hits + s.not_hits + s.ite_hits
+  in
+  let total = apply_ops s in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>bdd: %d nodes (peak %d), %d vars@,\
+     unique table: %d buckets, load %.3f@,\
+     op cache: %d slots, hit rate %.3f@,\
+     and %d/%d  or %d/%d  xor %d/%d  not %d/%d  ite %d/%d (hits/misses)@]"
+    s.live_nodes s.peak_nodes s.n_vars s.unique_buckets s.unique_load
+    s.cache_slots (cache_hit_rate s) s.and_hits s.and_misses s.or_hits
+    s.or_misses s.xor_hits s.xor_misses s.not_hits s.not_misses s.ite_hits
+    s.ite_misses
 
 let pp m fmt t =
   let rec go fmt t =
@@ -425,7 +699,7 @@ let pp m fmt t =
   in
   go fmt t
 
-let transfer ~src ~dst map t =
+let transfer ~(src : man) ~(dst : man) map t =
   let cache = Hashtbl.create 256 in
   let rec go t =
     if t < 2 then t

@@ -1,20 +1,49 @@
 (** Reduced Ordered Binary Decision Diagrams with hash-consing.
 
     A {!man} (manager) owns the node store, the unique table and the
-    operation caches.  BDD values of different managers must never be
+    operation cache.  BDD values of different managers must never be
     mixed; this is checked with assertions in debug builds only.
 
     Variables are dense integers [0 .. nvars-1]; the variable order is
     the integer order.  Terminals and all operations are the textbook
-    Bryant constructions (APPLY / ITE with memoization). *)
+    Bryant constructions (APPLY / ITE with memoization).
+
+    The hot paths are allocation-free: the unique table is an
+    open-addressing int array keyed by the packed (var, low, high)
+    triple with inline hashing, and all operations share one
+    fixed-size direct-mapped cache (lossy on collision).  A
+    {!Satg_guard.Guard.t} attached to the manager is probed from
+    inside [mk]/[apply], so resource limits can interrupt a runaway
+    symbolic computation mid-recursion. *)
+
+open Satg_guard
 
 type man
 type t
 (** A BDD node handle.  Handles are canonical: two handles of the same
     manager represent the same function iff they are [equal]. *)
 
-val create : ?unique_size:int -> nvars:int -> unit -> man
-(** [create ~nvars ()] makes a manager with variables [0..nvars-1]. *)
+val create :
+  ?unique_size:int ->
+  ?cache_size:int ->
+  ?guard:Guard.t ->
+  nvars:int ->
+  unit ->
+  man
+(** [create ~nvars ()] makes a manager with variables [0..nvars-1].
+    [unique_size] seeds the unique-table bucket count and [cache_size]
+    fixes the operation-cache entry count (both rounded up to powers
+    of two; the op cache never grows).  Every [mk]/[apply] cache miss
+    probes [guard] (default {!Guard.none}), so a deadline or an
+    already-tripped guard raises {!Guard.Exhausted} from inside the
+    recursion. *)
+
+val set_guard : man -> Guard.t -> unit
+(** Swap the guard probed by the hot paths — e.g. to run per-fault
+    queries under a per-fault budget, or {!Guard.none} to finish
+    salvage work after a trip. *)
+
+val guard : man -> Guard.t
 
 val nvars : man -> int
 
@@ -75,7 +104,15 @@ val support : man -> t -> int list
 val eval : man -> t -> (int -> bool) -> bool
 
 val sat_count : man -> nvars:int -> t -> float
-(** Number of satisfying assignments over the given variable count. *)
+(** Number of satisfying assignments over the given variable count.
+    Computed exactly (arbitrary precision) and rounded once at the
+    end, so the result is the nearest float to the true count even
+    beyond 2{^53}. *)
+
+val sat_count_int : man -> nvars:int -> t -> int option
+(** Exact satisfying-assignment count as a native int, or [None] when
+    the true count exceeds [2{^62} - 1] (overflow is detected, never
+    wrapped). *)
 
 val any_sat : man -> t -> (int * bool) list
 (** One satisfying path as (variable, value) pairs, ascending variable
@@ -95,7 +132,37 @@ val node_count : man -> int
 (** Total nodes ever allocated in the manager (monotone). *)
 
 val clear_caches : man -> unit
-(** Drop operation caches (unique table is kept). *)
+(** Invalidate the operation cache (unique table is kept). *)
+
+(** Manager health counters, for [--stats] and the BDD benchmark. *)
+type stats = {
+  live_nodes : int;  (** nodes in the store (no GC: everything ever made) *)
+  peak_nodes : int;  (** maximum of [live_nodes] over the manager's life *)
+  n_vars : int;
+  unique_buckets : int;  (** open-addressing bucket count *)
+  unique_load : float;  (** occupied / buckets, < 0.75 by construction *)
+  cache_slots : int;  (** op-cache entry count (fixed) *)
+  and_hits : int;
+  and_misses : int;
+  or_hits : int;
+  or_misses : int;
+  xor_hits : int;
+  xor_misses : int;
+  not_hits : int;
+  not_misses : int;
+  ite_hits : int;
+  ite_misses : int;
+}
+
+val stats : man -> stats
+
+val apply_ops : stats -> int
+(** Total op-cache lookups (hits + misses over every op) — the
+    "apply operations" counted by the throughput benchmark. *)
+
+val cache_hit_rate : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
 
 val pp : man -> Format.formatter -> t -> unit
 (** Render as nested ITE text; debugging aid for small BDDs. *)

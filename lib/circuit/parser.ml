@@ -19,8 +19,12 @@ let tokenize line =
     | Some i -> String.sub line 0 i
     | None -> line
   in
+  (* '\r' is a separator too: a CRLF-encoded file otherwise leaves a
+     carriage return glued to each line's last token, and the error
+     surfaces much later as a baffling [unknown signal "b\r"]. *)
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun s -> s <> "")
 
 let parse_assign tok =

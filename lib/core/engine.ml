@@ -42,6 +42,7 @@ type result = {
   cssg : Cssg.t;
   outcomes : Testset.outcome list;
   cpu_seconds : float;
+  bdd_stats : Satg_bdd.Bdd.stats option;
 }
 
 let run ?(config = default_config) ?cssg circuit ~faults =
@@ -158,7 +159,14 @@ let run ?(config = default_config) ?cssg circuit ~faults =
         })
       faults
   in
-  { circuit; cssg = g; outcomes; cpu_seconds = Sys.time () -. t0 }
+  {
+    circuit;
+    cssg = g;
+    outcomes;
+    cpu_seconds = Sys.time () -. t0;
+    (* sampled after all phases, so justification traffic is included *)
+    bdd_stats = Option.map Symbolic.bdd_stats symbolic;
+  }
 
 let total r = List.length r.outcomes
 

@@ -38,6 +38,9 @@ type result = {
   cssg : Cssg.t;
   outcomes : Testset.outcome list;  (** in input fault order *)
   cpu_seconds : float;
+  bdd_stats : Satg_bdd.Bdd.stats option;
+      (** BDD-manager counters when symbolic justification ran
+          ([config.symbolic_justification]); [None] otherwise *)
 }
 
 val run : ?config:config -> ?cssg:Cssg.t -> Circuit.t -> faults:Fault.t list -> result

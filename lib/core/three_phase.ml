@@ -119,8 +119,13 @@ let find_test ?(config = default_config) ?(guard = Guard.none) ?symbolic g f =
     match symbolic with
     | None -> Some (path_to parent act)
     | Some sym -> (
+      (* The symbolic engine's manager still carries its build-time
+         guard; swap in this fault's budget so a BDD blowup during
+         justification charges (and aborts) only this fault. *)
       match
-        Symbolic.justify sym ~target:(Symbolic.state_to_bdd sym (Cssg.state g act))
+        Symbolic.with_guard sym guard (fun () ->
+            Symbolic.justify sym
+              ~target:(Symbolic.state_to_bdd sym (Cssg.state g act)))
       with
       | Some (vectors, _) -> Some vectors
       | None -> None)

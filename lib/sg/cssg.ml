@@ -132,13 +132,21 @@ let pp_stats fmt t =
     | None -> ""
     | Some r -> Printf.sprintf " [TRUNCATED: %s]" (Guard.reason_to_string r))
 
+(* Initial membership as a flat mask (mirrors [has_incoming] below):
+   [List.mem] per state would make printing O(states × initials). *)
+let initial_mask t =
+  let is_initial = Array.make (Array.length t.states) false in
+  List.iter (fun i -> is_initial.(i) <- true) t.initial;
+  is_initial
+
 let pp fmt t =
   pp_stats fmt t;
   Format.pp_print_newline fmt ();
+  let is_initial = initial_mask t in
   Array.iteri
     (fun i s ->
       Format.fprintf fmt "  [%d]%s %s ->" i
-        (if List.mem i t.initial then "*" else "")
+        (if is_initial.(i) then "*" else "")
         (Circuit.state_to_string t.circuit s);
       List.iter
         (fun e ->
@@ -159,9 +167,10 @@ let to_dot t =
   Array.iter
     (List.iter (fun e -> has_incoming.(e.target) <- true))
     t.succ;
+  let is_initial = initial_mask t in
   Array.iteri
     (fun i s ->
-      let initial = List.mem i t.initial in
+      let initial = is_initial.(i) in
       pr "  s%d [label=\"%s\"%s%s];\n" i
         (Circuit.state_to_string t.circuit s)
         (if initial then ", peripheries=2" else "")

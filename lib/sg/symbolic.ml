@@ -105,9 +105,18 @@ let build ?k ?node_order ?(guard = Guard.none) c =
   in
   let node_of_rank = Array.make n 0 in
   Array.iteri (fun i r -> node_of_rank.(r) <- i) rank;
-  let m = Bdd.create ~nvars:(3 * n) () in
+  (* The guard rides inside the manager: Bdd.mk/apply probe it on every
+     cache miss, so a deadline trips mid-apply even when one image
+     computation blows up between the loop-boundary checks below. *)
+  let m = Bdd.create ~nvars:(3 * n) ~cache_size:(1 lsl 15) ~guard () in
   let xv i = 3 * rank.(i) and yv i = (3 * rank.(i)) + 1 in
   let zv i = (3 * rank.(i)) + 2 in
+  let reset_bdd_of () =
+    Bdd.and_list m
+      (List.init n (fun i ->
+           if reset.(i) then Bdd.var m (xv i) else Bdd.nvar m (xv i)))
+  in
+  try
   let gates = Circuit.gates c in
   let env = Circuit.inputs c in
   let excited =
@@ -178,14 +187,16 @@ let build ?k ?node_order ?(guard = Guard.none) c =
   in
   let stable_y = Bdd.permute m (fun v -> if v mod 3 = 0 then v + 1 else v) stable in
   let y_as_x = Bdd.permute m (fun v -> if v mod 3 = 1 then v - 1 else v) in
-  let reset_bdd =
-    Bdd.and_list m
-      (List.init n (fun i ->
-           if reset.(i) then Bdd.var m (xv i) else Bdd.nvar m (xv i)))
-  in
+  let reset_bdd = reset_bdd_of () in
+  (* Sets over x-vars only: each x-state contributes exactly 2^(2n)
+     assignments of the free y/z variables, so the exact integer count
+     divides out without float rounding. *)
   let count_states set =
-    let cnt = Bdd.sat_count m ~nvars:(3 * n) set in
-    int_of_float ((cnt /. (2.0 ** float_of_int (2 * n))) +. 0.5)
+    match Bdd.sat_count_int m ~nvars:(3 * n) set with
+    | Some cnt -> cnt asr (2 * n)
+    | None ->
+      let cnt = Bdd.sat_count m ~nvars:(3 * n) set in
+      int_of_float ((cnt /. (2.0 ** float_of_int (2 * n))) +. 0.5)
   in
   (* Fail-soft reachability: a tripped guard keeps the last completed
      ring.  The partial (reach, tcr) pair is a sound under-approximation
@@ -206,6 +217,10 @@ let build ?k ?node_order ?(guard = Guard.none) c =
         `Step (reach', t, n')
       with Guard.Exhausted r ->
         truncated := Some r;
+        (* The guard stays tripped; detach it so salvaging the partial
+           result below (conflict pruning, CSSG conjunction) is not
+           re-tripped by the very probes that stopped the loop. *)
+        Bdd.set_guard m Guard.none;
         `Stop
     with
     | `Stop -> (reach, t_prev)
@@ -246,6 +261,27 @@ let build ?k ?node_order ?(guard = Guard.none) c =
     reset;
     truncated = !truncated;
   }
+  with Guard.Exhausted r ->
+    (* The budget died before the relations existed (the guard inside
+       the manager can now trip during R_delta construction itself).
+       Degrade to the smallest sound result: the reset state with no
+       edges — every state and edge it contains is genuine. *)
+    Bdd.set_guard m Guard.none;
+    let reset_bdd = reset_bdd_of () in
+    {
+      circuit = c;
+      k;
+      man = m;
+      rank;
+      node_of_rank;
+      stable = reset_bdd;
+      r_input = Bdd.zero m;
+      r_delta_zy = Bdd.zero m;
+      reachable = reset_bdd;
+      cssg = Bdd.zero m;
+      reset;
+      truncated = Some r;
+    }
 
 (* --- queries ------------------------------------------------------------- *)
 
@@ -255,8 +291,18 @@ let live_nodes t =
 
 let n_reachable t =
   let n = Circuit.n_nodes t.circuit in
-  let count = Bdd.sat_count t.man ~nvars:(3 * n) t.reachable in
-  int_of_float ((count /. (2.0 ** float_of_int (2 * n))) +. 0.5)
+  match Bdd.sat_count_int t.man ~nvars:(3 * n) t.reachable with
+  | Some count -> count asr (2 * n)
+  | None ->
+    let count = Bdd.sat_count t.man ~nvars:(3 * n) t.reachable in
+    int_of_float ((count /. (2.0 ** float_of_int (2 * n))) +. 0.5)
+
+let bdd_stats t = Bdd.stats t.man
+
+let with_guard t g f =
+  let old = Bdd.guard t.man in
+  Bdd.set_guard t.man g;
+  Fun.protect ~finally:(fun () -> Bdd.set_guard t.man old) f
 
 let state_to_bdd t s =
   let m = t.man in

@@ -24,6 +24,12 @@ val build : ?k:int -> ?node_order:int array -> ?guard:Guard.t -> Circuit.t -> t
     sat-count after each ring).  Exhaustion does {e not} raise: the
     last completed ring is kept and the result is tagged
     {!truncated} — a sound under-approximation of the full graph.
+
+    The guard is also installed in the BDD manager, so [mk]/[apply]
+    cache misses probe it and a deadline trips {e inside} a runaway
+    image computation, not just at ring boundaries.  A trip that
+    predates the transition relations degrades to the one-state
+    (reset, no edges) graph, still tagged {!truncated}.
     @raise Invalid_argument if the circuit has no (stable) reset state
     or [node_order] is not a permutation. *)
 
@@ -37,6 +43,15 @@ val live_nodes : t -> int
 val circuit : t -> Circuit.t
 val k : t -> int
 val man : t -> Bdd.man
+
+val bdd_stats : t -> Bdd.stats
+(** Health counters of the underlying manager (node counts, unique
+    table load, per-op cache hit/miss) — the [--stats] payload. *)
+
+val with_guard : t -> Guard.t -> (unit -> 'a) -> 'a
+(** Run [f] with the manager's hot-path guard swapped for [g]
+    (restored on return or exception) — how per-fault budgets govern
+    symbolic justification inside the three-phase engine. *)
 
 val stable_set : t -> Bdd.t
 (** All stable states, over present variables. *)

@@ -1,6 +1,8 @@
 (* Tests for the ROBDD package: canonicity, boolean algebra laws,
-   quantification, relational product, permutation, sat enumeration. *)
+   quantification, relational product, permutation, sat enumeration,
+   exact model counting, manager statistics, and guard weaving. *)
 
+open Satg_guard
 open Satg_bdd
 
 let test_terminals () =
@@ -111,6 +113,91 @@ let test_support_size () =
   Alcotest.(check (list int)) "support" [ 1; 3; 4 ] (Bdd.support m f);
   Alcotest.(check bool) "size nonzero" true (Bdd.size m f > 0);
   Alcotest.(check int) "terminal size" 0 (Bdd.size m (Bdd.one m))
+
+(* sat_count is exact past the 2^53 float-mantissa cliff: x0 or
+   (x1 & ... & x53) over 54 vars has exactly 2^53 + 1 models, a count
+   no float can represent. *)
+let test_sat_count_exact () =
+  let nvars = 54 in
+  let m = Bdd.create ~nvars () in
+  let rest = ref (Bdd.one m) in
+  for v = 1 to nvars - 1 do
+    rest := Bdd.and_ m !rest (Bdd.var m v)
+  done;
+  let f = Bdd.or_ m (Bdd.var m 0) !rest in
+  (match Bdd.sat_count_int m ~nvars f with
+  | Some n -> Alcotest.(check int) "2^53 + 1" ((1 lsl 53) + 1) n
+  | None -> Alcotest.fail "count fits an int but came back None");
+  (* the float path necessarily rounds the +1 away... *)
+  Alcotest.(check (float 0.0))
+    "float rounds" (Float.ldexp 1.0 53) (Bdd.sat_count m ~nvars f);
+  (* ...and a count past 62 bits overflows the int path gracefully *)
+  let m70 = Bdd.create ~nvars:70 () in
+  (match Bdd.sat_count_int m70 ~nvars:70 (Bdd.one m70) with
+  | None -> ()
+  | Some n -> Alcotest.failf "2^70 cannot be an int, got %d" n);
+  Alcotest.(check (float 1e6))
+    "float still usable past 62 bits" (Float.ldexp 1.0 70)
+    (Bdd.sat_count m70 ~nvars:70 (Bdd.one m70));
+  Alcotest.(check (option int)) "zero" (Some 0)
+    (Bdd.sat_count_int m ~nvars:10 (Bdd.zero m));
+  Alcotest.(check (option int)) "one over 10 vars" (Some 1024)
+    (Bdd.sat_count_int m ~nvars:10 (Bdd.one m))
+
+let test_stats () =
+  let m = Bdd.create ~nvars:8 () in
+  let f = ref (Bdd.zero m) in
+  for v = 0 to 7 do
+    f := Bdd.xor_ m !f (Bdd.var m v)
+  done;
+  let s1 = Bdd.stats m in
+  Alcotest.(check bool) "nodes made" true (s1.Bdd.live_nodes > 2);
+  Alcotest.(check int) "peak = live (no GC)" s1.Bdd.live_nodes s1.Bdd.peak_nodes;
+  Alcotest.(check int) "n_vars" 8 s1.Bdd.n_vars;
+  Alcotest.(check bool)
+    "load in (0, 0.75]" true
+    (s1.Bdd.unique_load > 0.0 && s1.Bdd.unique_load <= 0.75);
+  Alcotest.(check bool) "xor misses counted" true (s1.Bdd.xor_misses > 0);
+  (* replaying the same chain must be pure cache hits, no new nodes *)
+  let g = ref (Bdd.zero m) in
+  for v = 0 to 7 do
+    g := Bdd.xor_ m !g (Bdd.var m v)
+  done;
+  let s2 = Bdd.stats m in
+  Alcotest.(check int) "replay allocates nothing" s1.Bdd.live_nodes
+    s2.Bdd.live_nodes;
+  Alcotest.(check bool) "replay hits cache" true
+    (s2.Bdd.xor_hits > s1.Bdd.xor_hits);
+  Alcotest.(check int) "misses unchanged" s1.Bdd.xor_misses s2.Bdd.xor_misses;
+  Alcotest.(check bool) "apply_ops totals" true
+    (Bdd.apply_ops s2 >= s2.Bdd.xor_hits + s2.Bdd.xor_misses);
+  let rate = Bdd.cache_hit_rate s2 in
+  Alcotest.(check bool) "hit rate in [0,1]" true (rate >= 0.0 && rate <= 1.0)
+
+(* A tripped guard must surface from {e inside} an apply/mk hot path:
+   that is what lets --timeout/--max-states interrupt a symbolic image
+   computation mid-flight rather than between frontier steps. *)
+let test_guard_in_hot_path () =
+  let tripped =
+    let g = Guard.create ~max_states:1 () in
+    (try Guard.spend_states g 2 with Guard.Exhausted _ -> ());
+    g
+  in
+  let m = Bdd.create ~nvars:6 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  Bdd.set_guard m tripped;
+  Alcotest.check_raises "apply raises mid-op"
+    (Guard.Exhausted Guard.State_limit) (fun () -> ignore (Bdd.and_ m a b));
+  Alcotest.check_raises "mk raises on allocation"
+    (Guard.Exhausted Guard.State_limit) (fun () -> ignore (Bdd.var m 5));
+  (* detaching the guard makes the manager usable again (salvage) *)
+  Bdd.set_guard m Guard.none;
+  Alcotest.(check bool) "recovers after detach" true
+    (Bdd.equal (Bdd.and_ m a b) (Bdd.and_ m b a));
+  (* a guard given at creation is held by the manager *)
+  let m2 = Bdd.create ~nvars:4 ~guard:tripped () in
+  Alcotest.check_raises "creation guard active"
+    (Guard.Exhausted Guard.State_limit) (fun () -> ignore (Bdd.var m2 0))
 
 let test_add_var () =
   let m = Bdd.create ~nvars:1 () in
@@ -267,6 +354,59 @@ let prop_transfer_preserves_semantics =
       done;
       !ok)
 
+let prop_de_morgan =
+  QCheck.Test.make ~name:"de morgan on arbitrary formulas" ~count:200
+    QCheck.(pair expr_arb expr_arb)
+    (fun (e1, e2) ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e1 and g = build m e2 in
+      Bdd.equal
+        (Bdd.not_ m (Bdd.and_ m f g))
+        (Bdd.or_ m (Bdd.not_ m f) (Bdd.not_ m g))
+      && Bdd.equal
+           (Bdd.not_ m (Bdd.or_ m f g))
+           (Bdd.and_ m (Bdd.not_ m f) (Bdd.not_ m g)))
+
+let prop_ite_decomposition =
+  QCheck.Test.make ~name:"ite f g h = (f&g) | (!f&h)" ~count:200
+    QCheck.(triple expr_arb expr_arb expr_arb)
+    (fun (e1, e2, e3) ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e1 and g = build m e2 and h = build m e3 in
+      Bdd.equal (Bdd.ite m f g h)
+        (Bdd.or_ m (Bdd.and_ m f g) (Bdd.and_ m (Bdd.not_ m f) h)))
+
+let prop_forall_matches =
+  QCheck.Test.make ~name:"forall = and of cofactors" ~count:200
+    QCheck.(pair expr_arb (int_bound (n_prop_vars - 1)))
+    (fun (e, v) ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e in
+      Bdd.equal
+        (Bdd.forall m ~vars:[ v ] f)
+        (Bdd.and_ m
+           (Bdd.cofactor m f ~var:v ~value:false)
+           (Bdd.cofactor m f ~var:v ~value:true)))
+
+(* The same differential oracle, but deep and wide enough (8 vars,
+   depth 6) that unique-table rehashing and op-cache evictions happen
+   along the way — the regimes the packed engine optimises. *)
+let n_deep_vars = 8
+
+let deep_expr_arb = QCheck.make (gen_expr n_deep_vars 6) ~print:expr_to_string
+
+let prop_deep_bdd_matches_semantics =
+  QCheck.Test.make ~name:"deep bdd eval = direct eval" ~count:100 deep_expr_arb
+    (fun e ->
+      let m = Bdd.create ~unique_size:64 ~cache_size:64 ~nvars:n_deep_vars () in
+      let f = build m e in
+      let ok = ref true in
+      for mask = 0 to (1 lsl n_deep_vars) - 1 do
+        let assign v = mask land (1 lsl v) <> 0 in
+        if Bdd.eval m f assign <> eval_expr assign e then ok := false
+      done;
+      !ok)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -275,6 +415,10 @@ let qcheck_cases =
       prop_exists_matches;
       prop_canonical_equal;
       prop_transfer_preserves_semantics;
+      prop_de_morgan;
+      prop_ite_decomposition;
+      prop_forall_matches;
+      prop_deep_bdd_matches_semantics;
     ]
 
 let suites =
@@ -290,6 +434,9 @@ let suites =
         Alcotest.test_case "permute" `Quick test_permute;
         Alcotest.test_case "sat" `Quick test_sat;
         Alcotest.test_case "support/size" `Quick test_support_size;
+        Alcotest.test_case "sat_count exact" `Quick test_sat_count_exact;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "guard in hot path" `Quick test_guard_in_hot_path;
         Alcotest.test_case "add_var" `Quick test_add_var;
         Alcotest.test_case "accessors" `Quick test_accessors;
         Alcotest.test_case "clear caches" `Quick test_clear_caches_preserves;

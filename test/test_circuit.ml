@@ -123,6 +123,22 @@ let test_parser_errors () =
   check_err "circuit x\ninput A\nsop z ( A ) 11\nend" "width";
   check_err "circuit x\ninput A\ngate z NOT A\ninitial A=0\nend" "not assigned"
 
+(* A CRLF-encoded netlist must parse identically to its LF twin: the
+   tokenizer used to leave '\r' glued to each line's last token, so
+   every trailing signal name came out as "name\r" and the parse died
+   with a baffling [unknown signal]. *)
+let test_parser_crlf () =
+  let lf = "circuit crlf\ninput A B\ngate z AND A B\noutput z\nend\n" in
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' lf) in
+  match (Parser.parse_string lf, Parser.parse_string crlf) with
+  | Ok c, Ok c' ->
+    Alcotest.(check string) "same name" (Circuit.name c) (Circuit.name c');
+    Alcotest.(check int) "same nodes" (Circuit.n_nodes c) (Circuit.n_nodes c');
+    Alcotest.(check string)
+      "same text" (Parser.to_string c) (Parser.to_string c')
+  | Error m, _ -> Alcotest.fail ("LF parse failed: " ^ m)
+  | _, Error m -> Alcotest.fail ("CRLF parse failed: " ^ m)
+
 let test_initial_stability_check () =
   (* fig1b's initial is stable; flipping d makes it unstable. *)
   let text =
@@ -215,6 +231,7 @@ let suites =
         Alcotest.test_case "gatefunc ternary" `Quick test_gatefunc_ternary;
         Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
         Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        Alcotest.test_case "parser crlf" `Quick test_parser_crlf;
         Alcotest.test_case "initial stability" `Quick test_initial_stability_check;
         Alcotest.test_case "structure" `Quick test_structure;
         Alcotest.test_case "self loop" `Quick test_self_loop_structure;

@@ -227,6 +227,78 @@ let test_symbolic_truncation_subgraph () =
   Alcotest.(check bool) "mutual subgraphs" true
     (is_subgraph g2 full && is_subgraph full g2)
 
+(* With the guard woven into the BDD manager itself, a budget can trip
+   in the middle of building the transition relation — before the
+   reachability loop ever starts.  The build must degrade to the sound
+   one-state stub (reset only, no edges), never escape. *)
+let test_symbolic_guard_mid_apply () =
+  let c = Figures.celem_handshake () in
+  let sym = Symbolic.build ~guard:(Guard.create ~timeout:(-1.0) ()) c in
+  Alcotest.(check bool) "tagged timeout" true
+    (Symbolic.truncated sym = Some Guard.Timeout);
+  let tg = Symbolic.to_cssg sym in
+  Alcotest.(check int) "reset state survives" 1 (Cssg.n_states tg);
+  Alcotest.(check (list int)) "and is initial" [ 0 ] (Cssg.initial tg);
+  Alcotest.(check bool) "stub is a subgraph of the full CSSG" true
+    (is_subgraph tg (Explicit.build c))
+
+(* A deliberately exploding build (2^12 reachable states from 12 free
+   buffers) under a tight state ceiling must stop promptly with a
+   truncated graph instead of enumerating the whole cube. *)
+let test_symbolic_state_ceiling_explosion () =
+  let n = 12 in
+  let b = Circuit.Builder.create "buffer_cube" in
+  let xs =
+    List.init n (fun i -> Circuit.Builder.add_input b (Printf.sprintf "A%d" i))
+  in
+  let ys =
+    List.mapi
+      (fun i x ->
+        Circuit.Builder.add_gate b ~name:(Printf.sprintf "Y%d" i) Gatefunc.Buf
+          [ x ])
+      xs
+  in
+  List.iter (Circuit.Builder.mark_output b) ys;
+  let c = Circuit.Builder.finalize b in
+  let c = Circuit.with_initial c (Array.make (Circuit.n_nodes c) false) in
+  let sym = Symbolic.build ~guard:(Guard.create ~max_states:8 ()) c in
+  Alcotest.(check bool) "tagged state-limit" true
+    (Symbolic.truncated sym = Some Guard.State_limit);
+  let tg = Symbolic.to_cssg sym in
+  Alcotest.(check bool) "tag carries to CSSG" true (Cssg.truncated tg <> None);
+  Alcotest.(check bool) "far fewer states than 2^12" true
+    (Cssg.n_states tg < 1 lsl n)
+
+(* with_guard must attach only for the call's duration, even when the
+   budget trips inside it — the per-fault isolation contract of
+   symbolic justification. *)
+let test_symbolic_with_guard_isolation () =
+  let c = Figures.celem_handshake () in
+  let sym = Symbolic.build c in
+  let tripped =
+    let g = Guard.create ~max_states:1 () in
+    (try Guard.spend_states g 2 with Guard.Exhausted _ -> ());
+    g
+  in
+  let g = Symbolic.to_cssg sym in
+  Alcotest.(check bool) "needs >1 state" true (Cssg.n_states g > 1);
+  (* a non-initial target forces at least one image step, and cold op
+     caches force that step to actually probe (and so to tick) *)
+  let target =
+    Symbolic.state_to_bdd sym
+      (Cssg.state g (List.find (fun i -> not (List.mem i (Cssg.initial g)))
+                       (List.init (Cssg.n_states g) Fun.id)))
+  in
+  Satg_bdd.Bdd.clear_caches (Symbolic.man sym);
+  (match Symbolic.with_guard sym tripped (fun () -> Symbolic.justify sym ~target)
+   with
+  | _ -> Alcotest.fail "tripped guard should raise inside justify"
+  | exception Guard.Exhausted Guard.State_limit -> ());
+  (* the manager's own guard is restored: the same query now succeeds *)
+  match Symbolic.justify sym ~target with
+  | Some _ -> ()
+  | None -> Alcotest.fail "reset state must be justifiable"
+
 (* --- fail-soft engine ------------------------------------------------------ *)
 
 let statuses r =
@@ -361,6 +433,12 @@ let suites =
           test_explicit_timeout_on_oscillator;
         Alcotest.test_case "symbolic subgraph" `Quick
           test_symbolic_truncation_subgraph;
+        Alcotest.test_case "symbolic guard mid-apply" `Quick
+          test_symbolic_guard_mid_apply;
+        Alcotest.test_case "symbolic state-ceiling explosion" `Quick
+          test_symbolic_state_ceiling_explosion;
+        Alcotest.test_case "symbolic with_guard isolation" `Quick
+          test_symbolic_with_guard_isolation;
       ] );
     ( "robust.engine",
       [
