@@ -637,6 +637,104 @@ let bdd_engine_bench () =
   close_out oc;
   Printf.printf "max speedup: %.2fx  -> BENCH_bdd.json\n" max_speedup
 
+(* --- SAT vs BDD deterministic-phase head-to-head ---------------------------- *)
+
+(* The two justification/differentiation backends race through the full
+   ATPG pipeline on the figure-1 pathology pair.  Unguarded BDD image
+   computation is intractable on both circuits (minutes), so the race
+   runs under the same deterministic resource caps the CI agreement job
+   uses; both sides then produce sound partial results and the bench
+   also checks their detected/undetected partitions coincide.  The
+   result goes to BENCH_sat.json. *)
+
+let sat_netlists =
+  [ "examples/netlists/ring_storm.cct"; "examples/netlists/toggle_farm.cct" ]
+
+let sat_cap_states = 500
+let sat_cap_transitions = 200_000
+
+let sat_engine_bench () =
+  let row path =
+    let c = load_netlist path in
+    let faults = Fault.universe_input_sa c in
+    (* one shared capped CSSG, so the timing isolates the backends *)
+    let g =
+      Explicit.build
+        ~guard:
+          (Satg_guard.Guard.create ~max_states:sat_cap_states
+             ~max_transitions:sat_cap_transitions ())
+        c
+    in
+    let config engine =
+      {
+        Engine.default_config with
+        engine;
+        max_states = Some sat_cap_states;
+        max_transitions = Some sat_cap_transitions;
+      }
+    in
+    let run engine = Engine.run ~config:(config engine) ~cssg:g c ~faults in
+    let sat_r = ref (run Engine.Sat) in
+    let bdd_r = ref (run Engine.Bdd) in
+    let sat_seconds = time_thunk (fun () -> sat_r := run Engine.Sat) in
+    let bdd_seconds = time_thunk (fun () -> bdd_r := run Engine.Bdd) in
+    let sat_r = !sat_r and bdd_r = !bdd_r in
+    let partition r =
+      List.map (fun o -> Testset.is_detected o.Testset.status) r.Engine.outcomes
+    in
+    let agree = partition sat_r = partition bdd_r in
+    let speedup = bdd_seconds /. sat_seconds in
+    let ss =
+      match sat_r.Engine.sat_stats with
+      | Some s -> s
+      | None -> failwith "sat run reported no solver stats"
+    in
+    Printf.printf
+      "sat engine (%s): %d faults, caps %d states / %d transitions\n\
+      \  sat: %8.4f s  (%d detected, %d aborted; %d conflicts, %d learned)\n\
+      \  bdd: %8.4f s  (%d detected, %d aborted)\n\
+      \  partitions agree: %b   speedup: %.2fx\n"
+      (Circuit.name c) (List.length faults) sat_cap_states sat_cap_transitions
+      sat_seconds (Engine.detected sat_r) (Engine.aborted sat_r)
+      ss.Satg_sat.Sat.conflicts ss.Satg_sat.Sat.learned bdd_seconds
+      (Engine.detected bdd_r) (Engine.aborted bdd_r) agree speedup;
+    if not agree then failwith (Circuit.name c ^ ": backend partitions differ");
+    Printf.sprintf
+      {|    {
+      "circuit": "%s",
+      "n_faults": %d,
+      "caps": { "max_states": %d, "max_transitions": %d },
+      "sat": { "seconds": %.6f, "detected": %d, "aborted": %d,
+               "decisions": %d, "propagations": %d, "conflicts": %d,
+               "learned": %d, "restarts": %d, "vars": %d, "clauses": %d },
+      "bdd": { "seconds": %.6f, "detected": %d, "aborted": %d },
+      "partitions_agree": %b,
+      "speedup": %.2f
+    }|}
+      (Circuit.name c) (List.length faults) sat_cap_states sat_cap_transitions
+      sat_seconds (Engine.detected sat_r) (Engine.aborted sat_r)
+      ss.Satg_sat.Sat.decisions ss.Satg_sat.Sat.propagations
+      ss.Satg_sat.Sat.conflicts ss.Satg_sat.Sat.learned
+      ss.Satg_sat.Sat.restarts ss.Satg_sat.Sat.n_vars
+      ss.Satg_sat.Sat.n_clauses bdd_seconds (Engine.detected bdd_r)
+      (Engine.aborted bdd_r) agree speedup
+  in
+  let rows = List.map row sat_netlists in
+  let json =
+    Printf.sprintf {|{
+  "bench": "sat_engine",
+  "circuits": [
+%s
+  ]
+}
+|}
+      (String.concat ",\n" rows)
+  in
+  let oc = open_out "BENCH_sat.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "-> BENCH_sat.json\n"
+
 (* --- driver ---------------------------------------------------------------- *)
 
 let tests =
@@ -677,9 +775,10 @@ let run_bechamel () =
          | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")
 
 (* [--fault-sim [FILE.cct]] runs only the parallel fault-sim
-   throughput bench and [--bdd] only the BDD engine head-to-head (the
-   CI smoke jobs); the default runs the full bechamel suite and then
-   both throughput benches. *)
+   throughput bench, [--bdd] only the BDD engine head-to-head, and
+   [--sat] only the SAT-vs-BDD backend race (the CI smoke jobs); the
+   default runs the full bechamel suite and then every throughput
+   bench. *)
 let () =
   let argv = Array.to_list Sys.argv in
   match argv with
@@ -687,7 +786,9 @@ let () =
     let path = match rest with p :: _ -> p | [] -> default_netlist in
     fault_sim_bench path
   | _ :: "--bdd" :: _ -> bdd_engine_bench ()
+  | _ :: "--sat" :: _ -> sat_engine_bench ()
   | _ ->
     run_bechamel ();
     fault_sim_bench default_netlist;
-    bdd_engine_bench ()
+    bdd_engine_bench ();
+    sat_engine_bench ()

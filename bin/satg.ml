@@ -179,14 +179,37 @@ let atpg_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("explicit", Engine.Explicit); ("bdd", Engine.Bdd);
+               ("sat", Engine.Sat) ])
+          Engine.Explicit
+      & info [ "engine"; "e" ]
+          ~doc:
+            "Deterministic-phase backend: $(b,explicit) BFS (default), \
+             $(b,bdd) symbolic justification, or $(b,sat) CDCL time-frame \
+             search.  All three yield identical detected/undetected \
+             partitions.")
+  in
   let symbolic =
     Arg.(
       value & flag
       & info [ "symbolic" ]
-          ~doc:"Justify through the BDD engine instead of explicit BFS.")
+          ~doc:"Deprecated alias for $(b,--engine bdd).")
   in
-  let run file universe no_random seed verbose symbolic stats k timeout
-      max_states max_transitions =
+  let no_collapse =
+    Arg.(
+      value & flag
+      & info [ "no-collapse" ]
+          ~doc:
+            "Target the raw fault universe instead of one representative \
+             per structural-equivalence class.")
+  in
+  let run file universe no_random seed verbose engine symbolic no_collapse
+      stats k timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
     let faults =
       match universe with
@@ -199,7 +222,8 @@ let atpg_cmd =
         Engine.default_config with
         k;
         enable_random = not no_random;
-        symbolic_justification = symbolic;
+        engine = (if symbolic then Engine.Bdd else engine);
+        collapse = not no_collapse;
         timeout;
         max_states;
         max_transitions;
@@ -214,17 +238,20 @@ let atpg_cmd =
     Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
     Format.printf "%a@." Engine.pp_summary r;
     (if stats then
-       match r.Engine.bdd_stats with
-       | Some s -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
-       | None ->
-         Format.printf "bdd stats: n/a (pass --symbolic to engage the BDD engine)@.");
+       match (r.Engine.bdd_stats, r.Engine.sat_stats) with
+       | Some s, _ -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
+       | None, Some s -> Format.printf "%a@." Satg_sat.Sat.pp_stats s
+       | None, None ->
+         Format.printf
+           "engine stats: n/a (pass --engine bdd or --engine sat)@.");
     if Engine.partial r then exit exit_partial
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate synchronous test patterns for a netlist.")
     Term.(
-      const run $ file $ universe $ no_random $ seed $ verbose $ symbolic
-      $ stats_arg $ k_arg $ timeout_arg $ max_states_arg $ max_transitions_arg)
+      const run $ file $ universe $ no_random $ seed $ verbose $ engine
+      $ symbolic $ no_collapse $ stats_arg $ k_arg $ timeout_arg
+      $ max_states_arg $ max_transitions_arg)
 
 (* --- bench ---------------------------------------------------------------- *)
 

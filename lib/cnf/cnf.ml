@@ -1,0 +1,190 @@
+open Satg_sat
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin gate definitions                                            *)
+(* ------------------------------------------------------------------ *)
+
+let define_and s y xs =
+  List.iter (fun x -> Sat.add_clause s [ Sat.neg y; x ]) xs;
+  Sat.add_clause s (y :: List.map Sat.neg xs)
+
+let define_or s y xs =
+  List.iter (fun x -> Sat.add_clause s [ Sat.neg x; y ]) xs;
+  Sat.add_clause s (Sat.neg y :: xs)
+
+let define_xor s y a b =
+  Sat.add_clause s [ Sat.neg y; a; b ];
+  Sat.add_clause s [ Sat.neg y; Sat.neg a; Sat.neg b ];
+  Sat.add_clause s [ y; Sat.neg a; b ];
+  Sat.add_clause s [ y; a; Sat.neg b ]
+
+let define_ite s y c a b =
+  Sat.add_clause s [ Sat.neg y; Sat.neg c; a ];
+  Sat.add_clause s [ Sat.neg y; c; b ];
+  Sat.add_clause s [ y; Sat.neg c; Sat.neg a ];
+  Sat.add_clause s [ y; c; Sat.neg b ]
+
+let define_eq s a b =
+  Sat.add_clause s [ Sat.neg a; b ];
+  Sat.add_clause s [ a; Sat.neg b ]
+
+(* Ladder AMO: commander c_i = "some of x_0..x_i is true";
+   x_{i+1} forbidden once c_i holds. *)
+let at_most_one s = function
+  | [] | [ _ ] -> ()
+  | x0 :: rest ->
+    let c = ref x0 in
+    List.iter
+      (fun x ->
+        Sat.add_clause s [ Sat.neg !c; Sat.neg x ];
+        let c' = Sat.pos (Sat.new_var s) in
+        Sat.add_clause s [ Sat.neg !c; c' ];
+        Sat.add_clause s [ Sat.neg x; c' ];
+        c := c')
+      rest
+
+(* ------------------------------------------------------------------ *)
+(* Time-frame unroller                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Unroller = struct
+  type t = {
+    sat : Sat.t;
+    mutable n_states : int;
+    mutable initial : bool array;
+    mutable in_edges : int list array;  (* per state, edge ids into it *)
+    mutable e_src : int array;
+    mutable e_dst : int array;
+    mutable n_edges : int;
+    mutable svars : int array array;  (* frame -> state -> var *)
+    mutable evars : int array array;  (* step  -> edge  -> var *)
+    mutable n_frames : int;
+  }
+
+  let create sat =
+    {
+      sat;
+      n_states = 0;
+      initial = Array.make 16 false;
+      in_edges = Array.make 16 [];
+      e_src = Array.make 16 0;
+      e_dst = Array.make 16 0;
+      n_edges = 0;
+      svars = Array.make 8 [||];
+      evars = Array.make 8 [||];
+      n_frames = 0;
+    }
+
+  let grow a n fill =
+    if n <= Array.length a then a
+    else begin
+      let a' = Array.make (max n (2 * Array.length a)) fill in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    end
+
+  let add_state u ~initial =
+    let i = u.n_states in
+    u.initial <- grow u.initial (i + 1) false;
+    u.in_edges <- grow u.in_edges (i + 1) [];
+    u.initial.(i) <- initial;
+    u.in_edges.(i) <- [];
+    u.n_states <- i + 1;
+    i
+
+  let add_edge u ~src ~dst =
+    if src < 0 || src >= u.n_states || dst < 0 || dst >= u.n_states then
+      invalid_arg "Cnf.Unroller.add_edge: unknown state";
+    let e = u.n_edges in
+    u.e_src <- grow u.e_src (e + 1) 0;
+    u.e_dst <- grow u.e_dst (e + 1) 0;
+    u.e_src.(e) <- src;
+    u.e_dst.(e) <- dst;
+    u.in_edges.(dst) <- e :: u.in_edges.(dst);
+    u.n_edges <- e + 1;
+    e
+
+  let n_states u = u.n_states
+  let n_edges u = u.n_edges
+  let n_frames u = u.n_frames
+
+  (* Fresh state variables for one frame, over the states known now. *)
+  let fresh_state_frame u =
+    Array.init u.n_states (fun _ -> Sat.new_var u.sat)
+
+  let encode_next_frame u =
+    let f = u.n_frames in
+    u.svars <- grow u.svars (f + 1) [||];
+    if f = 0 then begin
+      let vars = fresh_state_frame u in
+      for j = 0 to u.n_states - 1 do
+        if not u.initial.(j) then
+          Sat.add_clause u.sat [ Sat.neg_of vars.(j) ]
+      done;
+      u.svars.(0) <- vars
+    end
+    else begin
+      (* step t = f - 1 between the existing frame t and the new f *)
+      let t = f - 1 in
+      let prev = u.svars.(t) in
+      let next = fresh_state_frame u in
+      u.svars.(f) <- next;
+      u.evars <- grow u.evars (t + 1) [||];
+      let ev = Array.make u.n_edges (-1) in
+      u.evars.(t) <- ev;
+      for e = 0 to u.n_edges - 1 do
+        let v = Sat.new_var u.sat in
+        ev.(e) <- v;
+        (* e_t -> s_{t,src}: an edge whose source does not yet exist at
+           frame t can simply never be taken there. *)
+        (if u.e_src.(e) < Array.length prev then
+           Sat.add_clause u.sat
+             [ Sat.neg_of v; Sat.pos prev.(u.e_src.(e)) ]
+         else Sat.add_clause u.sat [ Sat.neg_of v ]);
+        Sat.add_clause u.sat [ Sat.neg_of v; Sat.pos next.(u.e_dst.(e)) ]
+      done;
+      (* support: s_{t+1,j} -> OR of in-edges at step t *)
+      for j = 0 to u.n_states - 1 do
+        Sat.add_clause u.sat
+          (Sat.neg_of next.(j)
+          :: List.rev_map (fun e -> Sat.pos ev.(e)) u.in_edges.(j))
+      done
+    end;
+    u.n_frames <- f + 1
+
+  let ensure_frames u ~upto =
+    while u.n_frames <= upto do
+      encode_next_frame u
+    done
+
+  let state_lit u ~frame i =
+    if frame < 0 || frame >= u.n_frames then
+      invalid_arg "Cnf.Unroller.state_lit: frame not encoded";
+    let vars = u.svars.(frame) in
+    if i < 0 || i >= u.n_states then
+      invalid_arg "Cnf.Unroller.state_lit: unknown state"
+    else if i < Array.length vars then Some (Sat.pos vars.(i))
+    else None
+
+  let decode_path u ~frame ~state =
+    let sat = u.sat in
+    let rec go t j acc =
+      if t = 0 then acc
+      else
+        let step = t - 1 in
+        let ev = u.evars.(step) in
+        match
+          List.find_opt
+            (fun e ->
+              e < Array.length ev
+              && Sat.lit_true sat (Sat.pos ev.(e)))
+            u.in_edges.(j)
+        with
+        | None -> invalid_arg "Cnf.Unroller.decode_path: no supporting edge"
+        | Some e -> go (t - 1) u.e_src.(e) (e :: acc)
+    in
+    (match state_lit u ~frame state with
+    | Some l when Sat.lit_true u.sat l -> ()
+    | _ -> invalid_arg "Cnf.Unroller.decode_path: state not true in model");
+    go frame state []
+end

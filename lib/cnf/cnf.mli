@@ -1,0 +1,94 @@
+(** CNF encodings on top of {!Satg_sat.Sat}: Tseitin gate definitions
+    and the time-frame unroller behind the SAT ATPG backend.
+
+    A CSSG step is not combinational — it hides up to [k]
+    micro-firings plus a confluence check — so the unroller encodes the
+    {e graph} rather than the gates: per frame [t] a variable
+    [s_{t,i}] per state ("the machine is in state [i] after [t] test
+    cycles") and per step a variable [e_t] per edge ("step [t] takes
+    edge [e]").  Clauses per step:
+
+    - edge implications: [e_t -> s_{t,src e}] and [e_t -> s_{t+1,dst e}]
+    - support: [s_{t+1,j} -> OR of the in-edges of j at step t]
+      (a unit [¬s_{t+1,j}] when [j] has none)
+
+    plus unit clauses [¬s_{0,j}] for every non-initial [j] at frame 0.
+    No at-most-one constraints are needed: any model chains a true
+    frame-[T] state variable back to frame 0 along true edge variables, so backward
+    decoding always recovers a {e real} path of exactly [T] edges.
+    Querying [state_lit ~frame:t] under assumptions for [t = 0, 1, ...]
+    therefore finds the BFS shortest distance — the exact-length
+    bounded-model-checking view of justification.
+
+    The graph may grow {e between} [ensure_frames] calls (the
+    ring-synchronized product unrolling of differentiation): states and
+    edges added later simply do not exist in already-encoded frames,
+    which is sound because a state first discovered at ring [d] can
+    only sit at positions [>= d] of any path. *)
+
+open Satg_sat
+
+(** {1 Tseitin gate definitions}
+
+    Each [define_*] constrains a fresh literal [y] to equal a boolean
+    function of its inputs, in the standard Tseitin clause set. *)
+
+val define_and : Sat.t -> Sat.lit -> Sat.lit list -> unit
+(** [define_and s y xs]: [y <-> AND xs].  [y <-> true] for [[]]. *)
+
+val define_or : Sat.t -> Sat.lit -> Sat.lit list -> unit
+(** [define_or s y xs]: [y <-> OR xs].  [y <-> false] for [[]]. *)
+
+val define_xor : Sat.t -> Sat.lit -> Sat.lit -> Sat.lit -> unit
+(** [define_xor s y a b]: [y <-> a XOR b]. *)
+
+val define_ite : Sat.t -> Sat.lit -> Sat.lit -> Sat.lit -> Sat.lit -> unit
+(** [define_ite s y c a b]: [y <-> if c then a else b]. *)
+
+val define_eq : Sat.t -> Sat.lit -> Sat.lit -> unit
+(** [define_eq s a b]: [a <-> b]. *)
+
+val at_most_one : Sat.t -> Sat.lit list -> unit
+(** Ladder (sequential) encoding with fresh commander variables:
+    at most one of the literals is true. *)
+
+(** {1 Time-frame unroller} *)
+
+module Unroller : sig
+  type t
+
+  val create : Sat.t -> t
+
+  val add_state : t -> initial:bool -> int
+  (** New state; returns its dense id.  Adding a state after frames
+      were encoded is allowed: the state has no variable (is
+      unreachable) in those frames. *)
+
+  val add_edge : t -> src:int -> dst:int -> int
+  (** New edge; returns its dense id.  Later-added edges likewise do
+      not exist in already-encoded steps. *)
+
+  val n_states : t -> int
+  val n_edges : t -> int
+
+  val n_frames : t -> int
+  (** Number of encoded frames ([0] before the first
+      {!ensure_frames}). *)
+
+  val ensure_frames : t -> upto:int -> unit
+  (** Encode frames up to and including index [upto] (so steps
+      [0 .. upto-1]).  Already-encoded frames are never revisited. *)
+
+  val state_lit : t -> frame:int -> int -> Sat.lit option
+  (** The literal "state [i] holds at frame [t]", or [None] when the
+      state was added after that frame was encoded (it cannot hold
+      there).
+      @raise Invalid_argument if the frame is not encoded yet. *)
+
+  val decode_path : t -> frame:int -> state:int -> int list
+  (** After a satisfiable solve that assumed [state_lit ~frame state]:
+      walk the model backward and return the edge ids of a real length-
+      [frame] path from an initial state to [state], in forward order.
+      @raise Invalid_argument if the model does not support the walk
+      (i.e. the assumed literal was not true). *)
+end

@@ -3,11 +3,14 @@ open Satg_circuit
 open Satg_fault
 open Satg_sg
 
+type justification_engine = Explicit | Bdd | Sat
+
 type config = {
   k : int option;
   enable_random : bool;
   enable_fault_sim : bool;
-  symbolic_justification : bool;
+  engine : justification_engine;
+  collapse : bool;
   timeout : float option;
   max_states : int option;
   max_transitions : int option;
@@ -20,7 +23,8 @@ let default_config =
     k = None;
     enable_random = true;
     enable_fault_sim = true;
-    symbolic_justification = false;
+    engine = Explicit;
+    collapse = true;
     timeout = None;
     max_states = None;
     max_transitions = None;
@@ -42,11 +46,22 @@ type result = {
   cssg : Cssg.t;
   outcomes : Testset.outcome list;
   cpu_seconds : float;
+  faults_searched : int;
   bdd_stats : Satg_bdd.Bdd.stats option;
+  sat_stats : Satg_sat.Sat.stats option;
 }
 
 let run ?(config = default_config) ?cssg circuit ~faults =
   let t0 = Sys.time () in
+  (* Structural fault collapsing: every phase searches one
+     representative per equivalence class; afterwards each given fault
+     inherits its representative's outcome.  Equivalent faults yield
+     the same network function, so a test detecting the representative
+     detects the whole class — the expansion is sound and the reported
+     universe stays the caller's. *)
+  let targets =
+    if config.collapse then Fault.collapse circuit faults else faults
+  in
   let run_guard =
     Guard.create ?timeout:config.timeout ?max_states:config.max_states
       ?max_transitions:config.max_transitions ()
@@ -64,11 +79,22 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     | None -> Explicit.build ?k:config.k ~guard:run_guard circuit
   in
   let symbolic =
-    if config.symbolic_justification then
-      Some (Symbolic.build ~k:(Cssg.k g) ~guard:(sub_guard ()) circuit)
-    else None
+    match config.engine with
+    | Bdd -> Some (Symbolic.build ~k:(Cssg.k g) ~guard:(sub_guard ()) circuit)
+    | Explicit | Sat -> None
   in
-  let status = Hashtbl.create (List.length faults) in
+  let sat_engine =
+    match config.engine with
+    | Sat -> Some (Sat_engine.create g)
+    | Explicit | Bdd -> None
+  in
+  let backend =
+    match (symbolic, sat_engine) with
+    | Some sym, _ -> Some (Three_phase.symbolic_backend g sym)
+    | None, Some se -> Some (Sat_engine.backend se)
+    | None, None -> None
+  in
+  let status = Hashtbl.create (List.length targets) in
   (* Phase 1: random TPG.  Each walk fault-simulates the whole
      remaining list in one multi-word bit-parallel pack, dropping
      machines as they are detected.  Runs even over a truncated graph
@@ -78,7 +104,7 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     if config.enable_random then
       match
         Guard.guarded (sub_guard ()) (fun () ->
-            Random_tpg.run ~config:config.random g ~faults)
+            Random_tpg.run ~config:config.random g ~faults:targets)
       with
       | Ok (detected, remaining) ->
         List.iter
@@ -87,8 +113,8 @@ let run ?(config = default_config) ?cssg circuit ~faults =
               (Testset.Detected { sequence = seq; phase = Testset.Random }))
           detected;
         remaining
-      | Error _ -> faults
-    else faults
+      | Error _ -> targets
+    else targets
   in
   (* Phase 2: three-phase ATPG per fault, with fault simulation of each
      found test over the faults still pending (one pack per test, all
@@ -97,9 +123,9 @@ let run ?(config = default_config) ?cssg circuit ~faults =
      one retry at reduced effort (explicit justification, smaller
      search envelope).  A blown deadline is global, so it skips the
      retry. *)
-  let attempt tp_config symbolic f =
+  let attempt tp_config backend f =
     match
-      Three_phase.find_test ~config:tp_config ~guard:(sub_guard ()) ?symbolic g
+      Three_phase.find_test ~config:tp_config ~guard:(sub_guard ()) ?backend g
         f
     with
     | Some seq -> `Found seq
@@ -107,9 +133,11 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     | exception Guard.Exhausted r -> `Exhausted r
   in
   let find f =
-    match attempt config.three_phase symbolic f with
+    match attempt config.three_phase backend f with
     | `Exhausted Guard.Timeout -> `Aborted Guard.Timeout
     | `Exhausted _ -> (
+      (* the retry always runs the explicit algorithms: smaller search
+         envelope, no chance of a second backend blowup *)
       match attempt (reduced_effort config.three_phase) None f with
       | `Exhausted r -> `Aborted r
       | (`Found _ | `Not_found) as x -> x)
@@ -147,16 +175,25 @@ let run ?(config = default_config) ?cssg circuit ~faults =
       end
   in
   deterministic remaining;
+  let by_class = Hashtbl.create (List.length targets) in
+  if config.collapse then
+    List.iter
+      (fun t ->
+        match Hashtbl.find_opt status t with
+        | Some s -> Hashtbl.replace by_class (Fault.representative circuit t) s
+        | None -> ())
+      targets;
   let outcomes =
     List.map
       (fun f ->
-        {
-          Testset.fault = f;
-          status =
-            (match Hashtbl.find_opt status f with
-            | Some s -> s
-            | None -> Testset.Undetected);
-        })
+        let s =
+          match Hashtbl.find_opt status f with
+          | Some s -> Some s
+          | None when config.collapse ->
+            Hashtbl.find_opt by_class (Fault.representative circuit f)
+          | None -> None
+        in
+        { Testset.fault = f; status = Option.value s ~default:Testset.Undetected })
       faults
   in
   {
@@ -164,8 +201,10 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     cssg = g;
     outcomes;
     cpu_seconds = Sys.time () -. t0;
+    faults_searched = List.length targets;
     (* sampled after all phases, so justification traffic is included *)
     bdd_stats = Option.map Symbolic.bdd_stats symbolic;
+    sat_stats = Option.map Sat_engine.stats sat_engine;
   }
 
 let total r = List.length r.outcomes
@@ -218,6 +257,10 @@ let pp_summary fmt r =
     (detected_by r Testset.Three_phase)
     (detected_by r Testset.Fault_simulation)
     r.cpu_seconds;
+  if r.faults_searched <> total r then
+    Format.fprintf fmt
+      "@\n  fault universe: %d, searched as %d after structural collapsing"
+      (total r) r.faults_searched;
   (match truncated r with
   | Some reason ->
     Format.fprintf fmt "@\n  CSSG truncated (%s): coverage is a lower bound"

@@ -15,12 +15,21 @@ open Satg_circuit
 open Satg_fault
 open Satg_sg
 
+type justification_engine =
+  | Explicit  (** BFS tree / product BFS — the reference algorithms *)
+  | Bdd  (** symbolic justification (onion-ring image computation) *)
+  | Sat  (** CDCL time-frame engine ({!Sat_engine}) for both phases *)
+
 type config = {
   k : int option;  (** test-cycle budget; [None] = default heuristic *)
   enable_random : bool;
   enable_fault_sim : bool;
-  symbolic_justification : bool;
-      (** justify through the BDD engine instead of explicit BFS *)
+  engine : justification_engine;
+      (** deterministic-phase backend; all three produce identical
+          detected/undetected partitions *)
+  collapse : bool;
+      (** structurally collapse the fault universe before any phase
+          (default [true]); the result keeps both sizes *)
   timeout : float option;
       (** wall-clock budget in seconds for the whole run *)
   max_states : int option;
@@ -36,11 +45,21 @@ val default_config : config
 type result = {
   circuit : Circuit.t;
   cssg : Cssg.t;
-  outcomes : Testset.outcome list;  (** in input fault order *)
+  outcomes : Testset.outcome list;
+      (** in input fault order, one per given fault; under collapsing,
+          a fault folded into an equivalence class carries its
+          representative's outcome (equivalent faults are detected by
+          exactly the same tests, so the expansion is sound) *)
   cpu_seconds : float;
+  faults_searched : int;
+      (** class representatives the phases actually targeted; equals
+          [total] when [config.collapse] was off or found nothing to
+          merge *)
   bdd_stats : Satg_bdd.Bdd.stats option;
-      (** BDD-manager counters when symbolic justification ran
-          ([config.symbolic_justification]); [None] otherwise *)
+      (** BDD-manager counters when the [Bdd] engine ran *)
+  sat_stats : Satg_sat.Sat.stats option;
+      (** solver counters, aggregated across every per-fault SAT
+          query, when the [Sat] engine ran *)
 }
 
 val run : ?config:config -> ?cssg:Cssg.t -> Circuit.t -> faults:Fault.t list -> result

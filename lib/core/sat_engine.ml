@@ -1,0 +1,184 @@
+open Satg_guard
+open Satg_circuit
+open Satg_sg
+module Sat = Satg_sat.Sat
+module Cnf = Satg_cnf.Cnf
+
+(* The shared justification instance: the static CSSG unrolled over as
+   many frames as queries have needed so far. *)
+type just = {
+  jsat : Sat.t;
+  junr : Cnf.Unroller.t;
+  jvec : bool array array;  (* unroller edge id -> input vector *)
+}
+
+type t = {
+  g : Cssg.t;
+  mutable just : just option;
+  mutable retired : Sat.stats;  (* from differentiation solvers *)
+}
+
+let create g = { g; just = None; retired = Sat.zero_stats }
+
+let build_just g =
+  let sat = Sat.create () in
+  let unr = Cnf.Unroller.create sat in
+  let n = Cssg.n_states g in
+  let initials = Cssg.initial g in
+  for i = 0 to n - 1 do
+    ignore (Cnf.Unroller.add_state unr ~initial:(List.mem i initials))
+  done;
+  let vecs = ref [] in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun e ->
+        ignore (Cnf.Unroller.add_edge unr ~src:i ~dst:e.Cssg.target);
+        vecs := e.Cssg.vector :: !vecs)
+      (Cssg.successors g i)
+  done;
+  { jsat = sat; junr = unr; jvec = Array.of_list (List.rev !vecs) }
+
+(* Exact-length BMC: the first satisfiable frame is the BFS distance.
+   The frame bound is the trivial diameter bound; justification targets
+   are BFS-reachable, so the loop never actually runs dry on them. *)
+let justify t guard target =
+  let j =
+    match t.just with
+    | Some j -> j
+    | None ->
+      let j = build_just t.g in
+      t.just <- Some j;
+      j
+  in
+  Sat.set_guard j.jsat guard;
+  let bound = Cssg.n_states t.g - 1 in
+  let rec try_frame f =
+    if f > bound then None
+    else begin
+      Cnf.Unroller.ensure_frames j.junr ~upto:f;
+      match Cnf.Unroller.state_lit j.junr ~frame:f target with
+      | None -> try_frame (f + 1)
+      | Some l ->
+        if Sat.solve ~assumptions:[ l ] j.jsat then
+          Some
+            (List.map
+               (fun e -> j.jvec.(e))
+               (Cnf.Unroller.decode_path j.junr ~frame:f ~state:target))
+        else try_frame (f + 1)
+    end
+  in
+  try_frame 0
+
+let set_key c fstates =
+  List.map (Circuit.state_to_string c) fstates
+  |> List.sort Stdlib.compare |> String.concat "|"
+
+(* Ring-synchronized product unrolling.  Invariant: when the step-t
+   clauses are emitted, every product state of distance <= t+1 and
+   every edge leaving distance <= t already exists — and a path
+   position t only ever sits on a state of distance <= t, so the
+   encoding is complete for exact-length queries despite the dynamic
+   graph. *)
+let differentiate t guard config fm ~start ~fstates =
+  let g = t.g in
+  let c = Cssg.circuit g in
+  let sat = Sat.create ~guard () in
+  let unr = Cnf.Unroller.create sat in
+  let key2pid = Hashtbl.create 256 in
+  let info = Hashtbl.create 256 in (* pid -> (good state, faulty set) *)
+  let evec = Hashtbl.create 256 in (* unroller edge id -> vector *)
+  let register i fsts =
+    let k = (i, set_key c fsts) in
+    match Hashtbl.find_opt key2pid k with
+    | Some pid -> (pid, false)
+    | None ->
+      let pid =
+        Cnf.Unroller.add_state unr ~initial:(Hashtbl.length key2pid = 0)
+      in
+      Hashtbl.replace key2pid k pid;
+      Hashtbl.replace info pid (i, fsts);
+      (pid, true)
+  in
+  let pid0, _ = register start fstates in
+  let frontier = ref [ pid0 ] in
+  let result = ref None in
+  let finish sat_stats = t.retired <- Sat.add_stats t.retired sat_stats in
+  (try
+     let depth = ref 0 in
+     while
+       !result = None && !frontier <> []
+       && !depth < config.Three_phase.max_depth
+     do
+       incr depth;
+       let d = !depth in
+       let fresh = ref [] and fresh_diff = ref [] in
+       List.iter
+         (fun pid ->
+           let i, fsts = Hashtbl.find info pid in
+           List.iter
+             (fun e ->
+               if
+                 Hashtbl.length key2pid
+                 < config.Three_phase.max_product_states
+               then begin
+                 Guard.spend_transition guard;
+                 match Detect.exact_apply fm fsts e.Cssg.vector with
+                 | None -> ()
+                 | Some fsts' ->
+                   let j = e.Cssg.target in
+                   let pid', is_new = register j fsts' in
+                   let eid = Cnf.Unroller.add_edge unr ~src:pid ~dst:pid' in
+                   Hashtbl.replace evec eid e.Cssg.vector;
+                   if is_new then
+                     if Detect.exact_differs g j fm fsts' then
+                       fresh_diff := pid' :: !fresh_diff
+                     else fresh := pid' :: !fresh
+               end)
+             (Cssg.successors g i))
+         !frontier;
+       (* differentiating states are terminal: never expanded further *)
+       frontier := !fresh;
+       if !fresh_diff <> [] then begin
+         Cnf.Unroller.ensure_frames unr ~upto:d;
+         let ind = Sat.pos (Sat.new_var sat) in
+         Cnf.define_or sat ind
+           (List.filter_map
+              (fun pid -> Cnf.Unroller.state_lit unr ~frame:d pid)
+              !fresh_diff);
+         if Sat.solve ~assumptions:[ ind ] sat then begin
+           let final =
+             List.find
+               (fun pid ->
+                 match Cnf.Unroller.state_lit unr ~frame:d pid with
+                 | Some l -> Sat.lit_true sat l
+                 | None -> false)
+               !fresh_diff
+           in
+           result :=
+             Some
+               (List.map
+                  (fun e -> Hashtbl.find evec e)
+                  (Cnf.Unroller.decode_path unr ~frame:d ~state:final))
+         end
+       end
+     done
+   with Guard.Exhausted _ as ex ->
+     finish (Sat.stats sat);
+     raise ex);
+  finish (Sat.stats sat);
+  !result
+
+let backend t =
+  {
+    Three_phase.backend_name = "sat";
+    backend_justify = (fun guard act -> justify t guard act);
+    backend_differentiate =
+      Some
+        (fun guard config fm ~start ~fstates ->
+          differentiate t guard config fm ~start ~fstates);
+  }
+
+let stats t =
+  match t.just with
+  | None -> t.retired
+  | Some j -> Sat.add_stats t.retired (Sat.stats j.jsat)

@@ -1,0 +1,43 @@
+(** The SAT time-frame backend for three-phase ATPG — the second
+    deterministic engine next to the BDD one ([--engine sat]).
+
+    Justification is exact-length bounded model checking over the
+    explicit CSSG: one shared incremental {!Satg_sat.Sat} instance
+    holds the time-frame unrolling ({!Satg_cnf.Cnf.Unroller}) of the
+    whole graph, and "reach state [s] from reset" is asked frame by
+    frame under a single assumption literal.  The first satisfiable
+    frame is the BFS shortest distance, so prefixes match the explicit
+    engine's lengths exactly; frames and learned clauses persist
+    across faults.
+
+    Differentiation unrolls the {e product} of the good CSSG with the
+    exact faulty-state set ({!Detect.exact_apply} — a deterministic
+    automaton) ring by ring, emitting each step's clauses only after
+    its ring of product states is complete; differentiating states are
+    detected during expansion ({!Detect.exact_differs}) and queried at
+    their discovery frame through a fresh disjunction indicator under
+    assumptions.  The ring discipline makes the bounded search
+    traverse exactly the explicit product BFS's state space, so the
+    detected/undetected partition provably coincides.
+
+    The per-fault {!Satg_guard.Guard} is threaded into every solver
+    (probed inside unit propagation, charged one transition per
+    conflict) and into product expansion (one transition per edge,
+    mirroring the explicit BFS); {!Satg_guard.Guard.Exhausted}
+    propagates to the caller, which degrades per fault exactly like
+    the other engines. *)
+
+open Satg_sg
+
+type t
+
+val create : Cssg.t -> t
+(** Lazy: no clauses are generated until the first query. *)
+
+val backend : t -> Three_phase.backend
+(** Plug into {!Three_phase.find_test}. *)
+
+val stats : t -> Satg_sat.Sat.stats
+(** Counters accumulated over every solver this engine spawned (the
+    shared justification instance plus one per differentiation call) —
+    the [--stats] payload for [--engine sat]. *)

@@ -105,7 +105,43 @@ let differentiate config guard g fm start_good fstates prefix =
   done;
   Option.map (fun suffix -> prefix @ suffix) !result
 
-let find_test ?(config = default_config) ?(guard = Guard.none) ?symbolic g f =
+(* A pluggable justification/differentiation engine.  [None] fields
+   fall back to the explicit algorithms above; every backend must agree
+   with them on *detectability* (identical detected/undetected
+   partitions), only the witness sequences may differ. *)
+type backend = {
+  backend_name : string;
+  backend_justify : Guard.t -> int -> bool array list option;
+  backend_differentiate :
+    (Guard.t ->
+    config ->
+    Detect.machine ->
+    start:int ->
+    fstates:bool array list ->
+    bool array list option)
+    option;
+}
+
+let symbolic_backend g sym =
+  {
+    backend_name = "bdd";
+    backend_justify =
+      (fun guard act ->
+        (* The symbolic engine's manager still carries its build-time
+           guard; swap in this fault's budget so a BDD blowup during
+           justification charges (and aborts) only this fault. *)
+        match
+          Symbolic.with_guard sym guard (fun () ->
+              Symbolic.justify sym
+                ~target:(Symbolic.state_to_bdd sym (Cssg.state g act)))
+        with
+        | Some (vectors, _) -> Some vectors
+        | None -> None);
+    backend_differentiate = None;
+  }
+
+let find_test ?(config = default_config) ?(guard = Guard.none) ?symbolic
+    ?backend g f =
   (* An already-expired deadline must abort even on graphs too small for
      the per-edge ticks below to ever fire (e.g. an edgeless truncated
      CSSG). *)
@@ -115,20 +151,15 @@ let find_test ?(config = default_config) ?(guard = Guard.none) ?symbolic g f =
   let stuck = Fault.stuck_value f in
   let fm, f0 = Detect.exact_start g f in
   let dist, parent = bfs_tree g in
+  let backend =
+    match backend with
+    | Some _ -> backend
+    | None -> Option.map (symbolic_backend g) symbolic
+  in
   let justification_prefix act =
-    match symbolic with
+    match backend with
     | None -> Some (path_to parent act)
-    | Some sym -> (
-      (* The symbolic engine's manager still carries its build-time
-         guard; swap in this fault's budget so a BDD blowup during
-         justification charges (and aborts) only this fault. *)
-      match
-        Symbolic.with_guard sym guard (fun () ->
-            Symbolic.justify sym
-              ~target:(Symbolic.state_to_bdd sym (Cssg.state g act)))
-      with
-      | Some (vectors, _) -> Some vectors
-      | None -> None)
+    | Some b -> b.backend_justify guard act
   in
   (* Activation states: fault site opposite to the stuck value,
      deterministically reachable, nearest first.  The reset state is
@@ -157,6 +188,12 @@ let find_test ?(config = default_config) ?(guard = Guard.none) ?symbolic g f =
       match replay_prefix guard g fm f0 prefix with
       | `Detected seq -> Some seq
       | `Abort -> None
-      | `At fstates -> differentiate config guard g fm act fstates prefix)
+      | `At fstates -> (
+        match backend with
+        | Some { backend_differentiate = Some diff; _ } ->
+          Option.map
+            (fun suffix -> prefix @ suffix)
+            (diff guard config fm ~start:act ~fstates)
+        | _ -> differentiate config guard g fm act fstates prefix))
   in
   List.find_map try_candidate candidates

@@ -29,10 +29,44 @@ type config = {
 
 val default_config : config
 
+(** {1 Pluggable backends}
+
+    Justification and differentiation are search problems over the
+    CSSG / product machine; the explicit BFS algorithms of this module
+    are the reference implementations, and a [backend] substitutes an
+    alternative engine for either.  Contract: a backend must preserve
+    {e detectability} — [find_test] returns [Some] for exactly the
+    same faults — while the witness sequences may differ (all engines
+    return shortest justification prefixes and shortest
+    differentiation suffixes, so even the lengths agree). *)
+
+type backend = {
+  backend_name : string;  (** for diagnostics / stats labels *)
+  backend_justify : Guard.t -> int -> bool array list option;
+      (** shortest valid-vector path from reset to the given state id,
+          or [None] if unreachable / out of budget *)
+  backend_differentiate :
+    (Guard.t ->
+    config ->
+    Detect.machine ->
+    start:int ->
+    fstates:bool array list ->
+    bool array list option)
+    option;
+      (** shortest differentiating suffix from the (good state,
+          faulty-state set) product point; [None] here falls back to
+          the explicit product BFS *)
+}
+
+val symbolic_backend : Cssg.t -> Symbolic.t -> backend
+(** BDD justification (onion-ring image computation) + explicit
+    differentiation — the engine behind [--engine bdd]. *)
+
 val find_test :
   ?config:config ->
   ?guard:Guard.t ->
   ?symbolic:Symbolic.t ->
+  ?backend:backend ->
   Cssg.t ->
   Fault.t ->
   Testset.sequence option
@@ -48,4 +82,8 @@ val find_test :
     (onion-ring image computation, as the paper does in §5) instead of
     the explicit BFS tree; both produce shortest prefixes, so coverage
     is identical — the option exists for fidelity and for the larger
-    circuits where the symbolic representation is smaller. *)
+    circuits where the symbolic representation is smaller.
+
+    [?backend] generalises [?symbolic] (and wins when both are given):
+    any {!backend} value substitutes for the explicit phases — the SAT
+    time-frame engine ({!Sat_engine.backend}) plugs in here. *)

@@ -52,11 +52,18 @@ val initial_faulty_state : Circuit.t -> t -> bool array -> bool array
     result has {!Satg_circuit.Circuit.n_nodes} of the injected
     circuit. *)
 
+val representative : Circuit.t -> t -> t
+(** Canonical member of the fault's structural-equivalence class
+    (classic rules: controlling-value input faults fold into the output
+    fault; buffer/inverter input faults fold into the output fault).
+    Two faults are equivalent — the injected circuits compute the same
+    network function, so any test detecting one detects the other —
+    iff their representatives are equal. *)
+
 val collapse : Circuit.t -> t list -> t list
-(** Structural equivalence collapsing (classic rules: controlling-value
-    input faults fold into the output fault; buffer/inverter input
-    faults fold into the output fault).  Returns one representative per
-    class, keeping list order of first representatives. *)
+(** Structural equivalence collapsing: one fault per
+    {!representative} class, keeping list order of first
+    representatives. *)
 
 val to_string : Circuit.t -> t -> string
 val pp : Circuit.t -> Format.formatter -> t -> unit

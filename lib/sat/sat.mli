@@ -1,0 +1,88 @@
+(** A self-contained CDCL SAT solver, the second justification /
+    differentiation backend next to {!Satg_bdd.Bdd}.
+
+    Same engineering idiom as the BDD manager: int-packed literals in
+    flat arrays, no allocation on the hot paths.  Variables are dense
+    ints from {!new_var}; a literal packs a variable and a sign as
+    [2*var + (0|1)].  Clauses (problem and learned alike) live in one
+    growable int arena indexed by clause refs.
+
+    The solver is {e incremental}: clauses persist across {!solve}
+    calls and each call may pass a list of {e assumption} literals that
+    hold for that call only — the mechanism behind time-frame queries
+    ("is state [s] reachable at frame [t]?") in {!Satg_cnf.Cnf}.
+
+    Search is CDCL: two-watched-literal unit propagation, first-UIP
+    conflict learning with VSIDS activity bumping, phase saving, and
+    Luby-sequence restarts.
+
+    Resource governance: the installed {!Satg_guard.Guard} is probed
+    ({!Satg_guard.Guard.tick}) on every propagated literal and every
+    conflict-analysis resolution step, so a deadline or transition
+    ceiling trips {e inside} a runaway solve.  On exhaustion the solver
+    unwinds to decision level 0 (watch lists and saved phases intact —
+    the instance stays usable) and re-raises; callers at subsystem
+    boundaries degrade exactly like they do for the BDD engine. *)
+
+open Satg_guard
+
+type t
+
+type lit = int
+(** [2*var + 0] = the variable itself, [2*var + 1] = its negation. *)
+
+val pos : int -> lit
+val neg_of : int -> lit
+val neg : lit -> lit
+val var_of : lit -> int
+val sign_of : lit -> bool
+(** [true] iff the literal is the positive occurrence. *)
+
+val create : ?guard:Guard.t -> unit -> t
+
+val set_guard : t -> Guard.t -> unit
+(** Swap the hot-path guard (per-fault budgets in the ATPG engine). *)
+
+val new_var : t -> int
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a problem clause (root level).  Satisfied clauses are dropped,
+    root-false literals removed; deriving the empty clause makes the
+    instance permanently unsatisfiable.
+    @raise Invalid_argument on an undeclared variable. *)
+
+val solve : ?assumptions:lit list -> t -> bool
+(** [true] = satisfiable under the assumptions (a model is available
+    through {!value}); [false] = unsatisfiable under the assumptions.
+    @raise Satg_guard.Guard.Exhausted when the installed guard trips;
+    the solver remains usable afterwards. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a satisfiable {!solve}.  Variables
+    untouched by the search default to their saved phase. *)
+
+val lit_true : t -> lit -> bool
+
+(** {1 Statistics} *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;  (** learned clauses retained *)
+  learned_lits : int;  (** total literals across learned clauses *)
+  restarts : int;
+  n_vars : int;
+  n_clauses : int;  (** problem clauses *)
+}
+
+val stats : t -> stats
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+(** Pointwise sum, except [n_vars]/[n_clauses] which take the max —
+    used to aggregate counters across the per-fault solvers of one
+    ATPG run. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -311,32 +311,27 @@ let test_symbolic_justification_same_coverage () =
     (fun make_c ->
       let c = make_c () in
       let faults = Fault.universe_input_sa c in
-      let base =
+      let run engine =
         Engine.run
-          ~config:{ Engine.default_config with enable_random = false }
+          ~config:{ Engine.default_config with enable_random = false; engine }
           c ~faults
       in
-      let sym =
-        Engine.run
-          ~config:
-            {
-              Engine.default_config with
-              enable_random = false;
-              symbolic_justification = true;
-            }
-          c ~faults
-      in
-      Alcotest.(check int) "same coverage"
-        (Engine.detected base) (Engine.detected sym);
-      (* and the sequences it finds must replay *)
+      let base = run Engine.Explicit in
       List.iter
-        (fun o ->
-          match o.Testset.status with
-          | Testset.Detected { sequence; phase = Testset.Three_phase } ->
-            Alcotest.(check bool) "replays" true
-              (Detect.check_exact sym.Engine.cssg o.Testset.fault sequence)
-          | _ -> ())
-        sym.Engine.outcomes)
+        (fun engine ->
+          let r = run engine in
+          Alcotest.(check int) "same coverage"
+            (Engine.detected base) (Engine.detected r);
+          (* and the sequences it finds must replay *)
+          List.iter
+            (fun o ->
+              match o.Testset.status with
+              | Testset.Detected { sequence; phase = Testset.Three_phase } ->
+                Alcotest.(check bool) "replays" true
+                  (Detect.check_exact r.Engine.cssg o.Testset.fault sequence)
+              | _ -> ())
+            r.Engine.outcomes)
+        [ Engine.Bdd; Engine.Sat ])
     [ Figures.celem_handshake; Figures.mutex_latch; (fun () -> get_si "vbe6a") ]
 
 let test_node_order_invariance () =

@@ -16,4 +16,5 @@ let () =
          Test_extensions.suites;
          Test_timed.suites;
          Test_robustness.suites;
+         Test_sat.suites;
        ])
