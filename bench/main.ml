@@ -735,6 +735,190 @@ let sat_engine_bench () =
   close_out oc;
   Printf.printf "-> BENCH_sat.json\n"
 
+(* --- multicore domain-pool scaling ------------------------------------------ *)
+
+(* The full explicit-engine pipeline (CSSG + random + deterministic
+   phases) at -j 1/2/4/8 on the figure-1 pathology pair, under the same
+   caps as the SAT race, against the sequential pipeline as baseline.
+   Every run's detected/undetected/aborted partition is hashed and the
+   bench *fails* if any two differ — the determinism contract, measured
+   rather than assumed.  Results (plus [host_cores], so a flat curve on
+   a single-core runner is readable as such) go to BENCH_domains.json. *)
+
+let domains_js = [ 1; 2; 4; 8 ]
+
+let partition_hash r =
+  List.fold_left
+    (fun h o ->
+      let c =
+        match o.Testset.status with
+        | Testset.Detected _ -> 'D'
+        | Testset.Undetected -> 'U'
+        | Testset.Aborted _ -> 'A'
+      in
+      ((h * 33) + Char.code c) land 0x3FFFFFFF)
+    5381 r.Engine.outcomes
+
+(* Packed-Bytes interning (the [Explicit.build] hot path) against the
+   pre-rewrite string-keyed table, on an identical deterministic lookup
+   stream with a realistic hit rate. *)
+let intern_bench () =
+  let n_nodes = 48 in
+  let n_distinct = 512 in
+  let n_lookups = 100_000 in
+  let state = ref 0x2545F4914F6CDD1D in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x;
+    x
+  in
+  let pool =
+    Array.init n_distinct (fun _ ->
+        let a = next () and b = next () in
+        Array.init n_nodes (fun i ->
+            let w = if i < 32 then a else b in
+            (w lsr (i land 31)) land 1 = 1))
+  in
+  let stream =
+    Array.init n_lookups (fun _ -> pool.(abs (next ()) mod n_distinct))
+  in
+  let string_run () =
+    let tbl = Hashtbl.create 64 in
+    let count = ref 0 in
+    Array.iter
+      (fun s ->
+        let key = String.init n_nodes (fun i -> if s.(i) then '1' else '0') in
+        match Hashtbl.find_opt tbl key with
+        | Some _ -> ()
+        | None ->
+          Hashtbl.replace tbl key !count;
+          incr count)
+      stream
+  in
+  let packed_run () =
+    let it = Explicit.Intern.create ~n_nodes in
+    Array.iter
+      (fun s ->
+        ignore (Explicit.Intern.intern it ~guard:Satg_guard.Guard.none s))
+      stream
+  in
+  let string_seconds = time_thunk string_run in
+  let packed_seconds = time_thunk packed_run in
+  let speedup = string_seconds /. packed_seconds in
+  Printf.printf
+    "intern (%d nodes, %d lookups, %d distinct)\n\
+    \  string keys: %8.5f s  (%10.1f lookups/s)\n\
+    \  packed keys: %8.5f s  (%10.1f lookups/s)\n\
+    \  speedup: %.2fx\n"
+    n_nodes n_lookups n_distinct string_seconds
+    (float_of_int n_lookups /. string_seconds)
+    packed_seconds
+    (float_of_int n_lookups /. packed_seconds)
+    speedup;
+  Printf.sprintf
+    {|  "intern": { "n_nodes": %d, "n_lookups": %d, "n_distinct": %d,
+              "string_keys": { "seconds": %.6f, "lookups_per_sec": %.1f },
+              "packed_keys": { "seconds": %.6f, "lookups_per_sec": %.1f },
+              "speedup": %.2f }|}
+    n_nodes n_lookups n_distinct string_seconds
+    (float_of_int n_lookups /. string_seconds)
+    packed_seconds
+    (float_of_int n_lookups /. packed_seconds)
+    speedup
+
+let domains_bench () =
+  let host_cores = Domain.recommended_domain_count () in
+  let intern_json = intern_bench () in
+  let row path =
+    let c = load_netlist path in
+    let faults = Fault.universe_input_sa c in
+    let config jobs =
+      {
+        Engine.default_config with
+        engine = Engine.Explicit;
+        jobs;
+        max_states = Some sat_cap_states;
+        max_transitions = Some sat_cap_transitions;
+      }
+    in
+    let run jobs = Engine.run ~config:(config jobs) c ~faults in
+    let seq_r = ref (run None) in
+    let seq_seconds = time_thunk (fun () -> seq_r := run None) in
+    let seq_hash = partition_hash !seq_r in
+    let cells =
+      List.map
+        (fun j ->
+          let r = ref (run (Some j)) in
+          let seconds = time_thunk (fun () -> r := run (Some j)) in
+          (j, seconds, partition_hash !r, Engine.detected !r,
+           Engine.aborted !r))
+        domains_js
+    in
+    let j1_seconds =
+      match cells with (1, s, _, _, _) :: _ -> s | _ -> seq_seconds
+    in
+    List.iter
+      (fun (j, _, h, _, _) ->
+        if h <> seq_hash then
+          failwith
+            (Printf.sprintf "%s: -j %d partition differs from sequential"
+               (Circuit.name c) j))
+      cells;
+    Printf.printf "domains (%s): %d faults, caps %d states / %d transitions\n"
+      (Circuit.name c) (List.length faults) sat_cap_states sat_cap_transitions;
+    Printf.printf "  seq : %8.4f s  (hash %08x)\n" seq_seconds seq_hash;
+    List.iter
+      (fun (j, s, h, det, ab) ->
+        Printf.printf
+          "  -j %d: %8.4f s  (x%.2f vs -j1; hash %08x, %d detected, %d \
+           aborted)\n"
+          j s (j1_seconds /. s) h det ab)
+      cells;
+    Printf.sprintf
+      {|    {
+      "circuit": "%s",
+      "n_faults": %d,
+      "caps": { "max_states": %d, "max_transitions": %d },
+      "sequential": { "seconds": %.6f, "partition_hash": "%08x" },
+      "jobs": [
+%s
+      ],
+      "partitions_equal": true
+    }|}
+      (Circuit.name c) (List.length faults) sat_cap_states sat_cap_transitions
+      seq_seconds seq_hash
+      (String.concat ",\n"
+         (List.map
+            (fun (j, s, h, det, ab) ->
+              Printf.sprintf
+                {|        { "j": %d, "seconds": %.6f, "speedup_vs_j1": %.2f,
+          "partition_hash": "%08x", "detected": %d, "aborted": %d }|}
+                j s (j1_seconds /. s) h det ab)
+            cells))
+  in
+  let rows = List.map row sat_netlists in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "domains",
+  "host_cores": %d,
+%s,
+  "circuits": [
+%s
+  ]
+}
+|}
+      host_cores intern_json
+      (String.concat ",\n" rows)
+  in
+  let oc = open_out "BENCH_domains.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "host cores: %d  -> BENCH_domains.json\n" host_cores
+
 (* --- driver ---------------------------------------------------------------- *)
 
 let tests =
@@ -775,8 +959,9 @@ let run_bechamel () =
          | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")
 
 (* [--fault-sim [FILE.cct]] runs only the parallel fault-sim
-   throughput bench, [--bdd] only the BDD engine head-to-head, and
-   [--sat] only the SAT-vs-BDD backend race (the CI smoke jobs); the
+   throughput bench, [--bdd] only the BDD engine head-to-head, [--sat]
+   only the SAT-vs-BDD backend race, and [--domains] only the
+   domain-pool scaling + intern benches (the CI smoke jobs); the
    default runs the full bechamel suite and then every throughput
    bench. *)
 let () =
@@ -787,8 +972,10 @@ let () =
     fault_sim_bench path
   | _ :: "--bdd" :: _ -> bdd_engine_bench ()
   | _ :: "--sat" :: _ -> sat_engine_bench ()
+  | _ :: "--domains" :: _ -> domains_bench ()
   | _ ->
     run_bechamel ();
     fault_sim_bench default_netlist;
     bdd_engine_bench ();
-    sat_engine_bench ()
+    sat_engine_bench ();
+    domains_bench ()

@@ -17,6 +17,7 @@
 
 open Cmdliner
 open Satg_guard
+open Satg_pool
 open Satg_circuit
 open Satg_fault
 open Satg_sg
@@ -111,6 +112,19 @@ let max_transitions_arg =
     & info [ "max-transitions" ] ~docv:"N"
         ~doc:"Ceiling on transition expansions, per phase / per fault.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "SATG_JOBS")
+        ~doc:
+          "Run CSSG construction and the deterministic fault search on \
+           $(docv) worker domains.  Merging is deterministic: the reported \
+           coverage partition is identical for every $(docv).  The BDD \
+           engine's deterministic phase stays sequential under this flag \
+           (single-domain manager).  Default: the sequential pipeline.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -131,12 +145,18 @@ let cssg_cmd =
   let dump =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print every state and edge.")
   in
-  let run file engine dump stats k timeout max_states max_transitions =
+  let run file engine dump stats k jobs timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
     let guard = Guard.create ?timeout ?max_states ?max_transitions () in
     let g, bdd_stats =
       match engine with
-      | `Explicit -> (Explicit.build ?k ~guard c, None)
+      | `Explicit -> (
+        match jobs with
+        | Some j ->
+          ( Pool.with_pool ~jobs:j (fun pool ->
+                Explicit.build_par ?k ~guard ~pool c),
+            None )
+        | None -> (Explicit.build ?k ~guard c, None))
       | `Symbolic ->
         let sym = Symbolic.build ?k ~guard c in
         let g = Symbolic.to_cssg sym in
@@ -155,8 +175,8 @@ let cssg_cmd =
     (Cmd.info "cssg"
        ~doc:"Build the Confluent Stable State Graph of a netlist.")
     Term.(
-      const run $ file $ engine $ dump $ stats_arg $ k_arg $ timeout_arg
-      $ max_states_arg $ max_transitions_arg)
+      const run $ file $ engine $ dump $ stats_arg $ k_arg $ jobs_arg
+      $ timeout_arg $ max_states_arg $ max_transitions_arg)
 
 (* --- atpg ----------------------------------------------------------------- *)
 
@@ -209,7 +229,7 @@ let atpg_cmd =
              per structural-equivalence class.")
   in
   let run file universe no_random seed verbose engine symbolic no_collapse
-      stats k timeout max_states max_transitions =
+      stats k jobs timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
     let faults =
       match universe with
@@ -224,6 +244,7 @@ let atpg_cmd =
         enable_random = not no_random;
         engine = (if symbolic then Engine.Bdd else engine);
         collapse = not no_collapse;
+        jobs;
         timeout;
         max_states;
         max_transitions;
@@ -250,7 +271,7 @@ let atpg_cmd =
     (Cmd.info "atpg" ~doc:"Generate synchronous test patterns for a netlist.")
     Term.(
       const run $ file $ universe $ no_random $ seed $ verbose $ engine
-      $ symbolic $ no_collapse $ stats_arg $ k_arg $ timeout_arg
+      $ symbolic $ no_collapse $ stats_arg $ k_arg $ jobs_arg $ timeout_arg
       $ max_states_arg $ max_transitions_arg)
 
 (* --- bench ---------------------------------------------------------------- *)
@@ -365,13 +386,20 @@ let dft_cmd =
          ~doc:"Insert a control point (test-mode mux) on the signal and \
                re-run ATPG; repeatable.")
   in
-  let run file budget control k timeout max_states max_transitions =
+  let run file budget control k jobs timeout max_states max_transitions =
     let c = or_die (read_circuit file) in
     let faults = Fault.universe_input_sa c in
     (* The same config (test-cycle budget and resource limits) governs
        every ATPG run below, instrumented circuits included. *)
     let config =
-      { Engine.default_config with k; timeout; max_states; max_transitions }
+      {
+        Engine.default_config with
+        k;
+        jobs;
+        timeout;
+        max_states;
+        max_transitions;
+      }
     in
     if control = [] then begin
       let imp = Dft.evaluate ~budget ~config c ~faults in
@@ -407,7 +435,7 @@ let dft_cmd =
     (Cmd.info "dft"
        ~doc:"Recommend and evaluate test observation/control points.")
     Term.(
-      const run $ file $ budget $ control $ k_arg $ timeout_arg
+      const run $ file $ budget $ control $ k_arg $ jobs_arg $ timeout_arg
       $ max_states_arg $ max_transitions_arg)
 
 (* --- dot ------------------------------------------------------------------- *)

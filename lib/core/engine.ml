@@ -2,6 +2,7 @@ open Satg_guard
 open Satg_circuit
 open Satg_fault
 open Satg_sg
+open Satg_pool
 
 type justification_engine = Explicit | Bdd | Sat
 
@@ -11,6 +12,7 @@ type config = {
   enable_fault_sim : bool;
   engine : justification_engine;
   collapse : bool;
+  jobs : int option;
   timeout : float option;
   max_states : int option;
   max_transitions : int option;
@@ -25,6 +27,7 @@ let default_config =
     enable_fault_sim = true;
     engine = Explicit;
     collapse = true;
+    jobs = None;
     timeout = None;
     max_states = None;
     max_transitions = None;
@@ -68,31 +71,53 @@ let run ?(config = default_config) ?cssg circuit ~faults =
   in
   (* Every phase below gets a sub-guard: fresh state/transition counters
      (so one runaway fault cannot starve the others) under the shared
-     absolute deadline (so --timeout bounds the whole run). *)
+     absolute deadline (so --timeout bounds the whole run).  Sub-guards
+     also share the run guard's cancel token, the cross-domain channel
+     that lets one worker's deadline trip stop its siblings. *)
   let sub_guard () =
     Guard.sub ?max_states:config.max_states
       ?max_transitions:config.max_transitions run_guard
   in
+  let pool = Option.map (fun jobs -> Pool.create ~jobs) config.jobs in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   let g =
     match cssg with
     | Some g -> g
-    | None -> Explicit.build ?k:config.k ~guard:run_guard circuit
+    | None -> (
+      match pool with
+      | Some pool ->
+        Explicit.build_par ?k:config.k ~guard:run_guard ~pool circuit
+      | None -> Explicit.build ?k:config.k ~guard:run_guard circuit)
   in
   let symbolic =
     match config.engine with
     | Bdd -> Some (Symbolic.build ~k:(Cssg.k g) ~guard:(sub_guard ()) circuit)
     | Explicit | Sat -> None
   in
-  let sat_engine =
+  (* Per-worker deterministic-phase backends.  The SAT engine is a
+     mutable single-domain structure, so each worker lazily builds its
+     own instance over the shared (immutable) CSSG; detectability is a
+     semantic property of the graph, so the detected/undetected
+     partition does not depend on which instance answered.  The BDD
+     manager is also single-domain, but duplicating it per worker
+     means re-running the symbolic build — engine=Bdd therefore keeps
+     the deterministic phase sequential under -j (see docs/PERF.md). *)
+  let n_workers = match pool with Some p -> Pool.jobs p | None -> 1 in
+  let worker_sats = Array.make n_workers None in
+  let backend_for wid =
     match config.engine with
-    | Sat -> Some (Sat_engine.create g)
-    | Explicit | Bdd -> None
-  in
-  let backend =
-    match (symbolic, sat_engine) with
-    | Some sym, _ -> Some (Three_phase.symbolic_backend g sym)
-    | None, Some se -> Some (Sat_engine.backend se)
-    | None, None -> None
+    | Explicit -> None
+    | Bdd -> Option.map (Three_phase.symbolic_backend g) symbolic
+    | Sat ->
+      let se =
+        match worker_sats.(wid) with
+        | Some se -> se
+        | None ->
+          let se = Sat_engine.create g in
+          worker_sats.(wid) <- Some se;
+          se
+      in
+      Some (Sat_engine.backend se)
   in
   let status = Hashtbl.create (List.length targets) in
   (* Phase 1: random TPG.  Each walk fault-simulates the whole
@@ -132,7 +157,7 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     | None -> `Not_found
     | exception Guard.Exhausted r -> `Exhausted r
   in
-  let find f =
+  let find backend f =
     match attempt config.three_phase backend f with
     | `Exhausted Guard.Timeout -> `Aborted Guard.Timeout
     | `Exhausted _ -> (
@@ -143,38 +168,86 @@ let run ?(config = default_config) ?cssg circuit ~faults =
       | (`Found _ | `Not_found) as x -> x)
     | (`Found _ | `Not_found) as x -> x
   in
-  let rec deterministic = function
+  (* Commit one fault's search result, replaying the sequential
+     semantics: a found test fault-simulates the faults still pending
+     and the caught ones leave the list.  Returns the pruned tail. *)
+  let commit f rest result =
+    match result with
+    | `Aborted r ->
+      Hashtbl.replace status f (Testset.Aborted r);
+      rest
+    | `Not_found ->
+      Hashtbl.replace status f Testset.Undetected;
+      rest
+    | `Found seq ->
+      Hashtbl.replace status f
+        (Testset.Detected { sequence = seq; phase = Testset.Three_phase });
+      if config.enable_fault_sim then begin
+        let caught, pending = Detect.sweep g seq rest in
+        List.iter
+          (fun f' ->
+            Hashtbl.replace status f'
+              (Testset.Detected
+                 { sequence = seq; phase = Testset.Fault_simulation }))
+          caught;
+        pending
+      end
+      else rest
+  in
+  let rec deterministic_seq backend = function
     | [] -> ()
     | f :: rest ->
-      if Hashtbl.mem status f then deterministic rest
-      else begin
-        match find f with
-        | `Aborted r ->
-          Hashtbl.replace status f (Testset.Aborted r);
-          deterministic rest
-        | `Not_found ->
-          Hashtbl.replace status f Testset.Undetected;
-          deterministic rest
-        | `Found seq ->
-          Hashtbl.replace status f
-            (Testset.Detected { sequence = seq; phase = Testset.Three_phase });
-          let rest =
-            if config.enable_fault_sim then begin
-              let caught, pending = Detect.sweep g seq rest in
-              List.iter
-                (fun f' ->
-                  Hashtbl.replace status f'
-                    (Testset.Detected
-                       { sequence = seq; phase = Testset.Fault_simulation }))
-                caught;
-              pending
-            end
-            else rest
-          in
-          deterministic rest
-      end
+      if Hashtbl.mem status f then deterministic_seq backend rest
+      else deterministic_seq backend (commit f rest (find backend f))
   in
-  deterministic remaining;
+  (* Speculative wave parallelism: search a fixed-size prefix of the
+     pending list concurrently, then merge the results in list order
+     through [commit] — exactly the sequential loop, so when fault
+     simulation sweeps a wave member away its speculative result is
+     simply discarded.  Outcomes are therefore identical for every
+     [-j], and (for the explicit and BDD engines) to the sequential
+     path; a SAT worker's witness sequence may depend on its private
+     solver history, so there the detected/undetected partition is the
+     j-invariant, not the sequences.  A worker that hits the global
+     deadline cancels the guard family so its siblings stop promptly. *)
+  let search wid f =
+    let r = find (backend_for wid) f in
+    (match r with
+    | `Aborted Guard.Timeout -> Guard.cancel run_guard Guard.Timeout
+    | `Aborted _ | `Not_found | `Found _ -> ());
+    r
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let deterministic_par pool pending =
+    let wave_size = 2 * Pool.jobs pool in
+    let rec waves pending =
+      match pending with
+      | [] -> ()
+      | _ ->
+        let wave = Array.of_list (take wave_size pending) in
+        let results = Pool.map pool search wave in
+        let tbl = Hashtbl.create (Array.length wave) in
+        Array.iteri (fun i f -> Hashtbl.replace tbl f results.(i)) wave;
+        let rec merge = function
+          | [] -> []
+          | f :: rest as l -> (
+            match Hashtbl.find_opt tbl f with
+            | None -> l (* first fault past this wave: start the next *)
+            | Some r ->
+              if Hashtbl.mem status f then merge rest
+              else merge (commit f rest r))
+        in
+        waves (merge pending)
+    in
+    waves pending
+  in
+  (match pool with
+  | Some p when config.engine <> Bdd -> deterministic_par p remaining
+  | Some _ | None -> deterministic_seq (backend_for 0) remaining);
   let by_class = Hashtbl.create (List.length targets) in
   if config.collapse then
     List.iter
@@ -204,7 +277,19 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     faults_searched = List.length targets;
     (* sampled after all phases, so justification traffic is included *)
     bdd_stats = Option.map Symbolic.bdd_stats symbolic;
-    sat_stats = Option.map Sat_engine.stats sat_engine;
+    sat_stats =
+      (match config.engine with
+      | Sat ->
+        (* summed over the per-worker engines (one engine total when
+           sequential), so -j reports the run's whole SAT traffic *)
+        Some
+          (Array.fold_left
+             (fun acc se ->
+               match se with
+               | Some se -> Satg_sat.Sat.add_stats acc (Sat_engine.stats se)
+               | None -> acc)
+             Satg_sat.Sat.zero_stats worker_sats)
+      | Explicit | Bdd -> None);
   }
 
 let total r = List.length r.outcomes

@@ -30,6 +30,15 @@ type config = {
   collapse : bool;
       (** structurally collapse the fault universe before any phase
           (default [true]); the result keeps both sizes *)
+  jobs : int option;
+      (** [Some j]: run CSSG construction and the deterministic phase
+          on a [j]-worker domain pool ({!Satg_pool.Pool}) — speculative
+          fault waves merged in input order, so the outcome partition
+          is identical for every [j] (and, for the explicit engine, to
+          the sequential path).  [None] (default): the legacy
+          sequential pipeline.  The BDD engine's deterministic phase
+          stays sequential under [jobs] (single-domain manager); see
+          docs/PERF.md. *)
   timeout : float option;
       (** wall-clock budget in seconds for the whole run *)
   max_states : int option;

@@ -11,8 +11,15 @@ type limits = {
   max_transitions : int option;
 }
 
+(* [cancel] is the only cross-domain channel: a guard family (one
+   [create] plus its [sub]s) shares a single atomic cell, so a worker
+   that hits the shared wall-clock deadline can trip its siblings
+   promptly even while they sit in pure-CPU loops between ticks.  All
+   other fields are mutated exclusively by the domain that owns the
+   guard. *)
 type t = {
   limits : limits;
+  cancel : reason option Atomic.t;
   mutable states : int;
   mutable transitions : int;
   mutable ticks : int;
@@ -21,65 +28,100 @@ type t = {
 
 let tick_period = 256
 
-let make limits =
-  { limits; states = 0; transitions = 0; ticks = 0; tripped = None }
-
-(* Shared mutable value, but with every limit unlimited nothing ever
-   trips, so the shared counters are harmless noise. *)
-let none = make { deadline = None; max_states = None; max_transitions = None }
+let make ?cancel limits =
+  {
+    limits;
+    cancel = (match cancel with Some c -> c | None -> Atomic.make None);
+    states = 0;
+    transitions = 0;
+    ticks = 0;
+    tripped = None;
+  }
 
 let is_none t =
   t.limits.deadline = None
   && t.limits.max_states = None
   && t.limits.max_transitions = None
 
+(* Shared value, safe under domains: every probe takes the [is_none]
+   fast path and returns without mutating anything, so the singleton
+   carries no cross-domain data race. *)
+let none = make { deadline = None; max_states = None; max_transitions = None }
+
 let create ?timeout ?max_states ?max_transitions () =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
   make { deadline; max_states; max_transitions }
 
 let sub ?max_states ?max_transitions t =
-  make { deadline = t.limits.deadline; max_states; max_transitions }
+  make ~cancel:t.cancel
+    { deadline = t.limits.deadline; max_states; max_transitions }
 
 let trip t r =
   t.tripped <- Some r;
   raise (Exhausted r)
 
-let retrip t = match t.tripped with Some r -> raise (Exhausted r) | None -> ()
+let cancel t r =
+  if not (is_none t) then
+    ignore (Atomic.compare_and_set t.cancel None (Some r))
+
+let retrip t =
+  match t.tripped with
+  | Some r -> raise (Exhausted r)
+  | None -> (
+    match Atomic.get t.cancel with
+    | Some r -> trip t r
+    | None -> ())
 
 let check_time t =
-  retrip t;
-  match t.limits.deadline with
-  | Some d when Unix.gettimeofday () > d -> trip t Timeout
-  | _ -> ()
+  if not (is_none t) then begin
+    retrip t;
+    match t.limits.deadline with
+    | Some d when Unix.gettimeofday () > d -> trip t Timeout
+    | _ -> ()
+  end
 
 let tick t =
-  retrip t;
-  if t.limits.deadline <> None then begin
-    t.ticks <- t.ticks + 1;
-    if t.ticks land (tick_period - 1) = 0 then check_time t
+  if not (is_none t) then begin
+    retrip t;
+    if t.limits.deadline <> None then begin
+      t.ticks <- t.ticks + 1;
+      if t.ticks land (tick_period - 1) = 0 then check_time t
+    end
   end
 
 let spend_states t n =
-  t.states <- t.states + n;
-  (match t.limits.max_states with
-  | Some m when t.states > m -> trip t State_limit
-  | _ -> ());
-  tick t
+  if not (is_none t) then begin
+    t.states <- t.states + n;
+    (match t.limits.max_states with
+    | Some m when t.states > m -> trip t State_limit
+    | _ -> ());
+    tick t
+  end
 
 let spend_state t = spend_states t 1
 
 let spend_transitions t n =
-  t.transitions <- t.transitions + n;
-  (match t.limits.max_transitions with
-  | Some m when t.transitions > m -> trip t Transition_limit
-  | _ -> ());
-  tick t
+  if not (is_none t) then begin
+    t.transitions <- t.transitions + n;
+    (match t.limits.max_transitions with
+    | Some m when t.transitions > m -> trip t Transition_limit
+    | _ -> ());
+    tick t
+  end
 
 let spend_transition t = spend_transitions t 1
 
 let states_used t = t.states
 let transitions_used t = t.transitions
 let tripped t = t.tripped
+
+let remaining_transitions t =
+  Option.map
+    (fun m -> max 0 (m - t.transitions))
+    t.limits.max_transitions
+
+let remaining_states t =
+  Option.map (fun m -> max 0 (m - t.states)) t.limits.max_states
 
 let guarded t f =
   match

@@ -32,7 +32,9 @@ type t
 val none : t
 (** The unlimited guard: probes never raise.  Default everywhere a
     [?guard] parameter is omitted, so callers that do not care keep the
-    historical behaviour. *)
+    historical behaviour.  Every probe on an unlimited guard is a
+    complete no-op (no counter mutation), so sharing [none] across
+    domains is race-free. *)
 
 val create :
   ?timeout:float -> ?max_states:int -> ?max_transitions:int -> unit -> t
@@ -42,7 +44,16 @@ val create :
 val sub : ?max_states:int -> ?max_transitions:int -> t -> t
 (** A child guard with fresh counters but the parent's (absolute)
     deadline: per-fault isolation shares the run's clock while each
-    fault gets its own state/transition allowance. *)
+    fault gets its own state/transition allowance.  The child also
+    shares the parent's {!cancel} token, so cancelling the parent trips
+    the whole family — the cross-domain kill switch for worker pools. *)
+
+val cancel : t -> reason -> unit
+(** Cross-domain cancellation: mark this guard family (the guard, its
+    parent if it is a [sub], and every sibling sharing the token) so
+    that each member's next probe raises {!Exhausted} with the given
+    reason.  First cancellation wins; cancelling {!none} (or any
+    unlimited guard) is a no-op.  Safe to call from any domain. *)
 
 val is_none : t -> bool
 (** No deadline and no ceilings — every probe is a no-op. *)
@@ -74,6 +85,14 @@ val spend_transition : t -> unit
 
 val states_used : t -> int
 val transitions_used : t -> int
+(** Counters are only maintained on guards with at least one limit or a
+    deadline; on unlimited guards both report 0. *)
+
+val remaining_states : t -> int option
+val remaining_transitions : t -> int option
+(** Budget left before the corresponding ceiling trips ([None] =
+    unlimited) — what a parallel builder may hand a worker as that
+    worker's private allowance. *)
 
 val tripped : t -> reason option
 (** The reason this guard first raised, if it ever did. *)

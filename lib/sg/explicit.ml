@@ -1,14 +1,108 @@
 open Satg_guard
 open Satg_circuit
 open Satg_sim
+open Satg_pool
 
-let all_vectors n =
-  List.init (1 lsl n) (fun mask ->
-      Array.init n (fun i -> mask land (1 lsl i) <> 0))
+(* --- packed state interning ------------------------------------------------ *)
 
-let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
-    ?(guard = Guard.none) c =
-  let k = match k with Some k -> k | None -> Structure.default_k c in
+(* The intern path used to format every probed state into a string
+   ([Circuit.state_to_string]) just to use it as a Hashtbl key — one
+   byte per node plus an allocation per *lookup*.  States are packed
+   into a bit-per-node [Bytes] scratch buffer instead: lookups reuse
+   the scratch (zero allocation when the state is already known) and
+   only a fresh intern copies the key. *)
+module Intern = struct
+  type t = {
+    scratch : Bytes.t;
+    index : (Bytes.t, int) Hashtbl.t;
+    mutable rev_states : bool array list;
+    mutable count : int;
+  }
+
+  let create ~n_nodes =
+    {
+      scratch = Bytes.make ((n_nodes + 7) lsr 3) '\000';
+      index = Hashtbl.create 64;
+      rev_states = [];
+      count = 0;
+    }
+
+  (* One store per eight nodes: each output byte is accumulated in a
+     register, so there is no clear pass and no read-modify-write. *)
+  let pack_into buf s =
+    let n = Array.length s in
+    for byte = 0 to Bytes.length buf - 1 do
+      let base = byte lsl 3 in
+      let stop = min 8 (n - base) in
+      let v = ref 0 in
+      for bit = 0 to stop - 1 do
+        if Array.unsafe_get s (base + bit) then v := !v lor (1 lsl bit)
+      done;
+      Bytes.unsafe_set buf byte (Char.unsafe_chr !v)
+    done
+
+  (* Spend before registering, so a truncated graph never holds more
+     than [max_states] states and every recorded edge points at a
+     registered state.  The first state (reset) is exempt: even a
+     zero-budget build yields a valid one-state graph. *)
+  let intern t ~guard s =
+    pack_into t.scratch s;
+    match Hashtbl.find_opt t.index t.scratch with
+    | Some i -> (i, false)
+    | None ->
+      if t.count > 0 then Guard.spend_state guard;
+      let i = t.count in
+      t.count <- i + 1;
+      Hashtbl.replace t.index (Bytes.copy t.scratch) i;
+      t.rev_states <- s :: t.rev_states;
+      (i, true)
+
+  let count t = t.count
+  let states t = Array.of_list (List.rev t.rev_states)
+end
+
+(* --- input-vector masks ---------------------------------------------------- *)
+
+(* Input vectors are enumerated as integer masks (bit [i] = input [i]),
+   never materialised as a [2^n] list of arrays: one scratch array per
+   enumerator is refilled in place, and only vectors that actually
+   label an edge are copied out. *)
+
+let fill_from_mask v mask =
+  Array.iteri (fun i _ -> v.(i) <- mask land (1 lsl i) <> 0) v
+
+let mask_of_vector v =
+  let m = ref 0 in
+  Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) v;
+  !m
+
+(* --- per-pair classification ----------------------------------------------- *)
+
+(* The verdict of one (stable state, vector) pair, with the stable
+   states it harvested on the way.  [Settles] is the valid-edge case;
+   [Harvest] covers invalid pairs whose reachable stable states still
+   enter the graph as TCSG nodes; [Nothing] is a capped pair. *)
+type verdict =
+  | Settles of bool array
+  | Harvest of bool array list
+  | Nothing
+
+let classify_pair ~exploration ~max_frontier ~guard c ~k s v =
+  match exploration with
+  | `Pure -> (
+    let s1 = Circuit.apply_input_vector c s v in
+    let finals = Async_sim.states_after ~guard c ~k s1 in
+    let stables = List.filter (Circuit.is_stable c) finals in
+    match (finals, stables) with
+    | [ _ ], [ target ] -> Settles target
+    | _ -> Harvest stables)
+  | `Hybrid -> (
+    match Async_sim.classify_vector ~max_frontier ~guard c ~k s v with
+    | Async_sim.C_settles final -> Settles final
+    | Async_sim.C_invalid stables -> Harvest stables
+    | Async_sim.C_capped -> Nothing)
+
+let check_reset c =
   let reset =
     match Circuit.initial c with
     | Some s -> s
@@ -16,60 +110,25 @@ let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
   in
   if not (Circuit.is_stable c reset) then
     invalid_arg "Explicit.build: reset state not stable";
-  let vectors = all_vectors (Circuit.n_inputs c) in
-  let index = Hashtbl.create 64 in
-  let rev_states = ref [] in
-  let count = ref 0 in
-  let intern s =
-    let key = Circuit.state_to_string c s in
-    match Hashtbl.find_opt index key with
-    | Some i -> (i, false)
-    | None ->
-      (* Spend before registering, so a truncated graph never holds
-         more than [max_states] states and every recorded edge points
-         at a registered state.  The reset state is exempt: even a
-         zero-budget build yields a valid one-state graph. *)
-      if !count > 0 then Guard.spend_state guard;
-      let i = !count in
-      incr count;
-      Hashtbl.replace index key i;
-      rev_states := s :: !rev_states;
-      (i, true)
-  in
+  reset
+
+(* --- sequential construction ----------------------------------------------- *)
+
+let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
+    ?(guard = Guard.none) c =
+  let k = match k with Some k -> k | None -> Structure.default_k c in
+  let reset = check_reset c in
+  let n_in = Circuit.n_inputs c in
+  let n_vec = 1 lsl n_in in
+  let it = Intern.create ~n_nodes:(Circuit.n_nodes c) in
   let edges = Hashtbl.create 64 in
   let queue = Queue.create () in
   let enqueue s =
-    let i, fresh = intern s in
+    let i, fresh = Intern.intern it ~guard s in
     if fresh then Queue.add (i, s) queue;
     i
   in
-  (* Exhaustive classification of one (stable state, vector) pair:
-     [Some target] = valid edge, [None] = invalid (or capped),
-     harvesting reachable stable states as TCSG nodes on the way.  The
-     pure oracle runs the full k-step frontier (the literal TCR_k
-     definition); the hybrid fallback uses the early-exit classifier. *)
-  let classify_pure s v =
-    let s1 = Circuit.apply_input_vector c s v in
-    let finals = Async_sim.states_after ~guard c ~k s1 in
-    let stables = List.filter (Circuit.is_stable c) finals in
-    let ids = List.map enqueue stables in
-    match (finals, ids) with
-    | [ _ ], [ target ] -> Some target
-    | _ -> None
-  in
-  let classify_fallback s v =
-    match Async_sim.classify_vector ~max_frontier ~guard c ~k s v with
-    | Async_sim.C_settles final -> Some (enqueue final)
-    | Async_sim.C_invalid stables ->
-      List.iter (fun s' -> ignore (enqueue s')) stables;
-      None
-    | Async_sim.C_capped -> None
-  in
-  let classify s v =
-    match exploration with
-    | `Pure -> classify_pure s v
-    | `Hybrid -> classify_fallback s v
-  in
+  let scratch = Array.make n_in false in
   let truncated = ref None in
   (* Fail-soft exploration: a tripped guard ends the BFS where it
      stands.  States already interned keep their (possibly empty) edge
@@ -80,19 +139,191 @@ let build ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
      while not (Queue.is_empty queue) do
        Guard.check_time guard;
        let i, s = Queue.take queue in
-       let current_inputs = Circuit.input_vector_of_state c s in
+       let current = mask_of_vector (Circuit.input_vector_of_state c s) in
        let out = ref [] in
-       List.iter
-         (fun v ->
-           if v <> current_inputs then
-             match classify s v with
-             | Some target -> out := { Cssg.vector = v; target } :: !out
-             | None -> ())
-         vectors;
+       for mask = 0 to n_vec - 1 do
+         if mask <> current then begin
+           fill_from_mask scratch mask;
+           match classify_pair ~exploration ~max_frontier ~guard c ~k s scratch with
+           | Settles target ->
+             out :=
+               { Cssg.vector = Array.copy scratch; target = enqueue target }
+               :: !out
+           | Harvest stables -> List.iter (fun s' -> ignore (enqueue s')) stables
+           | Nothing -> ()
+         end
+       done;
        Hashtbl.replace edges i (List.rev !out)
      done
    with Guard.Exhausted r -> truncated := Some r);
-  let states = Array.of_list (List.rev !rev_states) in
+  let states = Intern.states it in
+  let succ =
+    Array.init (Array.length states) (fun i ->
+        Option.value ~default:[] (Hashtbl.find_opt edges i))
+  in
+  Cssg.make ?truncated:!truncated ~circuit:c ~k ~states ~succ ~initial:[ 0 ] ()
+
+(* --- parallel construction ------------------------------------------------- *)
+
+(* One worker-side result for one (state, vector) pair: the verdict
+   plus the transitions the classification spent, so the merge can
+   re-spend them against the shared guard in deterministic order.
+   Runs of [Nothing] verdicts fold their cost into the next
+   interesting pair ([carried]) instead of allocating an item each. *)
+type item = {
+  carried : int;  (* transitions, this pair plus preceding boring ones *)
+  vec_mask : int;
+  verdict : verdict;
+}
+
+type state_task = {
+  items : item list;  (* mask-ascending *)
+  residual : int;  (* transitions after the last interesting pair *)
+  worker_trip : Guard.reason option;  (* the task stopped early *)
+}
+
+(* How many frontier states fan out between merge barriers.  A fixed
+   constant (never derived from [jobs]) keeps the barrier schedule —
+   and therefore budget accounting and truncation points — identical
+   for every [-j], which is what the j-determinism contract rests on.
+   It also bounds speculative waste after a budget trip to one batch. *)
+let batch_states = 32
+
+let build_par ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
+    ?(guard = Guard.none) ~pool c =
+  let k = match k with Some k -> k | None -> Structure.default_k c in
+  let reset = check_reset c in
+  let n_in = Circuit.n_inputs c in
+  let n_vec = 1 lsl n_in in
+  let it = Intern.create ~n_nodes:(Circuit.n_nodes c) in
+  let edges = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let enqueue s =
+    let i, fresh = Intern.intern it ~guard s in
+    if fresh then Queue.add (i, s) queue;
+    i
+  in
+  (* Classify one frontier state against every vector.  Pure function
+     of [(c, s, k)] plus its private sub-guard: no interning, no shared
+     writes — safe on any worker.  The sub-guard carries the shared
+     deadline, the family cancel token and this batch's transition
+     allowance, so a budget blowup stops the worker without poisoning
+     the shared counters.
+
+     The state budget needs its own worker-side cutoff: workers cannot
+     intern (that is the merge's job), but the sequential build trips
+     its state ceiling *during* classification, so without a bound a
+     worker would classify the whole vector space — minutes of
+     speculation a [--max-states] run would have cut after a few
+     hundred pairs.  Once a task has harvested more target states than
+     the batch's remaining state allowance could possibly intern, it
+     stops with a [State_limit] trip.  The cutoff is a pure function of
+     the state and the batch-start allowance, so it is identical for
+     every pool width. *)
+  let classify_state t_allowance s_allowance s =
+    let local = Guard.sub ?max_transitions:t_allowance guard in
+    let scratch = Array.make n_in false in
+    let current = mask_of_vector (Circuit.input_vector_of_state c s) in
+    let items = ref [] in
+    let carried = ref 0 in
+    let spent = ref 0 in
+    let targets = ref 0 in
+    let trip = ref None in
+    (try
+       for mask = 0 to n_vec - 1 do
+         if mask <> current then begin
+           (match s_allowance with
+           | Some a when !targets > a -> raise (Guard.Exhausted Guard.State_limit)
+           | _ -> ());
+           fill_from_mask scratch mask;
+           let verdict =
+             classify_pair ~exploration ~max_frontier ~guard:local c ~k s
+               scratch
+           in
+           let now = Guard.transitions_used local in
+           let cost = now - !spent in
+           spent := now;
+           carried := !carried + cost;
+           match verdict with
+           | Nothing -> ()
+           | Settles _ ->
+             targets := !targets + 1;
+             items := { carried = !carried; vec_mask = mask; verdict } :: !items;
+             carried := 0
+           | Harvest stables ->
+             targets := !targets + List.length stables;
+             items := { carried = !carried; vec_mask = mask; verdict } :: !items;
+             carried := 0
+         end
+       done
+     with Guard.Exhausted r ->
+       trip := Some r;
+       (* the in-flight pair's spending, so the merge re-spends the
+          worker's full bill *)
+       carried := !carried + (Guard.transitions_used local - !spent));
+    { items = List.rev !items; residual = !carried; worker_trip = !trip }
+  in
+  let truncated = ref None in
+  (try
+     let (_ : int) = enqueue reset in
+     while not (Queue.is_empty queue) do
+       Guard.check_time guard;
+       (* Take a fixed-size batch off the BFS frontier and classify it
+          on the pool.  Workers read a frozen snapshot of each state;
+          nothing they compute depends on the intern table, so batch
+          classification commutes with the sequential build's
+          state-by-state discovery. *)
+       let batch = ref [] in
+       while (not (Queue.is_empty queue)) && List.length !batch < batch_states do
+         batch := Queue.take queue :: !batch
+       done;
+       let batch = Array.of_list (List.rev !batch) in
+       let t_allowance = Guard.remaining_transitions guard in
+       let s_allowance = Guard.remaining_states guard in
+       let tasks =
+         Pool.map pool
+           (fun _wid (_, s) -> classify_state t_allowance s_allowance s)
+           batch
+       in
+       (* Deterministic merge: walk states in frontier order and pairs
+          in vector order, re-spending each recorded cost against the
+          shared guard before interning the pair's harvest.  Budget
+          trips therefore land at a batch-size-independent point; a
+          mid-state trip drops that state's in-flight edges exactly
+          like the sequential build. *)
+       Array.iteri
+         (fun bi (i, _) ->
+           let task = tasks.(bi) in
+           let out = ref [] in
+           List.iter
+             (fun { carried; vec_mask; verdict } ->
+               Guard.spend_transitions guard carried;
+               match verdict with
+               | Settles target ->
+                 let vec = Array.make n_in false in
+                 fill_from_mask vec vec_mask;
+                 out := { Cssg.vector = vec; target = enqueue target } :: !out
+               | Harvest stables ->
+                 List.iter (fun s' -> ignore (enqueue s')) stables
+               | Nothing -> ())
+             task.items;
+           Guard.spend_transitions guard task.residual;
+           (match task.worker_trip with
+           | Some r ->
+             (* The worker stopped before exhausting the vector space
+                (its allowance ran dry, or the deadline passed) and the
+                merge's own re-spend did not trip first: truncate here
+                with the worker's reason.  Raised directly — not
+                through the shared guard — so a budget trip inside the
+                build does not poison later phases that share this
+                guard family. *)
+             raise (Guard.Exhausted r)
+           | None -> ());
+           Hashtbl.replace edges i (List.rev !out))
+         batch
+     done
+   with Guard.Exhausted r -> truncated := Some r);
+  let states = Intern.states it in
   let succ =
     Array.init (Array.length states) (fun i ->
         Option.value ~default:[] (Hashtbl.find_opt edges i))

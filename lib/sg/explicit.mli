@@ -24,6 +24,7 @@
 
 open Satg_guard
 open Satg_circuit
+open Satg_pool
 
 val build :
   ?k:int ->
@@ -43,3 +44,44 @@ val build :
     does {e not} raise out of [build]: the graph explored so far is
     returned, tagged with {!Cssg.truncated}.
     @raise Invalid_argument if the circuit has no stable reset state. *)
+
+val build_par :
+  ?k:int ->
+  ?exploration:[ `Hybrid | `Pure ] ->
+  ?max_frontier:int ->
+  ?guard:Guard.t ->
+  pool:Pool.t ->
+  Circuit.t ->
+  Cssg.t
+(** [build] fanned out over a {!Satg_pool.Pool}: fixed-size batches of
+    the BFS frontier are classified concurrently (each worker under a
+    private [Guard.sub] carrying the shared deadline and the batch's
+    transition allowance), then merged on the caller in frontier order
+    — interning, edge recording and budget re-spending all happen
+    sequentially in the merge, so state numbering is identical to
+    {!build} and the resulting graph is bit-identical for {e every}
+    pool width, including a 1-worker pool.
+
+    On an untruncated run the graph equals {!build}'s exactly.  Under
+    a tripped budget the truncation point is deterministic across pool
+    widths (batch boundaries never depend on [jobs]) but may differ
+    from the sequential builder's, which trips mid-classification
+    rather than at merge granularity. *)
+
+(** Packed-key state interning — the [build] hot path, exposed for the
+    intern micro-benchmark and white-box tests. *)
+module Intern : sig
+  type t
+
+  val create : n_nodes:int -> t
+
+  val intern : t -> guard:Guard.t -> bool array -> int * bool
+  (** The id, and whether the state is new.  Spends one guard state
+      per fresh intern after the first.
+      @raise Satg_guard.Guard.Exhausted when the state budget trips. *)
+
+  val count : t -> int
+
+  val states : t -> bool array array
+  (** In intern order. *)
+end

@@ -1,0 +1,261 @@
+(* The -j determinism contract, measured: parallel CSSG construction
+   and parallel fault search must produce bit-identical artefacts for
+   every pool width, equal to the sequential pipeline for the explicit
+   engine, and must degrade fail-soft (never raise) when a resource
+   guard trips inside a worker. *)
+
+open Satg_guard
+open Satg_circuit
+open Satg_fault
+open Satg_sg
+open Satg_core
+open Satg_bench
+open Satg_pool
+
+(* The pathological example netlists, embedded so the tests do not
+   depend on the source tree's layout at test-run time. *)
+let ring_storm_text =
+  {|circuit ring_storm
+input EN X0 X1 X2 X3 X4 X5 X6 X7 X8 X9
+gate a NAND EN c
+gate b NOT a
+gate c NOT b
+gate Y0 BUF X0
+gate Y1 BUF X1
+gate Y2 BUF X2
+gate Y3 BUF X3
+gate Y4 BUF X4
+gate Y5 BUF X5
+gate Y6 BUF X6
+gate Y7 BUF X7
+gate Y8 BUF X8
+gate Y9 BUF X9
+output c Y0 Y1 Y2 Y3 Y4 Y5 Y6 Y7 Y8 Y9
+initial EN=0 X0=0 X1=0 X2=0 X3=0 X4=0 X5=0 X6=0 X7=0 X8=0 X9=0 a=1 b=0 c=1 Y0=0 Y1=0 Y2=0 Y3=0 Y4=0 Y5=0 Y6=0 Y7=0 Y8=0 Y9=0
+end
+|}
+
+let toggle_farm_text =
+  {|circuit toggle_farm
+input X0 X1 X2 X3 X4 X5 X6 X7 X8 X9 X10 X11 X12 X13
+gate Y0 BUF X0
+gate Y1 BUF X1
+gate Y2 BUF X2
+gate Y3 BUF X3
+gate Y4 BUF X4
+gate Y5 BUF X5
+gate Y6 BUF X6
+gate Y7 BUF X7
+gate Y8 BUF X8
+gate Y9 BUF X9
+gate Y10 BUF X10
+gate Y11 BUF X11
+gate Y12 BUF X12
+gate Y13 BUF X13
+output Y0 Y1 Y2 Y3 Y4 Y5 Y6 Y7 Y8 Y9 Y10 Y11 Y12 Y13
+initial X0=0 X1=0 X2=0 X3=0 X4=0 X5=0 X6=0 X7=0 X8=0 X9=0 X10=0 X11=0 X12=0 X13=0 Y0=0 Y1=0 Y2=0 Y3=0 Y4=0 Y5=0 Y6=0 Y7=0 Y8=0 Y9=0 Y10=0 Y11=0 Y12=0 Y13=0
+end
+|}
+
+let parse text =
+  match Parser.parse_string text with
+  | Ok c -> c
+  | Error m -> failwith m
+
+(* Caps small enough to keep the pathological pair fast but large
+   enough that the truncated graphs are non-trivial. *)
+let cap_states = 60
+let cap_transitions = 20_000
+
+let capped_guard () =
+  Guard.create ~max_states:cap_states ~max_transitions:cap_transitions ()
+
+let cssg_dump g = Format.asprintf "%a" Cssg.pp g
+
+(* --- parallel CSSG construction -------------------------------------------- *)
+
+let test_build_par_equals_build () =
+  List.iter
+    (fun c ->
+      let seq = cssg_dump (Explicit.build c) in
+      List.iter
+        (fun jobs ->
+          let par =
+            Pool.with_pool ~jobs (fun pool ->
+                cssg_dump (Explicit.build_par ~pool c))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s -j%d" (Circuit.name c) jobs)
+            seq par)
+        [ 1; 4 ])
+    [ Figures.celem_handshake (); Figures.mutex_latch (); Figures.fig1a () ]
+
+let test_build_par_truncated_deterministic () =
+  List.iter
+    (fun text ->
+      let c = parse text in
+      let dump jobs =
+        Pool.with_pool ~jobs (fun pool ->
+            let g = Explicit.build_par ~guard:(capped_guard ()) ~pool c in
+            Alcotest.(check bool)
+              (Circuit.name c ^ " truncated")
+              true
+              (Cssg.truncated g <> None);
+            cssg_dump g)
+      in
+      Alcotest.(check string)
+        (Circuit.name c ^ " -j1 = -j4")
+        (dump 1) (dump 4))
+    [ ring_storm_text; toggle_farm_text ]
+
+let test_build_par_state_cap_only () =
+  (* A state cap with no transition budget: the worker-side target-count
+     cutoff must keep classification bounded (without it, each worker
+     classifies the full 2^inputs vector space of a frontier state before
+     the merge can trip the cap), and the truncated graph must still be
+     identical to the sequential build at every width. *)
+  let c = parse toggle_farm_text in
+  let build guard = Explicit.build ~guard c in
+  let build_par jobs guard =
+    Pool.with_pool ~jobs (fun pool -> Explicit.build_par ~guard ~pool c)
+  in
+  let seq = build (Guard.create ~max_states:cap_states ()) in
+  Alcotest.(check bool) "sequential truncated" true (Cssg.truncated seq <> None);
+  List.iter
+    (fun jobs ->
+      let par = build_par jobs (Guard.create ~max_states:cap_states ()) in
+      Alcotest.(check string)
+        (Printf.sprintf "state-cap-only -j%d = sequential" jobs)
+        (cssg_dump seq) (cssg_dump par))
+    [ 1; 4 ]
+
+(* --- parallel fault search -------------------------------------------------- *)
+
+let status_string c o =
+  Fault.to_string c o.Testset.fault
+  ^ ": "
+  ^
+  match o.Testset.status with
+  | Testset.Detected { phase; sequence } ->
+    Printf.sprintf "detected(%s, %s)"
+      (match phase with
+      | Testset.Random -> "random"
+      | Testset.Three_phase -> "3ph"
+      | Testset.Fault_simulation -> "sim")
+      (Testset.sequence_to_string sequence)
+  | Testset.Undetected -> "undetected"
+  | Testset.Aborted r -> "aborted(" ^ Guard.reason_to_string r ^ ")"
+
+let run_atpg ?jobs ?(engine = Engine.Explicit) ?caps c =
+  let max_states, max_transitions =
+    match caps with
+    | Some (s, t) -> (Some s, Some t)
+    | None -> (None, None)
+  in
+  let config =
+    { Engine.default_config with engine; jobs; max_states; max_transitions }
+  in
+  Engine.run ~config c ~faults:(Fault.universe_input_sa c)
+
+let check_outcomes_equal name c a b =
+  List.iter2
+    (fun oa ob ->
+      Alcotest.(check string) name (status_string c oa) (status_string c ob))
+    a.Engine.outcomes b.Engine.outcomes
+
+let test_engine_jobs_deterministic () =
+  let tractable =
+    [ (Figures.celem_handshake (), None); (Figures.mutex_latch (), None) ]
+  in
+  let pathological =
+    [
+      (parse ring_storm_text, Some (cap_states, cap_transitions));
+      (parse toggle_farm_text, Some (cap_states, cap_transitions));
+    ]
+  in
+  List.iter
+    (fun (c, caps) ->
+      let seq = run_atpg ?caps c in
+      let j1 = run_atpg ~jobs:1 ?caps c in
+      let j4 = run_atpg ~jobs:4 ?caps c in
+      check_outcomes_equal (Circuit.name c ^ " seq = -j1") c seq j1;
+      check_outcomes_equal (Circuit.name c ^ " -j1 = -j4") c j1 j4)
+    (tractable @ pathological)
+
+let test_engine_sat_partition_deterministic () =
+  (* the SAT engine's witness sequences may depend on each worker's
+     private solver history, so the j-invariant is the
+     detected/undetected partition, not the sequences *)
+  let c = Figures.celem_handshake () in
+  let partition r =
+    List.map
+      (fun o -> Testset.is_detected o.Testset.status)
+      r.Engine.outcomes
+  in
+  let j1 = run_atpg ~jobs:1 ~engine:Engine.Sat c in
+  let j4 = run_atpg ~jobs:4 ~engine:Engine.Sat c in
+  Alcotest.(check (list bool)) "sat partition -j1 = -j4" (partition j1)
+    (partition j4);
+  Alcotest.(check (list bool))
+    "sat partition = explicit partition" (partition (run_atpg c))
+    (partition j1)
+
+(* --- fail-soft degradation inside workers ----------------------------------- *)
+
+let test_worker_trip_fail_soft () =
+  (* a transition budget small enough to trip inside the parallel CSSG
+     build and the per-fault searches: the run must complete, flag
+     itself partial, and never leak Guard.Exhausted *)
+  let c = parse toggle_farm_text in
+  let r = run_atpg ~jobs:4 ~caps:(40, 500) c in
+  Alcotest.(check bool) "partial" true (Engine.partial r);
+  Alcotest.(check bool) "truncated CSSG" true (Engine.truncated r <> None);
+  Alcotest.(check int) "every fault has an outcome"
+    (List.length (Fault.universe_input_sa c))
+    (List.length r.Engine.outcomes);
+  (* and the degraded run is still deterministic *)
+  let r' = run_atpg ~jobs:1 ~caps:(40, 500) c in
+  check_outcomes_equal "degraded -j4 = -j1" c r r'
+
+let test_worker_timeout_fail_soft () =
+  (* an already-expired deadline: everything aborts, nothing raises *)
+  let c = parse ring_storm_text in
+  let config =
+    {
+      Engine.default_config with
+      jobs = Some 4;
+      timeout = Some (-1.0);
+      max_states = Some cap_states;
+      max_transitions = Some cap_transitions;
+    }
+  in
+  let r = Engine.run ~config c ~faults:(Fault.universe_input_sa c) in
+  Alcotest.(check bool) "partial" true (Engine.partial r);
+  Alcotest.(check bool) "nothing detected" true (Engine.detected r = 0)
+
+let suites =
+  [
+    ( "domains.cssg",
+      [
+        Alcotest.test_case "build_par = build (tractable)" `Quick
+          test_build_par_equals_build;
+        Alcotest.test_case "capped build_par j-deterministic" `Quick
+          test_build_par_truncated_deterministic;
+        Alcotest.test_case "state-cap-only build_par = build" `Quick
+          test_build_par_state_cap_only;
+      ] );
+    ( "domains.engine",
+      [
+        Alcotest.test_case "outcomes j-deterministic" `Slow
+          test_engine_jobs_deterministic;
+        Alcotest.test_case "sat partition j-deterministic" `Quick
+          test_engine_sat_partition_deterministic;
+      ] );
+    ( "domains.fail-soft",
+      [
+        Alcotest.test_case "worker budget trip" `Quick
+          test_worker_trip_fail_soft;
+        Alcotest.test_case "expired deadline" `Quick
+          test_worker_timeout_fail_soft;
+      ] );
+  ]

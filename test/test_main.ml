@@ -17,4 +17,6 @@ let () =
          Test_timed.suites;
          Test_robustness.suites;
          Test_sat.suites;
+         Test_pool.suites;
+         Test_domains.suites;
        ])
