@@ -24,6 +24,8 @@ open Satg_sg
 open Satg_stg
 open Satg_core
 open Satg_bench
+open Satg_inject
+open Satg_store
 
 let exit_partial = 2
 
@@ -37,6 +39,25 @@ let or_die = function
   | Error m ->
     prerr_endline ("error: " ^ m);
     exit 1
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* SIGINT/SIGTERM drain the run instead of killing it: the handler
+   cancels the run guard with [Interrupt], every in-flight search trips
+   at its next probe, the wave merge commits (and journals) what is
+   already done, and the normal epilogue prints the partial summary and
+   exits 2.  Journaled [Interrupt] aborts are re-searched on resume. *)
+let drain_on_signal guard =
+  let handle =
+    Sys.Signal_handle (fun _ -> Guard.cancel guard Guard.Interrupt)
+  in
+  try
+    Sys.set_signal Sys.sigint handle;
+    Sys.set_signal Sys.sigterm handle
+  with Invalid_argument _ | Sys_error _ -> ()
 
 (* --- synth ---------------------------------------------------------------- *)
 
@@ -228,8 +249,74 @@ let atpg_cmd =
             "Target the raw fault universe instead of one representative \
              per structural-equivalence class.")
   in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info "SATG_CACHE_DIR")
+          ~doc:
+            "Durable session store.  Outcomes are journaled to \
+             $(docv)/sessions as they land (crash-safe, fsync per \
+             append) and a settled run is published to $(docv)/objects \
+             keyed by (netlist, configuration); an identical later \
+             invocation is served from the store with zero fault \
+             searches.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the journal of an interrupted run from \
+             $(b,--cache-dir) and search only the fault classes it did \
+             not settle.  Output is bit-identical to the uninterrupted \
+             run (timing aside).  Requires $(b,--cache-dir).")
+  in
+  let print_result c verbose stats r =
+    if verbose then
+      List.iter
+        (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
+        r.Engine.outcomes;
+    Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
+    Format.printf "%a@." Engine.pp_summary r;
+    (if stats then
+       match (r.Engine.bdd_stats, r.Engine.sat_stats) with
+       | Some s, _ -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
+       | None, Some s -> Format.printf "%a@." Satg_sat.Sat.pp_stats s
+       | None, None ->
+         Format.printf
+           "engine stats: n/a (pass --engine bdd or --engine sat)@.");
+    if Engine.partial r then exit exit_partial
+  in
+  (* A cache hit re-renders the stored run: same outcome lines, same
+     CSSG stats line, same summary (the recorded cpu time — goldens
+     strip timing anyway).  Stdout is therefore diffable against the
+     run that produced the object; the hit marker goes to stderr. *)
+  let print_cached c verbose stats (p : Codec.result_payload) =
+    let outcomes =
+      List.map
+        (fun (fault, status) -> { Testset.fault; status })
+        p.Codec.outcomes
+    in
+    if verbose then
+      List.iter
+        (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
+        outcomes;
+    print_string (p.Codec.stats_line ^ "\n");
+    Format.printf "%t@."
+      (Engine.pp_summary_of ~circuit:c ~outcomes
+         ~faults_searched:p.Codec.faults_searched ~truncated:p.Codec.truncated
+         ~cpu_seconds:p.Codec.cpu_seconds);
+    if stats then Format.printf "engine stats: n/a (cached result)@.";
+    let partial =
+      p.Codec.truncated <> None
+      || List.exists (fun o -> Testset.is_aborted o.Testset.status) outcomes
+    in
+    if partial then exit exit_partial
+  in
   let run file universe no_random seed verbose engine symbolic no_collapse
-      stats k jobs timeout max_states max_transitions =
+      stats k jobs timeout max_states max_transitions cache_dir resume =
     let c = or_die (read_circuit file) in
     let faults =
       match universe with
@@ -251,28 +338,91 @@ let atpg_cmd =
         random = { Random_tpg.default_config with seed };
       }
     in
-    let r = Engine.run ~config c ~faults in
-    if verbose then
-      List.iter
-        (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
-        r.Engine.outcomes;
-    Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
-    Format.printf "%a@." Engine.pp_summary r;
-    (if stats then
-       match (r.Engine.bdd_stats, r.Engine.sat_stats) with
-       | Some s, _ -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
-       | None, Some s -> Format.printf "%a@." Satg_sat.Sat.pp_stats s
-       | None, None ->
-         Format.printf
-           "engine stats: n/a (pass --engine bdd or --engine sat)@.");
-    if Engine.partial r then exit exit_partial
+    let guard = Guard.create ?timeout ?max_states ?max_transitions () in
+    drain_on_signal guard;
+    let engine_run ?settled ?on_outcome ~cleanup () =
+      try Engine.run ~config ~guard ?settled ?on_outcome c ~faults with
+      | Inject.Injected m ->
+        cleanup ();
+        or_die (Error ("injected fault: " ^ m))
+      | Unix.Unix_error (err, op, arg) ->
+        cleanup ();
+        or_die
+          (Error
+             (Printf.sprintf "%s %s: %s" op arg (Unix.error_message err)))
+      | e ->
+        cleanup ();
+        raise e
+    in
+    match cache_dir with
+    | None ->
+      if resume then
+        or_die (Error "--resume needs --cache-dir (or SATG_CACHE_DIR)");
+      print_result c verbose stats (engine_run ~cleanup:(fun () -> ()) ())
+    | Some dir -> (
+      let universe_name =
+        match universe with
+        | `Input -> "input"
+        | `Output -> "output"
+        | `Both -> "both"
+      in
+      let key =
+        Session.key_of ~netlist:(read_file file) ~universe:universe_name
+          ~config
+      in
+      match Session.cached ~dir ~key with
+      | Some p ->
+        Printf.eprintf
+          "[store] hit %s: settled result served, 0 fault searches\n%!" key;
+        print_cached c verbose stats p
+      | None ->
+        let t =
+          match Session.start ~resume ~dir ~key () with
+          | r -> or_die r
+          | exception Inject.Injected m ->
+            or_die (Error ("injected fault: " ^ m))
+        in
+        if resume then
+          Printf.eprintf
+            "[store] resume %s: %d fault classes settled from journal\n%!"
+            key (Session.settled_count t);
+        let cleanup () =
+          (* the journal appends are already durable; a failure while
+             sealing must not mask the error being reported *)
+          try Session.finish t ~keep:true
+          with e ->
+            Printf.eprintf "[store] cleanup failed: %s\n%!"
+              (Printexc.to_string e)
+        in
+        let r =
+          engine_run ~settled:(Session.settled t)
+            ~on_outcome:(Session.record t) ~cleanup ()
+        in
+        let complete = Session.cacheable r in
+        (* never publish while the injection harness is armed: the
+           outcomes may carry injected budget trips that a clean rerun
+           would not reproduce *)
+        (if complete && not (Inject.enabled ()) then
+           try Session.publish ~dir ~key (Session.payload_of_result r)
+           with e ->
+             Printf.eprintf "[store] publish failed: %s\n%!"
+               (Printexc.to_string e));
+        (match Session.finish t ~keep:(not complete) with
+        | () -> ()
+        | exception Inject.Injected m ->
+          or_die (Error ("injected fault: " ^ m))
+        | exception Unix.Unix_error (err, op, arg) ->
+          or_die
+            (Error
+               (Printf.sprintf "%s %s: %s" op arg (Unix.error_message err))));
+        print_result c verbose stats r)
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate synchronous test patterns for a netlist.")
     Term.(
       const run $ file $ universe $ no_random $ seed $ verbose $ engine
       $ symbolic $ no_collapse $ stats_arg $ k_arg $ jobs_arg $ timeout_arg
-      $ max_states_arg $ max_transitions_arg)
+      $ max_states_arg $ max_transitions_arg $ cache_dir $ resume)
 
 (* --- bench ---------------------------------------------------------------- *)
 
@@ -304,6 +454,19 @@ let bench_cmd =
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
   let run file =
+    (* Lint first: every diagnostic with its line number, then one
+       clean nonzero exit — not just the parser's first complaint. *)
+    (match Parser.lint_file file with
+    | [] -> ()
+    | exception Sys_error m -> or_die (Error m)
+    | diags ->
+      List.iter
+        (fun d ->
+          if d.Parser.line = 0 then Printf.eprintf "%s: %s\n" file d.Parser.msg
+          else Printf.eprintf "%s:%d: %s\n" file d.Parser.line d.Parser.msg)
+        diags;
+      Printf.eprintf "%s: %d problem(s)\n" file (List.length diags);
+      exit 1);
     let c = or_die (read_circuit file) in
     (match Circuit.validate c with
     | Ok () -> ()
@@ -466,6 +629,11 @@ let dot_cmd =
     Term.(const run $ file $ what $ k_arg)
 
 let () =
+  (match Inject.configure_from_env () with
+  | Ok () -> ()
+  | Error m ->
+    prerr_endline ("error: SATG_FAULT_INJECT: " ^ m);
+    exit 1);
   let doc = "Synchronous test pattern generation for asynchronous circuits" in
   let info = Cmd.info "satg" ~version:"1.0.0" ~doc in
   exit

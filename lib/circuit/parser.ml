@@ -156,6 +156,153 @@ let build lines =
     with Invalid_argument m -> fail "%s" m
   end
 
+(* ------------------------------------------------------------------ *)
+(* Lint: collect every semantic problem, with line numbers             *)
+(* ------------------------------------------------------------------ *)
+
+type diag = {
+  line : int;  (* 1-based; 0 for file-level problems *)
+  msg : string;
+}
+
+(* Unlike [parse_string], which fails on the first problem (its job is
+   to refuse bad input), the lint walks the whole file and reports
+   every diagnostic it can find in one run: duplicate net names,
+   dangling fanin references, arity mismatches, malformed directives,
+   bad initial assignments.  It never raises and never builds. *)
+let lint_string text =
+  let diags = ref [] in
+  let emit line fmt =
+    Printf.ksprintf (fun msg -> diags := { line; msg } :: !diags) fmt
+  in
+  let lines =
+    List.mapi (fun i raw -> (i + 1, tokenize raw))
+      (String.split_on_char '\n' text)
+  in
+  (* Pass 1: declarations.  [decl : name -> (line, what)] doubles as
+     the symbol table for the reference checks of pass 2. *)
+  let decl = Hashtbl.create 32 in
+  let declare line nm what =
+    match Hashtbl.find_opt decl nm with
+    | Some (l0, what0) ->
+      emit line "duplicate net %S: already declared as %s on line %d" nm what0
+        l0
+    | None -> Hashtbl.add decl nm (line, what)
+  in
+  let circuit_line = ref None in
+  List.iter
+    (fun (line, toks) ->
+      match toks with
+      | [] -> ()
+      | "circuit" :: rest -> (
+        (match rest with
+        | [ _ ] -> ()
+        | _ -> emit line "'circuit' expects exactly one name");
+        match !circuit_line with
+        | None -> circuit_line := Some line
+        | Some l0 ->
+          emit line "duplicate 'circuit' directive (first on line %d)" l0)
+      | [ "input" ] -> emit line "'input' expects at least one name"
+      | "input" :: nms -> List.iter (fun nm -> declare line nm "an input") nms
+      | "gate" :: nm :: _ :: _ | "celem" :: nm :: _ :: _ ->
+        declare line nm "a gate"
+      | [ "gate" ] | [ "gate"; _ ] ->
+        emit line "'gate' expects a name, a function and fanins"
+      | [ "celem" ] | [ "celem"; _ ] ->
+        emit line "'celem' expects a name and fanins"
+      | "sop" :: nm :: "(" :: _ -> declare line nm "a gate"
+      | "sop" :: _ ->
+        emit line "'sop' expects a name and a parenthesised fanin list"
+      | "output" :: _ | "initial" :: _ | [ "end" ] -> ()
+      | tok :: _ -> emit line "unrecognised directive %S" tok)
+    lines;
+  if !circuit_line = None then emit 0 "missing 'circuit' directive";
+  (* Pass 2: references and shapes. *)
+  let check_ref line what nm =
+    if not (Hashtbl.mem decl nm) then
+      emit line "%s: unknown signal %S (dangling reference)" what nm
+  in
+  let initial_line = ref None in
+  let assigned = Hashtbl.create 32 in
+  List.iter
+    (fun (line, toks) ->
+      match toks with
+      | "gate" :: nm :: fn :: ins -> (
+        List.iter (check_ref line ("gate " ^ nm)) ins;
+        match Gatefunc.of_name (String.uppercase_ascii fn) with
+        | None -> emit line "gate %S: unknown function %S" nm fn
+        | Some f ->
+          if not (Gatefunc.arity_ok f (List.length ins)) then
+            emit line "gate %S: function %s does not take %d fanin(s)" nm
+              (Gatefunc.name f) (List.length ins))
+      | "celem" :: nm :: ins when ins <> [] ->
+        List.iter (check_ref line ("celem " ^ nm)) ins;
+        if not (Gatefunc.arity_ok Gatefunc.Celem (List.length ins)) then
+          emit line "celem %S: %d fanin(s) not accepted" nm (List.length ins)
+      | "sop" :: nm :: "(" :: rest -> (
+        let rec split_ins acc = function
+          | ")" :: cubes -> Some (List.rev acc, cubes)
+          | x :: rest -> split_ins (x :: acc) rest
+          | [] -> None
+        in
+        match split_ins [] rest with
+        | None -> emit line "sop %S: missing ')'" nm
+        | Some (_, []) -> emit line "sop %S: no cubes" nm
+        | Some (ins, cubes) ->
+          List.iter (check_ref line ("sop " ^ nm)) ins;
+          let n = List.length ins in
+          List.iter
+            (fun c ->
+              if String.length c <> n then
+                emit line "sop %S: cube %S has width %d, expected %d" nm c
+                  (String.length c) n
+              else
+                match Cube.of_string c with
+                | _ -> ()
+                | exception Invalid_argument m -> emit line "sop %S: %s" nm m)
+            cubes)
+      | "output" :: nms -> (
+        match nms with
+        | [] -> emit line "'output' expects at least one name"
+        | nms -> List.iter (check_ref line "output") nms)
+      | "initial" :: toks ->
+        if !initial_line = None then initial_line := Some line;
+        List.iter
+          (fun tok ->
+            match String.split_on_char '=' tok with
+            | [ nm; ("0" | "1") ] -> (
+              check_ref line "initial" nm;
+              match Hashtbl.find_opt assigned nm with
+              | Some l0 ->
+                emit line "initial: %S assigned twice (first on line %d)" nm
+                  l0
+              | None -> Hashtbl.add assigned nm line)
+            | _ -> emit line "initial: bad assignment %S (want name=0|1)" tok)
+          toks
+      | _ -> ())
+    lines;
+  (* A partial initial state is an error: the builder requires every
+     declared net assigned once any 'initial' line appears. *)
+  (match !initial_line with
+  | None -> ()
+  | Some iline ->
+    Hashtbl.iter
+      (fun nm _ ->
+        if not (Hashtbl.mem assigned nm) then
+          emit iline "initial: signal %S not assigned" nm)
+      decl);
+  List.stable_sort
+    (fun a b -> compare (a.line, a.msg) (b.line, b.msg))
+    !diags
+
+let lint_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  in
+  lint_string text
+
 let parse_string text =
   let lines = String.split_on_char '\n' text in
   try

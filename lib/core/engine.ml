@@ -54,7 +54,8 @@ type result = {
   sat_stats : Satg_sat.Sat.stats option;
 }
 
-let run ?(config = default_config) ?cssg circuit ~faults =
+let run ?(config = default_config) ?cssg ?guard ?settled ?on_outcome circuit
+    ~faults =
   let t0 = Sys.time () in
   (* Structural fault collapsing: every phase searches one
      representative per equivalence class; afterwards each given fault
@@ -66,8 +67,11 @@ let run ?(config = default_config) ?cssg circuit ~faults =
     if config.collapse then Fault.collapse circuit faults else faults
   in
   let run_guard =
-    Guard.create ?timeout:config.timeout ?max_states:config.max_states
-      ?max_transitions:config.max_transitions ()
+    match guard with
+    | Some g -> g
+    | None ->
+      Guard.create ?timeout:config.timeout ?max_states:config.max_states
+        ?max_transitions:config.max_transitions ()
   in
   (* Every phase below gets a sub-guard: fresh state/transition counters
      (so one runaway fault cannot starve the others) under the shared
@@ -120,26 +124,52 @@ let run ?(config = default_config) ?cssg circuit ~faults =
       Some (Sat_engine.backend se)
   in
   let status = Hashtbl.create (List.length targets) in
+  (* Durable sessions: [settled] pre-loads journal-replayed outcomes
+     (no [on_outcome] echo — they are already on disk); [record] is the
+     single choke point through which every freshly computed outcome
+     lands, so the journal receives outcomes exactly in commit order —
+     the invariant that makes a journal prefix equal a prefix of the
+     sequential run. *)
+  (match settled with
+  | None -> ()
+  | Some settled ->
+    List.iter
+      (fun f ->
+        match settled f with
+        | Some st -> Hashtbl.replace status f st
+        | None -> ())
+      targets);
+  let record f st =
+    Hashtbl.replace status f st;
+    match on_outcome with Some k -> k f st | None -> ()
+  in
+  let open_targets =
+    List.filter (fun f -> not (Hashtbl.mem status f)) targets
+  in
   (* Phase 1: random TPG.  Each walk fault-simulates the whole
      remaining list in one multi-word bit-parallel pack, dropping
      machines as they are detected.  Runs even over a truncated graph
      (its edges are all genuine); skipped only if the deadline is
-     already gone. *)
+     already gone.  A fault's detection by walk [w] is a property of
+     (graph, walk) alone — lane dropping never changes which walks
+     catch a surviving fault — so running over [open_targets] instead
+     of the full list yields the same per-fault statuses a fresh run
+     would: resume stays bit-identical. *)
   let remaining =
     if config.enable_random then
       match
         Guard.guarded (sub_guard ()) (fun () ->
-            Random_tpg.run ~config:config.random g ~faults:targets)
+            Random_tpg.run ~config:config.random g ~faults:open_targets)
       with
       | Ok (detected, remaining) ->
         List.iter
           (fun (f, seq) ->
-            Hashtbl.replace status f
+            record f
               (Testset.Detected { sequence = seq; phase = Testset.Random }))
           detected;
         remaining
-      | Error _ -> targets
-    else targets
+      | Error _ -> open_targets
+    else open_targets
   in
   (* Phase 2: three-phase ATPG per fault, with fault simulation of each
      found test over the faults still pending (one pack per test, all
@@ -159,7 +189,7 @@ let run ?(config = default_config) ?cssg circuit ~faults =
   in
   let find backend f =
     match attempt config.three_phase backend f with
-    | `Exhausted Guard.Timeout -> `Aborted Guard.Timeout
+    | `Exhausted ((Guard.Timeout | Guard.Interrupt) as r) -> `Aborted r
     | `Exhausted _ -> (
       (* the retry always runs the explicit algorithms: smaller search
          envelope, no chance of a second backend blowup *)
@@ -174,19 +204,19 @@ let run ?(config = default_config) ?cssg circuit ~faults =
   let commit f rest result =
     match result with
     | `Aborted r ->
-      Hashtbl.replace status f (Testset.Aborted r);
+      record f (Testset.Aborted r);
       rest
     | `Not_found ->
-      Hashtbl.replace status f Testset.Undetected;
+      record f Testset.Undetected;
       rest
     | `Found seq ->
-      Hashtbl.replace status f
+      record f
         (Testset.Detected { sequence = seq; phase = Testset.Three_phase });
       if config.enable_fault_sim then begin
         let caught, pending = Detect.sweep g seq rest in
         List.iter
           (fun f' ->
-            Hashtbl.replace status f'
+            record f'
               (Testset.Detected
                  { sequence = seq; phase = Testset.Fault_simulation }))
           caught;
@@ -213,7 +243,8 @@ let run ?(config = default_config) ?cssg circuit ~faults =
   let search wid f =
     let r = find (backend_for wid) f in
     (match r with
-    | `Aborted Guard.Timeout -> Guard.cancel run_guard Guard.Timeout
+    | `Aborted ((Guard.Timeout | Guard.Interrupt) as reason) ->
+      Guard.cancel run_guard reason
     | `Aborted _ | `Not_found | `Found _ -> ());
     r
   in
@@ -292,24 +323,38 @@ let run ?(config = default_config) ?cssg circuit ~faults =
       | Explicit | Bdd -> None);
   }
 
-let total r = List.length r.outcomes
-
-let detected r =
+(* The counting helpers work over raw outcome lists so that the
+   durable-session layer can render the very same summary from a cache
+   object, without an [Engine.result] in hand. *)
+let count_detected outcomes =
   List.length
-    (List.filter (fun o -> Testset.is_detected o.Testset.status) r.outcomes)
+    (List.filter (fun o -> Testset.is_detected o.Testset.status) outcomes)
 
-let aborted r =
+let count_aborted outcomes =
   List.length
-    (List.filter (fun o -> Testset.is_aborted o.Testset.status) r.outcomes)
+    (List.filter (fun o -> Testset.is_aborted o.Testset.status) outcomes)
 
-let detected_by r phase =
+let count_detected_by outcomes phase =
   List.length
     (List.filter
        (fun o ->
          match o.Testset.status with
          | Testset.Detected { phase = p; _ } -> p = phase
          | Testset.Undetected | Testset.Aborted _ -> false)
-       r.outcomes)
+       outcomes)
+
+let aborted_of outcomes =
+  List.filter_map
+    (fun o ->
+      match o.Testset.status with
+      | Testset.Aborted reason -> Some (o.Testset.fault, reason)
+      | Testset.Detected _ | Testset.Undetected -> None)
+    outcomes
+
+let total r = List.length r.outcomes
+let detected r = count_detected r.outcomes
+let aborted r = count_aborted r.outcomes
+let detected_by r phase = count_detected_by r.outcomes phase
 
 let coverage_pct r =
   if total r = 0 then 100.0
@@ -323,35 +368,35 @@ let undetected_faults r =
       | Testset.Detected _ | Testset.Aborted _ -> None)
     r.outcomes
 
-let aborted_faults r =
-  List.filter_map
-    (fun o ->
-      match o.Testset.status with
-      | Testset.Aborted reason -> Some (o.Testset.fault, reason)
-      | Testset.Detected _ | Testset.Undetected -> None)
-    r.outcomes
-
+let aborted_faults r = aborted_of r.outcomes
 let truncated r = Cssg.truncated r.cssg
 let partial r = truncated r <> None || aborted r > 0
 
-let pp_summary fmt r =
+let pp_summary_of ~circuit ~outcomes ~faults_searched ~truncated ~cpu_seconds
+    fmt =
+  let total = List.length outcomes in
+  let detected = count_detected outcomes in
+  let coverage =
+    if total = 0 then 100.0
+    else 100.0 *. float_of_int detected /. float_of_int total
+  in
   Format.fprintf fmt
     "%s: %d/%d faults detected (%.2f%%) [rnd %d, 3-ph %d, sim %d] in %.2fs"
-    (Circuit.name r.circuit) (detected r) (total r) (coverage_pct r)
-    (detected_by r Testset.Random)
-    (detected_by r Testset.Three_phase)
-    (detected_by r Testset.Fault_simulation)
-    r.cpu_seconds;
-  if r.faults_searched <> total r then
+    (Circuit.name circuit) detected total coverage
+    (count_detected_by outcomes Testset.Random)
+    (count_detected_by outcomes Testset.Three_phase)
+    (count_detected_by outcomes Testset.Fault_simulation)
+    cpu_seconds;
+  if faults_searched <> total then
     Format.fprintf fmt
       "@\n  fault universe: %d, searched as %d after structural collapsing"
-      (total r) r.faults_searched;
-  (match truncated r with
+      total faults_searched;
+  (match truncated with
   | Some reason ->
     Format.fprintf fmt "@\n  CSSG truncated (%s): coverage is a lower bound"
       (Guard.reason_to_string reason)
   | None -> ());
-  match aborted_faults r with
+  match aborted_of outcomes with
   | [] -> ()
   | fs ->
     Format.fprintf fmt "@\n  aborted (%d): %s" (List.length fs)
@@ -359,6 +404,11 @@ let pp_summary fmt r =
          (List.map
             (fun (f, reason) ->
               Printf.sprintf "%s [%s]"
-                (Fault.to_string r.circuit f)
+                (Fault.to_string circuit f)
                 (Guard.reason_to_string reason))
             fs))
+
+let pp_summary fmt r =
+  pp_summary_of ~circuit:r.circuit ~outcomes:r.outcomes
+    ~faults_searched:r.faults_searched ~truncated:(truncated r)
+    ~cpu_seconds:r.cpu_seconds fmt

@@ -71,14 +71,43 @@ type result = {
           query, when the [Sat] engine ran *)
 }
 
-val run : ?config:config -> ?cssg:Cssg.t -> Circuit.t -> faults:Fault.t list -> result
+val run :
+  ?config:config ->
+  ?cssg:Cssg.t ->
+  ?guard:Guard.t ->
+  ?settled:(Fault.t -> Testset.status option) ->
+  ?on_outcome:(Fault.t -> Testset.status -> unit) ->
+  Circuit.t ->
+  faults:Fault.t list ->
+  result
 (** [cssg] lets callers reuse a prebuilt graph (e.g. across the two
     fault universes of one benchmark).
 
     Resource limits come from the config: the wall-clock deadline is
     global to the run, while state/transition counters are reset per
     phase and per fault ({!Guard.sub}), so one pathological fault
-    cannot starve the others. *)
+    cannot starve the others.
+
+    The remaining hooks exist for durable sessions ({!Satg_store}):
+
+    - [guard] substitutes the caller's run guard for the one the config
+      would create (the config's limits still shape the per-fault
+      sub-guards).  A CLI signal handler can then
+      {!Guard.cancel} it with {!Guard.Interrupt} to drain the run.
+    - [settled f] pre-loads a journal-replayed outcome for target [f]
+      (a collapse representative): the fault skips every phase and
+      [on_outcome] is {e not} echoed for it — it is already on disk.
+    - [on_outcome] observes each freshly computed outcome the moment it
+      is committed, in commit order (the wave merge replays sequential
+      order, so this order is identical for every [jobs] value and a
+      journal written from it is an exact prefix of the sequential
+      commit sequence).  It runs on the coordinating domain only.
+
+    Determinism contract for resume: a fault's random-phase detection
+    depends only on (graph, walk) — per-walk seeding makes it
+    independent of which other faults share the simulation pack — so
+    running the phases over the not-yet-settled targets reproduces the
+    statuses an uninterrupted run would have assigned. *)
 
 val total : result -> int
 val detected : result -> int
@@ -105,3 +134,14 @@ val partial : result -> bool
 val pp_summary : Format.formatter -> result -> unit
 (** One-line coverage summary; appends a truncation note and the list
     of aborted faults (with reasons) when the run was partial. *)
+
+val pp_summary_of :
+  circuit:Circuit.t ->
+  outcomes:Testset.outcome list ->
+  faults_searched:int ->
+  truncated:Guard.reason option ->
+  cpu_seconds:float ->
+  Format.formatter ->
+  unit
+(** {!pp_summary} from raw parts, for rendering a cached result
+    ({!Satg_store}) bit-identically to the run that produced it. *)

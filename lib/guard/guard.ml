@@ -1,7 +1,10 @@
+open Satg_inject
+
 type reason =
   | Timeout
   | State_limit
   | Transition_limit
+  | Interrupt
 
 exception Exhausted of reason
 
@@ -13,10 +16,10 @@ type limits = {
 
 (* [cancel] is the only cross-domain channel: a guard family (one
    [create] plus its [sub]s) shares a single atomic cell, so a worker
-   that hits the shared wall-clock deadline can trip its siblings
-   promptly even while they sit in pure-CPU loops between ticks.  All
-   other fields are mutated exclusively by the domain that owns the
-   guard. *)
+   that hits the shared wall-clock deadline — or a signal handler
+   delivering SIGINT — can trip its siblings promptly even while they
+   sit in pure-CPU loops between ticks.  All other fields are mutated
+   exclusively by the domain that owns the guard. *)
 type t = {
   limits : limits;
   cancel : reason option Atomic.t;
@@ -43,26 +46,36 @@ let is_none t =
   && t.limits.max_states = None
   && t.limits.max_transitions = None
 
-(* Shared value, safe under domains: every probe takes the [is_none]
+(* Shared value, safe under domains: every probe takes the [inert]
    fast path and returns without mutating anything, so the singleton
    carries no cross-domain data race. *)
 let none = make { deadline = None; max_states = None; max_transitions = None }
+
+(* Only the [none] singleton is exempt from probing.  A guard the
+   caller *created* stays probe-active even with every limit unset,
+   because its cancel token must still be observable — that is what
+   lets a SIGINT handler stop an otherwise unlimited run. *)
+let inert t = t == none
 
 let create ?timeout ?max_states ?max_transitions () =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
   make { deadline; max_states; max_transitions }
 
 let sub ?max_states ?max_transitions t =
-  make ~cancel:t.cancel
-    { deadline = t.limits.deadline; max_states; max_transitions }
+  (* a sub of the inert singleton must not adopt — and pollute — the
+     singleton's global cancel token *)
+  let cancel = if inert t then None else Some t.cancel in
+  make ?cancel { deadline = t.limits.deadline; max_states; max_transitions }
 
 let trip t r =
   t.tripped <- Some r;
   raise (Exhausted r)
 
 let cancel t r =
-  if not (is_none t) then
+  if not (inert t) then
     ignore (Atomic.compare_and_set t.cancel None (Some r))
+
+let cancelled t = Atomic.get t.cancel
 
 let retrip t =
   match t.tripped with
@@ -72,17 +85,29 @@ let retrip t =
     | Some r -> trip t r
     | None -> ())
 
+(* The [guard.tick] injection site: a mid-phase budget trip on demand,
+   so tests can prove the fail-soft paths without crafting a netlist
+   that happens to blow the budget at the right moment. *)
+let inject_probe t =
+  if Inject.enabled () then
+    match Inject.probe "guard.tick" with
+    | Some "trip" -> trip t Transition_limit
+    | Some "trip-timeout" -> trip t Timeout
+    | Some _ | None -> ()
+
 let check_time t =
-  if not (is_none t) then begin
+  if not (inert t) then begin
     retrip t;
+    inject_probe t;
     match t.limits.deadline with
     | Some d when Unix.gettimeofday () > d -> trip t Timeout
     | _ -> ()
   end
 
 let tick t =
-  if not (is_none t) then begin
+  if not (inert t) then begin
     retrip t;
+    inject_probe t;
     if t.limits.deadline <> None then begin
       t.ticks <- t.ticks + 1;
       if t.ticks land (tick_period - 1) = 0 then check_time t
@@ -90,7 +115,7 @@ let tick t =
   end
 
 let spend_states t n =
-  if not (is_none t) then begin
+  if not (inert t) then begin
     t.states <- t.states + n;
     (match t.limits.max_states with
     | Some m when t.states > m -> trip t State_limit
@@ -101,7 +126,7 @@ let spend_states t n =
 let spend_state t = spend_states t 1
 
 let spend_transitions t n =
-  if not (is_none t) then begin
+  if not (inert t) then begin
     t.transitions <- t.transitions + n;
     (match t.limits.max_transitions with
     | Some m when t.transitions > m -> trip t Transition_limit
@@ -135,5 +160,13 @@ let reason_to_string = function
   | Timeout -> "timeout"
   | State_limit -> "state-limit"
   | Transition_limit -> "transition-limit"
+  | Interrupt -> "interrupt"
+
+let reason_of_string = function
+  | "timeout" -> Some Timeout
+  | "state-limit" -> Some State_limit
+  | "transition-limit" -> Some Transition_limit
+  | "interrupt" -> Some Interrupt
+  | _ -> None
 
 let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)

@@ -21,6 +21,12 @@ type reason =
   | Timeout  (** the wall-clock deadline passed *)
   | State_limit  (** more distinct states than [max_states] *)
   | Transition_limit  (** more explored transitions than [max_transitions] *)
+  | Interrupt
+      (** the run was cancelled from outside (SIGINT/SIGTERM); like
+          [Timeout] it is global — no per-fault retry, the whole family
+          drains.  Unlike budget trips it never settles a fault: a
+          durable session drops [Aborted Interrupt] journal entries on
+          resume and searches those faults again. *)
 
 exception Exhausted of reason
 (** Raised by the [spend_*] / [check_time] / [tick] probes below.  Once
@@ -32,9 +38,12 @@ type t
 val none : t
 (** The unlimited guard: probes never raise.  Default everywhere a
     [?guard] parameter is omitted, so callers that do not care keep the
-    historical behaviour.  Every probe on an unlimited guard is a
+    historical behaviour.  Every probe on {e this singleton} is a
     complete no-op (no counter mutation), so sharing [none] across
-    domains is race-free. *)
+    domains is race-free.  A guard {!create}d with no limits is {e not}
+    inert: its probes still observe the family's cancel token (and the
+    fault-injection harness), which is what lets a signal handler stop
+    an otherwise unlimited run. *)
 
 val create :
   ?timeout:float -> ?max_states:int -> ?max_transitions:int -> unit -> t
@@ -52,8 +61,13 @@ val cancel : t -> reason -> unit
 (** Cross-domain cancellation: mark this guard family (the guard, its
     parent if it is a [sub], and every sibling sharing the token) so
     that each member's next probe raises {!Exhausted} with the given
-    reason.  First cancellation wins; cancelling {!none} (or any
-    unlimited guard) is a no-op.  Safe to call from any domain. *)
+    reason.  First cancellation wins; cancelling the {!none} singleton
+    is a no-op.  Safe to call from any domain — including from an OCaml
+    signal handler, which is how SIGINT drains a run. *)
+
+val cancelled : t -> reason option
+(** The family's cancel token, without raising: lets a driver loop ask
+    "has someone pulled the plug?" between waves. *)
 
 val is_none : t -> bool
 (** No deadline and no ceilings — every probe is a no-op. *)
@@ -85,8 +99,8 @@ val spend_transition : t -> unit
 
 val states_used : t -> int
 val transitions_used : t -> int
-(** Counters are only maintained on guards with at least one limit or a
-    deadline; on unlimited guards both report 0. *)
+(** Counters are maintained on every guard except the {!none}
+    singleton, where both report 0. *)
 
 val remaining_states : t -> int option
 val remaining_transitions : t -> int option
@@ -104,6 +118,9 @@ val guarded : t -> (unit -> 'a) -> ('a, reason) result
     already-expired deadline aborts without doing any work. *)
 
 val reason_to_string : reason -> string
-(** ["timeout"], ["state-limit"], ["transition-limit"]. *)
+(** ["timeout"], ["state-limit"], ["transition-limit"], ["interrupt"]. *)
+
+val reason_of_string : string -> reason option
+(** Inverse of {!reason_to_string} (journal/codec round-trips). *)
 
 val pp_reason : Format.formatter -> reason -> unit

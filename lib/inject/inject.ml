@@ -1,0 +1,180 @@
+exception Injected of string
+
+type trigger =
+  | Nth of int  (* fire once, on exactly the Nth hit of the site *)
+  | Prob of float  (* fire each hit with this probability, seeded *)
+
+type rule = {
+  action : string;
+  trigger : trigger;
+  (* PRNG state for [Prob]; mutated under [lock].  Derived from
+     (seed, site, action) so a rule's firing pattern depends only on
+     the spec, never on other rules' traffic. *)
+  mutable rng : int64;
+}
+
+type site = {
+  rules : rule list;
+  hits : int Atomic.t;
+}
+
+(* Armed only in tests/CI; production probes see [armed = false] and
+   return after one load.  All slow-path state sits behind [lock]
+   because probes can arrive from any domain. *)
+let armed = ref false
+let lock = Mutex.create ()
+let sites : (string, site) Hashtbl.t = Hashtbl.create 8
+
+(* splitmix64: tiny, seedable, good enough to decorrelate rules. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let step r =
+  r.rng <- Int64.add r.rng 0x9e3779b97f4a7c15L;
+  mix r.rng
+
+let uniform r =
+  (* 53 mantissa bits of the mixed state, in [0,1) *)
+  let bits = Int64.to_float (Int64.shift_right_logical (step r) 11) in
+  bits /. 9007199254740992.0
+
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset sites;
+  armed := false;
+  Mutex.unlock lock
+
+let parse_trigger s =
+  if String.length s > 1 && s.[0] = 'p' then
+    match float_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok (Prob p)
+    | _ -> Error (Printf.sprintf "bad probability %S" s)
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok (Nth n)
+    | _ -> Error (Printf.sprintf "bad trigger %S (want N or pF)" s)
+
+let configure spec =
+  clear ();
+  let clauses =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec build seed acc = function
+    | [] -> Ok (seed, List.rev acc)
+    | clause :: rest -> (
+      match String.index_opt clause '=' with
+      | None -> Error (Printf.sprintf "bad clause %S (want SITE=ACTION@TRIG)" clause)
+      | Some i -> (
+        let key = String.sub clause 0 i in
+        let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+        if key = "seed" then
+          match int_of_string_opt v with
+          | Some s -> build s acc rest
+          | None -> Error (Printf.sprintf "bad seed %S" v)
+        else
+          match String.index_opt v '@' with
+          | None ->
+            Error (Printf.sprintf "clause %S: missing '@TRIGGER'" clause)
+          | Some j -> (
+            let action = String.sub v 0 j in
+            let trig = String.sub v (j + 1) (String.length v - j - 1) in
+            if action = "" then Error (Printf.sprintf "clause %S: empty action" clause)
+            else
+              match parse_trigger trig with
+              | Error e -> Error (Printf.sprintf "clause %S: %s" clause e)
+              | Ok t -> build seed ((key, action, t) :: acc) rest)))
+  in
+  match build 1 [] clauses with
+  | Error _ as e -> e
+  | Ok (_, []) -> Ok ()  (* empty spec: stay disarmed *)
+  | Ok (seed, rules) ->
+    Mutex.lock lock;
+    List.iter
+      (fun (site_name, action, trigger) ->
+        let rng =
+          mix
+            (Int64.add (Int64.of_int seed)
+               (hash_string (site_name ^ "\x00" ^ action)))
+        in
+        let rule = { action; trigger; rng } in
+        match Hashtbl.find_opt sites site_name with
+        | Some s ->
+          Hashtbl.replace sites site_name
+            { s with rules = s.rules @ [ rule ] }
+        | None ->
+          Hashtbl.replace sites site_name
+            { rules = [ rule ]; hits = Atomic.make 0 })
+      rules;
+    armed := true;
+    Mutex.unlock lock;
+    Ok ()
+
+let configure_from_env () =
+  match Sys.getenv_opt "SATG_FAULT_INJECT" with
+  | None | Some "" ->
+    clear ();
+    Ok ()
+  | Some spec -> configure spec
+
+let enabled () = !armed
+
+let probe site_name =
+  if not !armed then None
+  else begin
+    Mutex.lock lock;
+    let r =
+      match Hashtbl.find_opt sites site_name with
+      | None -> None
+      | Some site ->
+        let n = 1 + Atomic.fetch_and_add site.hits 1 in
+        List.find_map
+          (fun rule ->
+            let fired =
+              match rule.trigger with
+              | Nth k -> n = k
+              | Prob p -> uniform rule < p
+            in
+            if fired then Some rule.action else None)
+          site.rules
+    in
+    Mutex.unlock lock;
+    r
+  end
+
+let fires site action =
+  match probe site with Some a -> a = action | None -> false
+
+let fail site =
+  match probe site with
+  | Some action -> raise (Injected (site ^ "/" ^ action))
+  | None -> ()
+
+let kill_self () =
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* unreachable: SIGKILL cannot be blocked *)
+  assert false
+
+let hits site_name =
+  Mutex.lock lock;
+  let n =
+    match Hashtbl.find_opt sites site_name with
+    | Some s -> Atomic.get s.hits
+    | None -> 0
+  in
+  Mutex.unlock lock;
+  n

@@ -83,6 +83,15 @@ let run_region t body =
 let map ?(chunk = 1) t f arr =
   let chunk = max 1 chunk in
   let n = Array.length arr in
+  (* [pool.worker] injection site: every item execution may be poisoned
+     by the fault-injection harness.  The exception rides the normal
+     funnel (min-index wins), which is exactly the invariant under
+     test: a poisoned worker surfaces deterministically and never
+     wedges the pool. *)
+  let f wid x =
+    Satg_inject.Inject.fail "pool.worker";
+    f wid x
+  in
   if n = 0 then [||]
   else if t.jobs = 1 || n = 1 then Array.map (fun x -> f 0 x) arr
   else begin

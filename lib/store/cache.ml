@@ -1,0 +1,57 @@
+open Satg_inject
+
+type key = string
+
+let magic = "satg-object v1\n"
+
+let key_of_parts parts =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "" (List.map (fun (k, v) -> k ^ "=" ^ v ^ "\n") parts)))
+
+let ( // ) = Filename.concat
+
+let object_path ~dir key =
+  dir // "objects" // String.sub key 0 2 // key
+
+let lookup ~dir key =
+  let path = object_path ~dir key in
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  with
+  | exception Sys_error _ -> None
+  | raw ->
+    (* magic line, crc line, payload *)
+    let mlen = String.length magic in
+    if String.length raw < mlen || String.sub raw 0 mlen <> magic then None
+    else
+      match String.index_from_opt raw mlen '\n' with
+      | None -> None
+      | Some nl ->
+        let crc_hex = String.sub raw mlen (nl - mlen) in
+        let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+        if int_of_string_opt ("0x" ^ crc_hex) = Some (Crc32.string payload)
+        then Some payload
+        else None
+
+let publish ~dir key payload =
+  let path = object_path ~dir key in
+  Journal.mkdir_p (Filename.dirname path);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     output_string oc (Printf.sprintf "%08x\n" (Crc32.string payload));
+     output_string oc payload;
+     flush oc;
+     Inject.fail "store.fsync";
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Inject.fail "store.rename";
+  Sys.rename tmp path

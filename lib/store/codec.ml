@@ -1,0 +1,172 @@
+open Satg_guard
+open Satg_fault
+open Satg_core
+
+let fault_to_string = function
+  | Fault.Input_sa { gate; pin; stuck } ->
+    Printf.sprintf "i:%d:%d:%d" gate pin (Bool.to_int stuck)
+  | Fault.Output_sa { gate; stuck } ->
+    Printf.sprintf "o:%d:%d" gate (Bool.to_int stuck)
+
+let bool_of_bit = function "0" -> Some false | "1" -> Some true | _ -> None
+
+let fault_of_string s =
+  match String.split_on_char ':' s with
+  | [ "i"; g; p; b ] -> (
+    match (int_of_string_opt g, int_of_string_opt p, bool_of_bit b) with
+    | Some gate, Some pin, Some stuck when gate >= 0 && pin >= 0 ->
+      Some (Fault.Input_sa { gate; pin; stuck })
+    | _ -> None)
+  | [ "o"; g; b ] -> (
+    match (int_of_string_opt g, bool_of_bit b) with
+    | Some gate, Some stuck when gate >= 0 ->
+      Some (Fault.Output_sa { gate; stuck })
+    | _ -> None)
+  | _ -> None
+
+let phase_code = function
+  | Testset.Random -> "r"
+  | Testset.Three_phase -> "t"
+  | Testset.Fault_simulation -> "s"
+
+let phase_of_code = function
+  | "r" -> Some Testset.Random
+  | "t" -> Some Testset.Three_phase
+  | "s" -> Some Testset.Fault_simulation
+  | _ -> None
+
+let vector_to_bits v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let vector_of_bits s =
+  let ok = ref true in
+  let v =
+    Array.init (String.length s) (fun i ->
+        match s.[i] with
+        | '1' -> true
+        | '0' -> false
+        | _ ->
+          ok := false;
+          false)
+  in
+  if !ok then Some v else None
+
+let sequence_to_string seq = String.concat "." (List.map vector_to_bits seq)
+
+let sequence_of_string s =
+  if s = "" then Some []
+  else
+    let parts = String.split_on_char '.' s in
+    let vs = List.map vector_of_bits parts in
+    if List.for_all Option.is_some vs then Some (List.map Option.get vs)
+    else None
+
+let status_to_string = function
+  | Testset.Undetected -> "U"
+  | Testset.Aborted r -> "A:" ^ Guard.reason_to_string r
+  | Testset.Detected { sequence; phase } ->
+    Printf.sprintf "D:%s:%s" (phase_code phase) (sequence_to_string sequence)
+
+let status_of_string s =
+  if s = "U" then Some Testset.Undetected
+  else if String.length s >= 2 && s.[0] = 'A' && s.[1] = ':' then
+    Option.map
+      (fun r -> Testset.Aborted r)
+      (Guard.reason_of_string (String.sub s 2 (String.length s - 2)))
+  else if String.length s >= 4 && s.[0] = 'D' && s.[1] = ':' && s.[3] = ':'
+  then
+    match
+      ( phase_of_code (String.sub s 2 1),
+        sequence_of_string (String.sub s 4 (String.length s - 4)) )
+    with
+    | Some phase, Some sequence ->
+      Some (Testset.Detected { sequence; phase })
+    | _ -> None
+  else None
+
+let entry f st = fault_to_string f ^ "|" ^ status_to_string st
+
+let entry_of_string s =
+  match String.index_opt s '|' with
+  | None -> None
+  | Some i -> (
+    match
+      ( fault_of_string (String.sub s 0 i),
+        status_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+    with
+    | Some f, Some st -> Some (f, st)
+    | _ -> None)
+
+type result_payload = {
+  faults_searched : int;
+  truncated : Guard.reason option;
+  cpu_seconds : float;
+  stats_line : string;
+  outcomes : (Fault.t * Testset.status) list;
+}
+
+let result_to_string r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "searched %d\n" r.faults_searched);
+  Buffer.add_string buf
+    (Printf.sprintf "truncated %s\n"
+       (match r.truncated with
+       | Some reason -> Guard.reason_to_string reason
+       | None -> "-"));
+  Buffer.add_string buf (Printf.sprintf "cpu %.17g\n" r.cpu_seconds);
+  Buffer.add_string buf ("stats " ^ r.stats_line ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "outcomes %d\n" (List.length r.outcomes));
+  List.iter
+    (fun (f, st) ->
+      Buffer.add_string buf (entry f st);
+      Buffer.add_char buf '\n')
+    r.outcomes;
+  Buffer.contents buf
+
+let result_of_string s =
+  let err m = Error ("result payload: " ^ m) in
+  let field prefix line =
+    let pre = prefix ^ " " in
+    if String.length line >= String.length pre
+       && String.sub line 0 (String.length pre) = pre
+    then Some (String.sub line (String.length pre)
+                 (String.length line - String.length pre))
+    else None
+  in
+  match String.split_on_char '\n' s with
+  | searched :: truncated :: cpu :: stats :: count :: rest -> (
+    match
+      ( Option.bind (field "searched" searched) int_of_string_opt,
+        field "truncated" truncated,
+        Option.bind (field "cpu" cpu) float_of_string_opt,
+        field "stats" stats,
+        Option.bind (field "outcomes" count) int_of_string_opt )
+    with
+    | Some faults_searched, Some trunc, Some cpu_seconds, Some stats_line,
+      Some n -> (
+      let truncated =
+        if trunc = "-" then Ok None
+        else
+          match Guard.reason_of_string trunc with
+          | Some r -> Ok (Some r)
+          | None -> Error ()
+      in
+      match truncated with
+      | Error () -> err "bad truncation reason"
+      | Ok truncated ->
+        let lines = List.filteri (fun i _ -> i < n) rest in
+        if List.length lines <> n then err "outcome count mismatch"
+        else
+          let parsed = List.map entry_of_string lines in
+          if List.exists Option.is_none parsed then err "bad outcome entry"
+          else
+            Ok
+              {
+                faults_searched;
+                truncated;
+                cpu_seconds;
+                stats_line;
+                outcomes = List.map Option.get parsed;
+              })
+    | _ -> err "bad header")
+  | _ -> err "truncated header"

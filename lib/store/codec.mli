@@ -1,0 +1,44 @@
+(** Textual wire format for faults and per-fault outcomes.
+
+    One journal record (and one line of a cache object) is
+    [<fault>|<status>]:
+
+    - fault: [i:<gate>:<pin>:<0|1>] (input stuck-at) or
+      [o:<gate>:<0|1>] (output stuck-at).  Node ids, not names — the
+      session key pins the netlist hash, so ids are stable.
+    - status: [U] (undetected), [A:<reason>] (aborted), or
+      [D:<r|t|s>:<vectors>] (detected in the random / three-phase /
+      fault-simulation phase) with the test's input vectors as
+      ['.']-joined bitstrings (["10.11.01"]; empty for the empty
+      sequence).
+
+    Everything round-trips exactly; [*_of_string] return [None] on any
+    malformed input (a corrupt-but-CRC-valid record must fail closed,
+    not crash resume). *)
+
+open Satg_guard
+open Satg_fault
+open Satg_core
+
+val fault_to_string : Fault.t -> string
+val fault_of_string : string -> Fault.t option
+val status_to_string : Testset.status -> string
+val status_of_string : string -> Testset.status option
+
+val entry : Fault.t -> Testset.status -> string
+val entry_of_string : string -> (Fault.t * Testset.status) option
+
+(** A complete, settled run — what the content-addressed cache stores:
+    enough to reproduce the CLI's output (outcome lines, CSSG stats
+    line, summary) without rebuilding anything. *)
+type result_payload = {
+  faults_searched : int;
+  truncated : Guard.reason option;
+  cpu_seconds : float;  (** of the run that produced the object *)
+  stats_line : string;  (** rendered [Cssg.pp_stats] (single line) *)
+  outcomes : (Fault.t * Testset.status) list;
+      (** per {e given} fault, in universe order (collapse expanded) *)
+}
+
+val result_to_string : result_payload -> string
+val result_of_string : string -> (result_payload, string) result

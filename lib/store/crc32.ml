@@ -1,0 +1,26 @@
+(* Reflected CRC-32, polynomial 0xEDB88320 (IEEE).  One 256-entry
+   table, built once at load. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+
+let bytes ?(crc = 0) b pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes";
+  let t = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  (!c lxor mask) land mask
+
+let string s = bytes (Bytes.unsafe_of_string s) 0 (String.length s)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+    Every durable byte this store writes travels under one of these
+    checksums: journal records, cache objects.  The value is kept in a
+    native [int] masked to 32 bits, so it compares and prints without
+    [Int32] boxing. *)
+
+val bytes : ?crc:int -> Bytes.t -> int -> int -> int
+(** [bytes ?crc b pos len] extends [crc] (default: the empty-message
+    CRC) over [len] bytes of [b] starting at [pos].  Passing a previous
+    result as [crc] streams a multi-part message. *)
+
+val string : string -> int
+(** CRC of a whole string.  [string "123456789" = 0xCBF43926]. *)

@@ -1,0 +1,290 @@
+open Satg_inject
+
+let max_record_bytes = 1 lsl 24
+let default_segment_bytes = 64 * 1024
+let meta_name = "meta"
+let meta_magic = "satg-journal v1\n"
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  mutable seg_index : int;  (* index of the active .open segment *)
+  mutable fd : Unix.file_descr option;  (* None once closed *)
+  mutable seg_size : int;
+  mutable appended : int;
+}
+
+let seg_name sealed i =
+  Printf.sprintf "wal-%06d.%s" i (if sealed then "seg" else "open")
+
+let ( // ) = Filename.concat
+
+let fsync fd =
+  Inject.fail "store.fsync";
+  Unix.fsync fd
+
+let rename src dst =
+  Inject.fail "store.rename";
+  Sys.rename src dst
+
+let fsync_dir dir =
+  (* Persist directory entries (created/renamed files).  Best-effort on
+     platforms where directories cannot be opened for fsync. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_all fd bytes pos len =
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes (pos + !written) (len - !written)
+  done
+
+(* Atomic small-file commit: write-tmp → fsync → rename. *)
+let write_file_atomic dir name content =
+  let tmp = dir // (name ^ ".tmp") in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let b = Bytes.of_string content in
+  write_all fd b 0 (Bytes.length b);
+  fsync fd;
+  rename tmp (dir // name);
+  fsync_dir dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* ------------------------------------------------------------------ *)
+(* Record framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let u32le_put b pos v =
+  Bytes.set b pos (Char.chr (v land 0xFF));
+  Bytes.set b (pos + 1) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (pos + 2) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (pos + 3) (Char.chr ((v lsr 24) land 0xFF))
+
+let u32le_get b pos =
+  Char.code (Bytes.get b pos)
+  lor (Char.code (Bytes.get b (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (pos + 3)) lsl 24)
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (8 + len) in
+  u32le_put b 0 len;
+  u32le_put b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b 8 len;
+  b
+
+(* Scan one segment's bytes.  Returns the records of the valid prefix,
+   the byte offset the prefix ends at, and whether the whole buffer
+   parsed cleanly. *)
+let scan buf =
+  let len = Bytes.length buf in
+  let rec go pos acc =
+    if pos = len then (List.rev acc, pos, true)
+    else if pos + 8 > len then (List.rev acc, pos, false)
+    else
+      let rlen = u32le_get buf pos in
+      if rlen > max_record_bytes || pos + 8 + rlen > len then
+        (List.rev acc, pos, false)
+      else
+        let crc = u32le_get buf (pos + 4) in
+        if Crc32.bytes buf (pos + 8) rlen <> crc then (List.rev acc, pos, false)
+        else
+          go (pos + 8 + rlen)
+            (Bytes.sub_string buf (pos + 8) rlen :: acc)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Directory layout                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         let parse ext =
+           let pre = "wal-" and suf = "." ^ ext in
+           let plen = String.length pre and slen = String.length suf in
+           if String.length f > plen + slen
+              && String.sub f 0 plen = pre
+              && String.sub f (String.length f - slen) slen = suf
+           then
+             int_of_string_opt
+               (String.sub f plen (String.length f - plen - slen))
+           else None
+         in
+         match parse "seg" with
+         | Some i -> Some (i, false, f)
+         | None -> (
+           match parse "open" with
+           | Some i -> Some (i, true, f)
+           | None -> None))
+  |> List.sort compare
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_segment dir i =
+  Unix.openfile (dir // seg_name false i)
+    [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+    0o644
+
+let create ?(segment_bytes = default_segment_bytes) ?(meta = "") dir =
+  mkdir_p dir;
+  List.iter (fun (_, _, f) -> Sys.remove (dir // f)) (list_segments dir);
+  write_file_atomic dir meta_name (meta_magic ^ meta);
+  let fd = open_segment dir 1 in
+  fsync_dir dir;
+  { dir; segment_bytes; seg_index = 1; fd = Some fd; seg_size = 0;
+    appended = 0 }
+
+type recovery = {
+  entries : string list;
+  salvaged_bytes : int;
+  meta : string;
+}
+
+let replay dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "journal %s: no such directory" dir)
+  else
+    match read_file (dir // meta_name) with
+    | exception Sys_error _ -> Error (Printf.sprintf "journal %s: missing meta" dir)
+    | raw when not (String.length raw >= String.length meta_magic
+                    && String.sub raw 0 (String.length meta_magic) = meta_magic)
+      -> Error (Printf.sprintf "journal %s: bad meta magic" dir)
+    | raw -> (
+      let meta =
+        String.sub raw (String.length meta_magic)
+          (String.length raw - String.length meta_magic)
+      in
+      let segs = list_segments dir in
+      let n = List.length segs in
+      let rec read_segs k acc = function
+        | [] -> Ok (List.concat (List.rev acc), 0)
+        | (_, is_open, f) :: rest -> (
+          let buf = Bytes.unsafe_of_string (read_file (dir // f)) in
+          let records, consumed, clean = scan buf in
+          let last = k = n - 1 in
+          if is_open && not last then
+            Error (Printf.sprintf "journal %s: stray active segment %s" dir f)
+          else if not last && not clean then
+            Error (Printf.sprintf "journal %s: sealed segment %s is corrupt" dir f)
+          else if last && not clean then
+            if is_open then
+              (* torn tail of the active segment: salvage the prefix *)
+              Ok (List.concat (List.rev (records :: acc)),
+                  Bytes.length buf - consumed)
+            else
+              Error
+                (Printf.sprintf "journal %s: sealed segment %s is corrupt" dir f)
+          else read_segs (k + 1) (records :: acc) rest)
+      in
+      match read_segs 0 [] segs with
+      | Error _ as e -> e
+      | Ok (entries, salvaged_bytes) -> Ok { entries; salvaged_bytes; meta })
+
+let open_resume ?(segment_bytes = default_segment_bytes) dir =
+  match replay dir with
+  | Error _ as e -> e
+  | Ok recovery ->
+    let segs = list_segments dir in
+    let t =
+      match List.rev segs with
+      | (i, true, f) :: _ ->
+        (* active segment: drop the torn tail, append after it *)
+        let path = dir // f in
+        let keep = (Unix.stat path).Unix.st_size - recovery.salvaged_bytes in
+        if recovery.salvaged_bytes > 0 then begin
+          Unix.truncate path keep;
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          (try Unix.fsync fd with Unix.Unix_error _ -> ());
+          Unix.close fd
+        end;
+        let fd = open_segment dir i in
+        { dir; segment_bytes; seg_index = i; fd = Some fd; seg_size = keep;
+          appended = List.length recovery.entries }
+      | (i, false, _) :: _ ->
+        (* cleanly sealed journal (or crash between seal and next open):
+           start the next segment *)
+        let fd = open_segment dir (i + 1) in
+        { dir; segment_bytes; seg_index = i + 1; fd = Some fd; seg_size = 0;
+          appended = List.length recovery.entries }
+      | [] ->
+        let fd = open_segment dir 1 in
+        { dir; segment_bytes; seg_index = 1; fd = Some fd; seg_size = 0;
+          appended = List.length recovery.entries }
+    in
+    fsync_dir dir;
+    Ok (t, recovery)
+
+let seal t fd =
+  fsync fd;
+  Unix.close fd;
+  rename (t.dir // seg_name false t.seg_index) (t.dir // seg_name true t.seg_index);
+  fsync_dir t.dir
+
+let rotate t fd =
+  seal t fd;
+  t.seg_index <- t.seg_index + 1;
+  let fd = open_segment t.dir t.seg_index in
+  fsync_dir t.dir;
+  t.fd <- Some fd;
+  t.seg_size <- 0;
+  fd
+
+let append t payload =
+  if String.length payload > max_record_bytes then
+    invalid_arg "Journal.append: record too large";
+  let fd =
+    match t.fd with
+    | None -> invalid_arg "Journal.append: closed journal"
+    | Some fd -> if t.seg_size >= t.segment_bytes then rotate t fd else fd
+  in
+  let b = frame payload in
+  let injected = Inject.probe "journal.append" in
+  (match injected with
+  | Some "enospc" -> raise (Unix.Unix_error (Unix.ENOSPC, "write", t.dir))
+  | Some ("short" | "torn-kill" as action) ->
+    (* a torn record: half the frame reaches the disk, then the
+       process (or just this write) dies *)
+    let half = max 1 (Bytes.length b / 2) in
+    write_all fd b 0 half;
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    t.seg_size <- t.seg_size + half;
+    if action = "torn-kill" then Inject.kill_self ()
+    else raise (Inject.Injected ("journal.append/" ^ action))
+  | Some _ | None -> ());
+  write_all fd b 0 (Bytes.length b);
+  fsync fd;
+  t.seg_size <- t.seg_size + Bytes.length b;
+  t.appended <- t.appended + 1;
+  (* [kill] simulates kill -9 *between* appends: the record above is
+     durable, everything after it is lost *)
+  if injected = Some "kill" then Inject.kill_self ()
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    seal t fd
+
+let dir t = t.dir
+let entries_appended t = t.appended

@@ -1,0 +1,80 @@
+(** Crash-safe, append-only outcome journal.
+
+    A journal is a directory of {e segments}.  Appends go to the single
+    active segment ([wal-NNNNNN.open]); when it outgrows
+    [segment_bytes] it is fsynced and atomically renamed to
+    [wal-NNNNNN.seg] ({e sealed}) and the next [.open] segment starts —
+    the write-tmp→fsync→rename discipline, applied to whole segments.
+    A [meta] file (also written tmp→fsync→rename) pins the journal to
+    its session key, so a resume under a different configuration is
+    rejected instead of silently replayed.
+
+    Record wire format: [u32le length ++ u32le crc32(payload) ++
+    payload].  Each {!append} is durable ([fsync]) before it returns,
+    so the journal's replay is always an exact prefix of the commit
+    sequence — the property resume correctness stands on.
+
+    Recovery rules (the {e salvage} contract, property-tested):
+    - a {e sealed} segment must parse completely and cleanly; any
+      corruption is a clean [Error] (the journal is rejected, never
+      half-trusted);
+    - the {e active} tail segment may be torn (the process died
+      mid-write): the valid prefix of records is salvaged and the torn
+      suffix is discarded — {!open_resume} truncates it away before
+      appending again;
+    - replay therefore yields either a valid prefix of what was
+      appended, or a clean rejection.  Never a crash, never an invented
+      record (each record is CRC-checked).
+
+    Fault-injection sites ([SATG_FAULT_INJECT]): [journal.append]
+    interprets [enospc] (fail before writing), [short] (write a torn
+    half-record, then fail), [kill] (SIGKILL after the durable append)
+    and [torn-kill] (SIGKILL mid-record); [store.rename] and
+    [store.fsync] fail the segment-seal and meta-commit steps. *)
+
+type t
+
+val create : ?segment_bytes:int -> ?meta:string -> string -> t
+(** Start a fresh journal in the directory (created if missing; any
+    previous segments are removed).  [meta] (default [""]) is the
+    session-key payload pinned by the meta file.  [segment_bytes]
+    (default 64 KiB) bounds a segment before rotation.
+    @raise Sys_error / Unix.Unix_error on I/O failure. *)
+
+type recovery = {
+  entries : string list;  (** the salvaged valid prefix, in order *)
+  salvaged_bytes : int;  (** torn tail bytes discarded, 0 if clean *)
+  meta : string;
+}
+
+val replay : string -> (recovery, string) result
+(** Read-only recovery of a journal directory: parse every sealed
+    segment strictly and salvage the tail.  [Error] on a missing or
+    corrupt meta file, corruption in a sealed segment, or a [.open]
+    segment that is not the last — the journal must then be discarded,
+    not resumed. *)
+
+val open_resume :
+  ?segment_bytes:int -> string -> (t * recovery, string) result
+(** {!replay}, then position for appending: the torn tail (if any) is
+    truncated off the active segment and subsequent {!append}s continue
+    after the last salvaged record. *)
+
+val append : t -> string -> unit
+(** Durably append one record (write + fsync before returning).
+    Records may be any bytes, including newlines; the empty string is
+    valid.  Rotates segments as needed.
+    @raise Invalid_argument beyond {!max_record_bytes}. *)
+
+val close : t -> unit
+(** Seal the active segment and close.  Idempotent. *)
+
+val dir : t -> string
+val entries_appended : t -> int
+
+val max_record_bytes : int
+(** Sanity ceiling on one record (also the recovery-time bound that
+    rejects corrupt length headers fast). *)
+
+val mkdir_p : string -> unit
+(** [mkdir -p], shared with the other store modules. *)

@@ -1,0 +1,77 @@
+let write_owner path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+  in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let body =
+    Printf.sprintf "pid %d\nhost %s\ntime %f\n" (Unix.getpid ())
+      (Unix.gethostname ()) (Unix.gettimeofday ())
+  in
+  let b = Bytes.of_string body in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  assert (n = Bytes.length b);
+  try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let holder path =
+  match
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  with
+  | exception Sys_error _ -> None
+  | body -> (
+    let field key =
+      String.split_on_char '\n' body
+      |> List.find_map (fun l ->
+             let pre = key ^ " " in
+             if String.length l > String.length pre
+                && String.sub l 0 (String.length pre) = pre
+             then
+               Some
+                 (String.sub l (String.length pre)
+                    (String.length l - String.length pre))
+             else None)
+    in
+    match (field "pid", field "host") with
+    | Some pid, Some host -> Option.map (fun p -> (p, host)) (int_of_string_opt pid)
+    | _ -> None)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception Unix.Unix_error _ -> true
+
+let stale ~stale_after path =
+  let aged () =
+    match Unix.stat path with
+    | st -> Unix.gettimeofday () -. st.Unix.st_mtime > stale_after
+    | exception Unix.Unix_error _ -> false
+  in
+  match holder path with
+  | Some (pid, host) when host = Unix.gethostname () -> not (pid_alive pid)
+  | Some _ -> aged ()  (* foreign host: age is the only signal *)
+  | None -> aged ()  (* unparseable: treat like a foreign owner *)
+
+let rec acquire ?(stale_after = 3600.0) ?(retried = false) path =
+  match write_owner path with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+    if (not retried) && stale ~stale_after path then begin
+      (* the recorded owner is gone: steal by unlink + one retry (two
+         concurrent stealers race benignly — exactly one O_EXCL create
+         wins, the loser reports the winner) *)
+      (try Sys.remove path with Sys_error _ -> ());
+      acquire ~stale_after ~retried:true path
+    end
+    else
+      Error
+        (match holder path with
+        | Some (pid, host) ->
+          Printf.sprintf "locked by pid %d on %s (%s)" pid host path
+        | None -> Printf.sprintf "locked (%s)" path)
+
+let acquire ?stale_after path = acquire ?stale_after path
+
+let release path = try Sys.remove path with Sys_error _ -> ()

@@ -1,0 +1,23 @@
+(** Stale-aware lockfiles for concurrent sessions.
+
+    One session directory must have at most one writer: two concurrent
+    [satg atpg --cache-dir] runs on the same (netlist, config) key
+    would interleave journal appends.  The lock is a file created with
+    [O_CREAT|O_EXCL] holding the owner's pid, hostname and start time.
+
+    Staleness: a crashed owner cannot release, so {!acquire} steals the
+    lock when the recorded owner is provably gone — same host and the
+    pid no longer exists — or when the lockfile is older than
+    [stale_after] seconds (the cross-host fallback, since a foreign pid
+    cannot be probed).  [kill -9] therefore never wedges a session
+    directory; a live concurrent owner is reported as a clean error. *)
+
+val acquire : ?stale_after:float -> string -> (unit, string) result
+(** Take the lock at this path.  [stale_after] defaults to one hour.
+    [Error] names the live holder. *)
+
+val release : string -> unit
+(** Remove the lockfile.  Missing file is fine (idempotent). *)
+
+val holder : string -> (int * string) option
+(** [(pid, host)] recorded in the lockfile, if parseable. *)

@@ -123,6 +123,64 @@ let test_parser_errors () =
   check_err "circuit x\ninput A\nsop z ( A ) 11\nend" "width";
   check_err "circuit x\ninput A\ngate z NOT A\ninitial A=0\nend" "not assigned"
 
+(* The linter must report every problem, with line numbers, instead of
+   stopping at the first like the parser. *)
+let test_lint_collects_all () =
+  let text =
+    {|circuit bad
+input A B
+gate A NOT B
+gate g1 NOT A B
+gate g2 FROB A
+gate g3 AND A nosuch
+sop g4 ( A B ) 11 1
+output g1 missing
+initial A=0 B=1 g1=1 g1=0 phantom=1
+end|}
+  in
+  let diags = Parser.lint_string text in
+  let has line frag =
+    List.exists
+      (fun d ->
+        d.Parser.line = line
+        &&
+        let n = String.length frag in
+        let rec at i =
+          i + n <= String.length d.Parser.msg
+          && (String.sub d.Parser.msg i n = frag || at (i + 1))
+        in
+        at 0)
+      diags
+  in
+  let expect line frag =
+    Alcotest.(check bool)
+      (Printf.sprintf "line %d: %s" line frag)
+      true (has line frag)
+  in
+  expect 3 "duplicate net \"A\"";
+  expect 4 "does not take 2 fanin";
+  expect 5 "unknown function \"FROB\"";
+  expect 6 "unknown signal \"nosuch\"";
+  expect 7 "width 1, expected 2";
+  expect 8 "unknown signal \"missing\"";
+  expect 9 "assigned twice";
+  expect 9 "unknown signal \"phantom\"";
+  (* sorted by line, and nothing spurious dragged in *)
+  let lines = List.map (fun d -> d.Parser.line) diags in
+  Alcotest.(check (list int)) "sorted by line" (List.sort compare lines) lines;
+  Alcotest.(check bool) "several problems, one pass" true
+    (List.length diags >= 8)
+
+let test_lint_clean_and_file_level () =
+  Alcotest.(check (list int)) "clean netlist lints clean" []
+    (List.map
+       (fun d -> d.Parser.line)
+       (Parser.lint_string (Parser.to_string (Figures.fig1a ()))));
+  match Parser.lint_string "input A\ngate z NOT A\nend" with
+  | [] -> Alcotest.fail "missing 'circuit' must be reported"
+  | d :: _ ->
+    Alcotest.(check int) "file-level diagnostics use line 0" 0 d.Parser.line
+
 (* A CRLF-encoded netlist must parse identically to its LF twin: the
    tokenizer used to leave '\r' glued to each line's last token, so
    every trailing signal name came out as "name\r" and the parse died
@@ -231,6 +289,9 @@ let suites =
         Alcotest.test_case "gatefunc ternary" `Quick test_gatefunc_ternary;
         Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
         Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        Alcotest.test_case "lint collects all" `Quick test_lint_collects_all;
+        Alcotest.test_case "lint clean + file-level" `Quick
+          test_lint_clean_and_file_level;
         Alcotest.test_case "parser crlf" `Quick test_parser_crlf;
         Alcotest.test_case "initial stability" `Quick test_initial_stability_check;
         Alcotest.test_case "structure" `Quick test_structure;

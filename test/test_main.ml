@@ -19,4 +19,5 @@ let () =
          Test_sat.suites;
          Test_pool.suites;
          Test_domains.suites;
+         Test_store.suites;
        ])
