@@ -958,6 +958,137 @@ let run_bechamel () =
          | Some (t :: _) -> Printf.printf "%-42s %12s\n" name (pretty t)
          | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")
 
+(* --- generated benchmark families: size ladder vs engines ------------------- *)
+
+(* The concept-combinator families swept along a CI-tractable size
+   ladder, each instance run through all three deterministic engines
+   (no random phase, so the backends do the actual work).  Rows record
+   states / faults / coverage / time per engine against N; the bench
+   *fails* unless every instance's explicit/bdd/sat partitions and the
+   -j1/-j4 pooled runs coincide, and unless at least one instance
+   forces real CDCL search (nonzero decisions and conflicts).  Results
+   go to BENCH_families.json. *)
+
+let family_ladder =
+  [
+    ("pipeline", [ 1; 2; 3 ], `Complex);
+    ("arbiter", [ 2; 3 ], `Complex);
+    ("ring", [ 2; 4; 8 ], `Complex);
+    ("fifo", [ 2; 4 ], `Complex);
+    ("latch", [ 1; 2 ], `Redundant);
+  ]
+
+let families_bench () =
+  let sat_nontrivial = ref false in
+  let row fname n style =
+    let entry =
+      match Suite.generate fname ~n with
+      | Ok e -> e
+      | Error m -> failwith (fname ^ ": " ^ m)
+    in
+    let c =
+      match
+        match style with
+        | `Complex -> Synth.complex_gate entry.Suite.stg
+        | `Redundant -> Synth.decomposed ~redundant:true entry.Suite.stg
+      with
+      | Ok c -> c
+      | Error m -> failwith (entry.Suite.name ^ ": synth: " ^ m)
+    in
+    let faults = Fault.universe_input_sa c in
+    let g = Explicit.build c in
+    let config engine =
+      { Engine.default_config with engine; enable_random = false }
+    in
+    let run engine = Engine.run ~config:(config engine) ~cssg:g c ~faults in
+    let timed engine =
+      let r = ref (run engine) in
+      let seconds = time_thunk (fun () -> r := run engine) in
+      (!r, seconds)
+    in
+    let exp_r, exp_s = timed Engine.Explicit in
+    let bdd_r, bdd_s = timed Engine.Bdd in
+    let sat_r, sat_s = timed Engine.Sat in
+    let partition r =
+      List.map (fun o -> Testset.is_detected o.Testset.status) r.Engine.outcomes
+    in
+    let agree =
+      partition exp_r = partition bdd_r && partition exp_r = partition sat_r
+    in
+    let pooled j =
+      Engine.run
+        ~config:{ Engine.default_config with jobs = Some j }
+        c ~faults
+    in
+    let jobs_agree = partition (pooled 1) = partition (pooled 4) in
+    let ss =
+      match sat_r.Engine.sat_stats with
+      | Some s -> s
+      | None -> failwith (entry.Suite.name ^ ": sat run reported no stats")
+    in
+    if ss.Satg_sat.Sat.decisions > 0 && ss.Satg_sat.Sat.conflicts > 0 then
+      sat_nontrivial := true;
+    Printf.printf
+      "%-10s n=%-2d %-9s %4d states %3d faults  cov %6.2f%%  \
+       exp %8.4fs  bdd %8.4fs  sat %8.4fs (%d dec, %d cfl)  agree %b  -j %b\n"
+      fname n
+      (match style with `Complex -> "complex" | `Redundant -> "redundant")
+      (Cssg.n_states g) (List.length faults)
+      (Engine.coverage_pct exp_r) exp_s bdd_s sat_s ss.Satg_sat.Sat.decisions
+      ss.Satg_sat.Sat.conflicts agree jobs_agree;
+    if not agree then
+      failwith (entry.Suite.name ^ ": engine partitions differ");
+    if not jobs_agree then
+      failwith (entry.Suite.name ^ ": -j1 and -j4 partitions differ");
+    Printf.sprintf
+      {|    {
+      "family": "%s",
+      "n": %d,
+      "style": "%s",
+      "cssg_states": %d,
+      "n_faults": %d,
+      "coverage_pct": %.2f,
+      "explicit": { "seconds": %.6f, "detected": %d },
+      "bdd": { "seconds": %.6f, "detected": %d },
+      "sat": { "seconds": %.6f, "detected": %d,
+               "decisions": %d, "conflicts": %d,
+               "propagations": %d, "learned": %d },
+      "partitions_agree": %b,
+      "jobs_partitions_agree": %b
+    }|}
+      fname n
+      (match style with `Complex -> "complex" | `Redundant -> "redundant")
+      (Cssg.n_states g) (List.length faults) (Engine.coverage_pct exp_r)
+      exp_s (Engine.detected exp_r) bdd_s (Engine.detected bdd_r) sat_s
+      (Engine.detected sat_r) ss.Satg_sat.Sat.decisions
+      ss.Satg_sat.Sat.conflicts ss.Satg_sat.Sat.propagations
+      ss.Satg_sat.Sat.learned agree jobs_agree
+  in
+  let rows =
+    List.concat_map
+      (fun (fname, sizes, style) -> List.map (fun n -> row fname n style) sizes)
+      family_ladder
+  in
+  if not !sat_nontrivial then
+    failwith
+      "no family instance produced nonzero SAT decisions and conflicts";
+  let json =
+    Printf.sprintf {|{
+  "bench": "families",
+  "sat_nontrivial": %b,
+  "instances": [
+%s
+  ]
+}
+|}
+      !sat_nontrivial
+      (String.concat ",\n" rows)
+  in
+  let oc = open_out "BENCH_families.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "-> BENCH_families.json\n"
+
 (* [--fault-sim [FILE.cct]] runs only the parallel fault-sim
    throughput bench, [--bdd] only the BDD engine head-to-head, [--sat]
    only the SAT-vs-BDD backend race, and [--domains] only the
@@ -973,9 +1104,11 @@ let () =
   | _ :: "--bdd" :: _ -> bdd_engine_bench ()
   | _ :: "--sat" :: _ -> sat_engine_bench ()
   | _ :: "--domains" :: _ -> domains_bench ()
+  | _ :: "--families" :: _ -> families_bench ()
   | _ ->
     run_bechamel ();
     fault_sim_bench default_netlist;
     bdd_engine_bench ();
     sat_engine_bench ();
-    domains_bench ()
+    domains_bench ();
+    families_bench ()

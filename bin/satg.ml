@@ -8,6 +8,7 @@
      satg dft     FILE.cct recommend + evaluate observation points
      satg dot     FILE     graphviz (netlist .cct, spec .g, or --cssg)
      satg bench   [NAME]   list bundled benchmark STGs / print one
+     satg gen     [FAMILY] generate a scalable benchmark-family instance
      satg check   FILE.cct validate a netlist and print structural stats
 
    The graph/ATPG commands accept --timeout SEC, --max-states N and
@@ -449,6 +450,81 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"List the bundled benchmark STGs or print one.")
     Term.(const run $ name_arg)
 
+(* --- gen ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let family_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FAMILY")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "size" ] ~docv:"N"
+          ~doc:"Family size knob (stages / clients / stations / latches).  \
+                Default: the family's own default size.")
+  in
+  let style_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("complex", `Complex); ("decomposed", `Decomposed);
+                  ("redundant", `Redundant) ]))
+          None
+      & info [ "style" ]
+          ~doc:
+            "Synthesize the generated STG into a netlist with the given \
+             backend and print the $(b,.cct) text instead of the $(b,.g) \
+             specification.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT")
+  in
+  let emit output text =
+    match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+  in
+  let run family size style output =
+    match family with
+    | None ->
+      List.iter
+        (fun (f : Satg_concepts.Families.family) ->
+          Printf.printf "%-10s n = %-2d..%-2d (default %d, %s)  %s\n" f.fname
+            f.min_n f.max_n f.default_n f.size_doc f.doc)
+        Satg_concepts.Families.all
+    | Some fname ->
+      let n =
+        match (size, Satg_concepts.Families.find fname) with
+        | Some n, _ -> n
+        | None, Some f -> f.default_n
+        | None, None -> 0 (* generate reports the unknown family *)
+      in
+      let e = or_die (Suite.generate fname ~n) in
+      (match style with
+      | None -> emit output (Stg.to_string e.Suite.stg)
+      | Some backend ->
+        let circuit =
+          or_die
+            (match backend with
+            | `Complex -> Synth.complex_gate e.Suite.stg
+            | `Decomposed -> Synth.decomposed e.Suite.stg
+            | `Redundant -> Synth.decomposed ~redundant:true e.Suite.stg)
+        in
+        emit output (Parser.to_string circuit))
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a benchmark-family instance (STG, or netlist with \
+          --style).  Without FAMILY, list the available families.")
+    Term.(const run $ family_arg $ size_arg $ style_arg $ output)
+
 (* --- check ---------------------------------------------------------------- *)
 
 let check_cmd =
@@ -640,4 +716,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synth_cmd; cssg_cmd; atpg_cmd; program_cmd; delay_cmd; dft_cmd;
-            dot_cmd; bench_cmd; check_cmd ]))
+            dot_cmd; bench_cmd; gen_cmd; check_cmd ]))

@@ -422,3 +422,25 @@ let names = List.map fst sources
 let find name = List.find_opt (fun e -> e.name = name) (all ())
 let speed_independent e = Synth.complex_gate e.stg
 let bounded_delay e = Synth.decomposed ~redundant:true e.stg
+
+(* Generated families live in a separate registry: [all] is exactly the
+   paper's 23 fixed benchmarks (some global checks, e.g. output
+   persistency, quantify over it and the arbiter family intentionally
+   fails them). *)
+
+let family_names = Satg_concepts.Families.names
+
+let family_defaults () =
+  List.map
+    (fun (f : Satg_concepts.Families.family) ->
+      match Satg_concepts.Families.generate f.fname ~n:f.default_n with
+      | Ok stg ->
+        { name = Satg_concepts.Families.instance_name f.fname f.default_n; stg }
+      | Error m ->
+        invalid_arg (Printf.sprintf "Suite: family %s: %s" f.fname m))
+    Satg_concepts.Families.all
+
+let generate fname ~n =
+  match Satg_concepts.Families.generate fname ~n with
+  | Ok stg -> Ok { name = Satg_concepts.Families.instance_name fname n; stg }
+  | Error _ as e -> e

@@ -33,3 +33,21 @@ val speed_independent : entry -> (Circuit.t, string) result
 val bounded_delay : entry -> (Circuit.t, string) result
 (** Decomposed 2-input synthesis with redundant (hazard-free) covers —
     the Table 2 family (SIS-like). *)
+
+(** {1 Generated families}
+
+    Scalable benchmark families built from the {!Satg_concepts}
+    combinator DSL.  They are registered separately from {!all}: the
+    fixed 23-benchmark list keeps its global invariants (the generated
+    arbiter, like real arbiters, is not output-persistent). *)
+
+val family_names : string list
+(** ["pipeline"; "arbiter"; "ring"; "fifo"; "latch"]. *)
+
+val family_defaults : unit -> entry list
+(** One instance of each family at its default size
+    (e.g. ["pipeline3"]). *)
+
+val generate : string -> n:int -> (entry, string) result
+(** Compile family [fname] at size [n] ([Error] on unknown family or
+    out-of-range size). *)

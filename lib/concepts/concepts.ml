@@ -1,0 +1,265 @@
+open Satg_stg
+
+(* ------------------------------------------------------------------ *)
+(* Transitions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type transition = {
+  s : string;
+  d : Stg.dir;
+  i : int;  (* instance, >= 1; 1 is the unsuffixed default *)
+}
+
+let rise s = { s; d = Stg.Rise; i = 1 }
+let fall s = { s; d = Stg.Fall; i = 1 }
+
+let toggle t =
+  { t with d = (match t.d with Stg.Rise -> Stg.Fall | Stg.Fall -> Stg.Rise) }
+
+let inst k t =
+  if k < 1 then invalid_arg "Concepts.inst: instance must be >= 1";
+  { t with i = k }
+
+let label t =
+  let sign = match t.d with Stg.Rise -> "+" | Stg.Fall -> "-" in
+  if t.i = 1 then t.s ^ sign else Printf.sprintf "%s%s/%d" t.s sign t.i
+
+(* ------------------------------------------------------------------ *)
+(* Concepts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type item =
+  | Arc of transition * transition
+  | Or_place of transition list * transition
+  | Me_place of string list
+  | Decl_in of string list
+  | Decl_out of string list
+  | Init of string * bool
+  | Silent of string list
+  | Mark of transition * transition * bool
+
+type t = item list
+
+let empty = []
+let ( <+> ) a b = a @ b
+let concat = List.concat
+
+let inputs nms = [ Decl_in nms ]
+let outputs nms = [ Decl_out nms ]
+let initialise nm v = [ Init (nm, v) ]
+let initialise0 nms = List.map (fun nm -> Init (nm, false)) nms
+let initialise1 nms = List.map (fun nm -> Init (nm, true)) nms
+let causality c e = [ Arc (c, e) ]
+let ( --> ) = causality
+let and_causality cs e = List.map (fun c -> Arc (c, e)) cs
+let ( &--> ) = and_causality
+let or_causality cs e = [ Or_place (cs, e) ]
+let ( |--> ) = or_causality
+let silent nms = [ Silent nms ]
+let me a b = [ Me_place [ a; b ] ]
+let me_n nms = [ Me_place nms ]
+let buffer a b = concat [ rise a --> rise b; fall a --> fall b ]
+let inverter a b = concat [ rise a --> fall b; fall a --> rise b ]
+
+let c_element a b c =
+  concat
+    [ [ rise a; rise b ] &--> rise c; [ fall a; fall b ] &--> fall c ]
+
+let handshake_cycle req ack =
+  concat
+    [
+      rise req --> rise ack; rise ack --> fall req; fall req --> fall ack;
+      fall ack --> rise req;
+    ]
+
+let handshake_with ~req_init ~ack_init req ack =
+  handshake_cycle req ack
+  <+> initialise req req_init
+  <+> initialise ack ack_init
+
+let handshake00 req ack = handshake_with ~req_init:false ~ack_init:false req ack
+let handshake11 req ack = handshake_with ~req_init:true ~ack_init:true req ack
+let handshake10 req ack = handshake_with ~req_init:true ~ack_init:false req ack
+let handshake01 req ack = handshake_with ~req_init:false ~ack_init:true req ack
+let handshake = handshake00
+let token c e = [ Mark (c, e, true) ]
+let no_token c e = [ Mark (c, e, false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Compile_error of string
+
+let failc fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt
+
+(* Order-preserving dedup. *)
+let uniq xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
+
+let to_g ~name spec =
+  try
+    let ins = ref [] and outs = ref [] in
+    let inits = ref [] in
+    let silents = ref [] in
+    let arcs = ref [] in
+    let ors = ref [] in
+    let mes = ref [] in
+    let marks = ref [] in
+    List.iter
+      (function
+        | Decl_in nms -> ins := !ins @ nms
+        | Decl_out nms -> outs := !outs @ nms
+        | Init (nm, v) -> inits := (nm, v) :: !inits
+        | Silent nms -> silents := !silents @ nms
+        | Arc (c, e) -> arcs := (c, e) :: !arcs
+        | Or_place (cs, e) ->
+          if cs = [] then failc "OR-causality of %s with no causes" (label e);
+          ors := (cs, e) :: !ors
+        | Me_place nms ->
+          if List.length nms < 2 then
+            failc "mutual exclusion needs at least two signals";
+          mes := nms :: !mes
+        | Mark (c, e, v) -> marks := ((c, e), v) :: !marks)
+      spec;
+    let ins = uniq !ins and outs = uniq !outs in
+    let arcs = uniq (List.rev !arcs) in
+    let ors = List.rev !ors and mes = List.rev !mes in
+    (* Declarations: disjoint, initialised exactly one way. *)
+    List.iter
+      (fun nm ->
+        if List.mem nm outs then
+          failc "signal %s declared both input and output" nm)
+      ins;
+    let declared = ins @ outs in
+    let init_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (nm, v) ->
+        if not (List.mem nm declared) then
+          failc "initialise %s: signal not declared" nm;
+        match Hashtbl.find_opt init_tbl nm with
+        | Some v' when v' <> v -> failc "conflicting initialisation of %s" nm
+        | Some _ -> ()
+        | None -> Hashtbl.replace init_tbl nm v)
+      (List.rev !inits);
+    List.iter
+      (fun nm ->
+        if not (Hashtbl.mem init_tbl nm) then
+          failc "signal %s declared but never initialised" nm)
+      declared;
+    let init nm = Hashtbl.find init_tbl nm in
+    let silents = uniq !silents in
+    List.iter
+      (fun nm ->
+        if not (List.mem nm declared) then
+          failc "silent signal %s not declared" nm)
+      silents;
+    let check_transition t =
+      if not (List.mem t.s declared) then
+        failc "transition %s: signal %s not declared" (label t) t.s;
+      if List.mem t.s silents then
+        failc "transition %s of silent signal %s" (label t) t.s
+    in
+    List.iter
+      (fun (c, e) ->
+        check_transition c;
+        check_transition e)
+      arcs;
+    List.iter
+      (fun (cs, e) ->
+        List.iter check_transition cs;
+        check_transition e)
+      ors;
+    List.iter (List.iter (fun nm -> check_transition (rise nm))) mes;
+    if arcs = [] && ors = [] && mes = [] then
+      failc "empty specification: no causality, OR-causality or me concepts";
+    (* Initial-marking rule over the declared initial values. *)
+    let before t = init t.s = (t.d = Stg.Fall) in
+    let after t = init t.s = (t.d = Stg.Rise) in
+    let default_mark (c, e) = c.i = 1 && e.i = 1 && after c && before e in
+    List.iter
+      (fun ((c, e), _) ->
+        if not (List.mem (c, e) arcs) then
+          failc "marking override %s -> %s: no such causal arc" (label c)
+            (label e))
+      !marks;
+    let marked (c, e) =
+      match List.assoc_opt (c, e) (List.rev !marks) with
+      | Some v -> v
+      | None -> default_mark (c, e)
+    in
+    let or_marked (cs, e) =
+      e.i = 1 && before e && List.exists (fun c -> c.i = 1 && after c) cs
+    in
+    let me_marked nms =
+      match List.filter init nms with
+      | [] -> true
+      | [ _ ] -> false
+      | up ->
+        failc "me %s: %d signals initially high"
+          (String.concat " " nms)
+          (List.length up)
+    in
+    (* Emission. *)
+    let buf = Buffer.create 512 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pr ".model %s\n" name;
+    pr ".inputs %s\n" (String.concat " " ins);
+    pr ".outputs %s\n" (String.concat " " outs);
+    pr ".graph\n";
+    List.iter (fun (c, e) -> pr "%s %s\n" (label c) (label e)) arcs;
+    List.iteri
+      (fun k (cs, e) ->
+        let pname = Printf.sprintf "or%d" k in
+        List.iter (fun c -> pr "%s %s\n" (label c) pname) cs;
+        pr "%s %s\n" pname (label e))
+      ors;
+    List.iter
+      (fun nms ->
+        let pname = "me_" ^ String.concat "_" nms in
+        List.iter (fun nm -> pr "%s %s\n" (label (fall nm)) pname) nms;
+        List.iter (fun nm -> pr "%s %s\n" pname (label (rise nm))) nms)
+      mes;
+    let marking = ref [] in
+    List.iter
+      (fun (c, e) ->
+        if marked (c, e) then
+          marking := Printf.sprintf "<%s,%s>" (label c) (label e) :: !marking)
+      arcs;
+    List.iteri
+      (fun k oc ->
+        if or_marked oc then marking := Printf.sprintf "or%d" k :: !marking)
+      ors;
+    List.iter
+      (fun nms ->
+        if me_marked nms then
+          marking := ("me_" ^ String.concat "_" nms) :: !marking)
+      mes;
+    pr ".marking { %s }\n" (String.concat " " (List.rev !marking));
+    pr ".init %s\n"
+      (String.concat " "
+         (List.map
+            (fun nm -> Printf.sprintf "%s=%d" nm (if init nm then 1 else 0))
+            (ins @ outs)));
+    pr ".end\n";
+    Ok (Buffer.contents buf)
+  with Compile_error m -> Error m
+
+let compile ~name spec =
+  match to_g ~name spec with
+  | Error _ as e -> e
+  | Ok text -> (
+    match Stg.parse_string text with
+    | Ok stg -> Ok stg
+    | Error m ->
+      (* Should be unreachable: to_g emits the dialect the parser
+         accepts.  Surface it loudly if an emission bug sneaks in. *)
+      Error (Printf.sprintf "compile %s: emitted .g rejected: %s" name m))

@@ -1,0 +1,171 @@
+(** Concept-combinator specification DSL.
+
+    Composes STG specifications from reusable behavioral {e concepts}
+    in the style of the Tuura/snowleopard [concepts] tool: a
+    specification is a monoid of small declarative fragments —
+    causality arcs, AND/OR-causality joins, mutual exclusion, gate
+    protocols, handshakes — that {!compile} translates into a
+    well-formed {!Satg_stg.Stg.t} accepted by the existing
+    [Stg.parse_string] / [Synth.complex_gate] / [Synth.decomposed]
+    flows.
+
+    Translation rules:
+
+    - every causality arc [cause ~> effect] becomes one implicit place
+      [<cause,effect>] (AND-causality is several such places converging
+      on the effect transition, exactly the Petri-net firing rule);
+    - OR-causality becomes one {e explicit} place fed by every cause;
+    - mutual exclusion becomes one explicit place acting as the shared
+      token ([me]);
+    - the initial marking is derived from the declared initial signal
+      values: a causal arc holds a token iff, initially, its cause has
+      already happened ([after cause]) and its effect is the next
+      transition of its signal ([before effect]).  The rule applies to
+      first-instance transitions; arcs involving {!inst}-suffixed
+      transitions default to unmarked and are set explicitly with
+      {!token}.
+
+    Every referenced signal must be declared ({!inputs} / {!outputs})
+    and initialised ({!initialise} and friends) — [compile] rejects
+    anything else, so the emitted [.init] is always consistent and
+    complete. *)
+
+open Satg_stg
+
+(** {1 Transitions} *)
+
+type transition
+(** A signal edge, e.g. [a+], [b-], or an instance-suffixed occurrence
+    [a+/2]. *)
+
+val rise : string -> transition
+val fall : string -> transition
+
+val toggle : transition -> transition
+(** [a+ <-> a-], preserving the instance. *)
+
+val inst : int -> transition -> transition
+(** [inst k t]: the [k]-th occurrence of the edge in a multi-instance
+    specification ([k >= 1]; [k = 1] is the unsuffixed default, [k = 2]
+    prints as [a+/2], matching the [.g] dialect).
+    @raise Invalid_argument if [k < 1]. *)
+
+val label : transition -> string
+(** The [.g] label ("a+", "b-/2", ...). *)
+
+(** {1 Concepts} *)
+
+type t
+(** A composable specification fragment. *)
+
+val empty : t
+
+val ( <+> ) : t -> t -> t
+(** Composition (associative, commutative up to emission order, unit
+    {!empty}).  Duplicate causal arcs are merged by {!compile}. *)
+
+val concat : t list -> t
+
+(** {2 Declarations} *)
+
+val inputs : string list -> t
+(** Declare environment-driven signals (STG inputs). *)
+
+val outputs : string list -> t
+(** Declare circuit-driven signals (STG outputs; internal signals of a
+    decomposition are outputs too). *)
+
+val initialise : string -> bool -> t
+
+val initialise0 : string list -> t
+(** All named signals initially 0. *)
+
+val initialise1 : string list -> t
+
+(** {2 Causality} *)
+
+val causality : transition -> transition -> t
+
+val ( --> ) : transition -> transition -> t
+(** [cause --> effect]: the effect may fire only after the cause.  One
+    implicit place per arc. *)
+
+val and_causality : transition list -> transition -> t
+
+val ( &--> ) : transition list -> transition -> t
+(** AND-causality: the effect needs {e every} cause (one implicit place
+    per cause, all converging on the effect). *)
+
+val or_causality : transition list -> transition -> t
+
+val ( |--> ) : transition list -> transition -> t
+(** OR-causality: the effect needs {e some} cause (one explicit place
+    fed by every cause).  The place starts marked iff every cause is
+    initially [after] and the effect initially [before]. *)
+
+val silent : string list -> t
+(** Declare that these signals never switch: {!compile} fails if any
+    arc mentions them.  They still need declaration + initialisation
+    and appear (constant) in the STG interface. *)
+
+(** {2 Protocol / gate concepts} *)
+
+val buffer : string -> string -> t
+(** [buffer a b]: [b] follows [a] ([a+ ~> b+ <+> a- ~> b-]). *)
+
+val inverter : string -> string -> t
+(** [inverter a b]: [b] follows [not a]. *)
+
+val c_element : string -> string -> string -> t
+(** [c_element a b c]: [c] rises after both inputs rise, falls after
+    both fall. *)
+
+val me : string -> string -> t
+(** [me a b]: at most one of [a], [b] is high at any time (a shared
+    token place between their rises and falls).  Initially the token is
+    free iff neither signal starts high; {!compile} rejects both
+    starting high. *)
+
+val me_n : string list -> t
+(** Mutual exclusion over any number of signals (one shared token). *)
+
+val handshake : string -> string -> t
+(** [handshake req ack]: the four-phase protocol
+    [req+ ~> ack+ ~> req- ~> ack- ~> req+ ...], phasing (0,0).
+    Alias of {!handshake00}. *)
+
+val handshake00 : string -> string -> t
+(** Both signals initially 0; the request rises first. *)
+
+val handshake11 : string -> string -> t
+(** Both initially 1; the request falls first. *)
+
+val handshake10 : string -> string -> t
+(** Request initially 1, ack 0: the ack's rise is the next event. *)
+
+val handshake01 : string -> string -> t
+(** Request 0, ack 1: the ack's fall is the next event. *)
+
+(** {2 Initial-marking overrides} *)
+
+val token : transition -> transition -> t
+(** Force a token on the implicit place of the [cause -> effect] arc
+    (needed for arcs between {!inst}-suffixed transitions, which the
+    default rule leaves unmarked). *)
+
+val no_token : transition -> transition -> t
+(** Remove the default-rule token from an arc. *)
+
+(** {1 Compilation} *)
+
+val to_g : name:string -> t -> (string, string) result
+(** Emit the [.g] text of the composed specification.  Fails (with a
+    human-readable reason) on: undeclared or uninitialised signals,
+    conflicting initialisations, input/output double declaration,
+    silent signals with arcs, an empty specification, or a marking
+    override naming a nonexistent arc. *)
+
+val compile : name:string -> t -> (Stg.t, string) result
+(** {!to_g} followed by [Stg.parse_string] — the result is by
+    construction accepted by the stock parser, and
+    [Stg.to_string (compile spec)] round-trips. *)

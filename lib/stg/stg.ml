@@ -168,6 +168,12 @@ let parse_string text =
         place_order := nm :: !place_order;
         p
     in
+    (* Repeating an arc line does not change the net: an implicit place
+       is identified by its transition pair, and a transition is in a
+       place's pre/post set or it is not.  Deduplicate here so the
+       printer's one-transition-per-implicit-place invariant holds for
+       every parsed net (to_string/parse_string round-trip). *)
+    let add_uniq r x = if not (List.mem x !r) then r := x :: !r in
     List.iter
       (fun (src, dsts) ->
         List.iter
@@ -176,16 +182,16 @@ let parse_string text =
             | true, true ->
               let ti = intern_transition src and tj = intern_transition dst in
               let pre, post = place (Printf.sprintf "<%s,%s>" src dst) in
-              pre := ti :: !pre;
-              post := tj :: !post
+              add_uniq pre ti;
+              add_uniq post tj
             | true, false ->
               let ti = intern_transition src in
               let pre, _ = place dst in
-              pre := ti :: !pre
+              add_uniq pre ti
             | false, true ->
               let tj = intern_transition dst in
               let _, post = place src in
-              post := tj :: !post
+              add_uniq post tj
             | false, false -> fail "place-to-place arc %S -> %S" src dst)
           dsts)
       (List.rev !graph_arcs);

@@ -37,6 +37,11 @@ val hazard_free_covers : Stg.sg -> (string * Satg_logic.Cover.t) list
     opposing literals (hazard potential), minimal otherwise.  This is
     what {!decomposed} [~redundant:true] synthesizes. *)
 
+val has_opposing_pair : Satg_logic.Cover.t -> bool
+(** Whether two cubes of the cover oppose in some literal — the
+    single-input-change hazard precondition that makes
+    {!hazard_free_covers} fall back to the all-primes cover. *)
+
 val complex_gate : Stg.t -> (Circuit.t, string) result
 
 val decomposed : ?redundant:bool -> Stg.t -> (Circuit.t, string) result

@@ -20,4 +20,6 @@ let () =
          Test_pool.suites;
          Test_domains.suites;
          Test_store.suites;
+         Test_concepts.suites;
+         Test_families.suites;
        ])
