@@ -284,7 +284,13 @@ let atpg_cmd =
     (if stats then
        match (r.Engine.bdd_stats, r.Engine.sat_stats) with
        | Some s, _ -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
-       | None, Some s -> Format.printf "%a@." Satg_sat.Sat.pp_stats s
+       | None, Some s ->
+         Format.printf "%a@." Satg_sat.Sat.pp_stats s;
+         Option.iter
+           (fun (defined, interned) ->
+             Format.printf "cnf: %d definitions, %d interned@." defined
+               interned)
+           r.Engine.cnf_defs
        | None, None ->
          Format.printf
            "engine stats: n/a (pass --engine bdd or --engine sat)@.");

@@ -4,44 +4,140 @@ open Satg_sat
 (* Tseitin gate definitions                                            *)
 (* ------------------------------------------------------------------ *)
 
-let define_and s y xs =
-  List.iter (fun x -> Sat.add_clause s [ Sat.neg y; x ]) xs;
-  Sat.add_clause s (y :: List.map Sat.neg xs)
+let define_and ?act s y xs =
+  List.iter (fun x -> Sat.add_clause ?act s [ Sat.neg y; x ]) xs;
+  Sat.add_clause ?act s (y :: List.map Sat.neg xs)
 
-let define_or s y xs =
-  List.iter (fun x -> Sat.add_clause s [ Sat.neg x; y ]) xs;
-  Sat.add_clause s (Sat.neg y :: xs)
+let define_or ?act s y xs =
+  List.iter (fun x -> Sat.add_clause ?act s [ Sat.neg x; y ]) xs;
+  Sat.add_clause ?act s (Sat.neg y :: xs)
 
-let define_xor s y a b =
-  Sat.add_clause s [ Sat.neg y; a; b ];
-  Sat.add_clause s [ Sat.neg y; Sat.neg a; Sat.neg b ];
-  Sat.add_clause s [ y; Sat.neg a; b ];
-  Sat.add_clause s [ y; a; Sat.neg b ]
+let define_xor ?act s y a b =
+  Sat.add_clause ?act s [ Sat.neg y; a; b ];
+  Sat.add_clause ?act s [ Sat.neg y; Sat.neg a; Sat.neg b ];
+  Sat.add_clause ?act s [ y; Sat.neg a; b ];
+  Sat.add_clause ?act s [ y; a; Sat.neg b ]
 
-let define_ite s y c a b =
-  Sat.add_clause s [ Sat.neg y; Sat.neg c; a ];
-  Sat.add_clause s [ Sat.neg y; c; b ];
-  Sat.add_clause s [ y; Sat.neg c; Sat.neg a ];
-  Sat.add_clause s [ y; c; Sat.neg b ]
+let define_ite ?act s y c a b =
+  Sat.add_clause ?act s [ Sat.neg y; Sat.neg c; a ];
+  Sat.add_clause ?act s [ Sat.neg y; c; b ];
+  Sat.add_clause ?act s [ y; Sat.neg c; Sat.neg a ];
+  Sat.add_clause ?act s [ y; c; Sat.neg b ]
 
-let define_eq s a b =
-  Sat.add_clause s [ Sat.neg a; b ];
-  Sat.add_clause s [ a; Sat.neg b ]
+let define_eq ?act s a b =
+  Sat.add_clause ?act s [ Sat.neg a; b ];
+  Sat.add_clause ?act s [ a; Sat.neg b ]
 
 (* Ladder AMO: commander c_i = "some of x_0..x_i is true";
-   x_{i+1} forbidden once c_i holds. *)
+   x_{i+1} forbidden once c_i holds.  The last element needs only the
+   exclusion clause — no commander covers a suffix that is empty. *)
 let at_most_one s = function
   | [] | [ _ ] -> ()
   | x0 :: rest ->
-    let c = ref x0 in
-    List.iter
-      (fun x ->
-        Sat.add_clause s [ Sat.neg !c; Sat.neg x ];
+    let rec go c = function
+      | [] -> ()
+      | [ x ] -> Sat.add_clause s [ Sat.neg c; Sat.neg x ]
+      | x :: tl ->
+        Sat.add_clause s [ Sat.neg c; Sat.neg x ];
         let c' = Sat.pos (Sat.new_var s) in
-        Sat.add_clause s [ Sat.neg !c; c' ];
+        Sat.add_clause s [ Sat.neg c; c' ];
         Sat.add_clause s [ Sat.neg x; c' ];
-        c := c')
-      rest
+        go c' tl
+    in
+    go x0 rest
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed definitions                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Defs = struct
+  type key =
+    | K_and of Sat.lit list  (* sorted, deduped *)
+    | K_or of Sat.lit list
+    | K_xor of Sat.lit * Sat.lit
+    | K_ite of Sat.lit * Sat.lit * Sat.lit
+
+  type t = {
+    sat : Sat.t;
+    tbl : (Sat.act option * key, Sat.lit) Hashtbl.t;
+    mutable true_var : int option;
+    mutable defined : int;
+    mutable interned : int;
+  }
+
+  let create sat =
+    { sat; tbl = Hashtbl.create 256; true_var = None; defined = 0; interned = 0 }
+
+  let true_ d =
+    match d.true_var with
+    | Some v -> Sat.pos v
+    | None ->
+      let v = Sat.new_var d.sat in
+      Sat.add_clause d.sat [ Sat.pos v ];
+      d.true_var <- Some v;
+      Sat.pos v
+
+  let false_ d = Sat.neg (true_ d)
+
+  (* Sort + dedup; detect a complementary pair (returns None). *)
+  let canon lits =
+    let lits = List.sort_uniq compare lits in
+    let rec clash = function
+      | a :: (b :: _ as tl) -> a lxor 1 = b || clash tl
+      | _ -> false
+    in
+    if clash lits then None else Some lits
+
+  let hit d ?act key define =
+    let k = (act, key) in
+    match Hashtbl.find_opt d.tbl k with
+    | Some y ->
+      d.interned <- d.interned + 1;
+      y
+    | None ->
+      let y = Sat.pos (Sat.new_var d.sat) in
+      define y;
+      Hashtbl.replace d.tbl k y;
+      d.defined <- d.defined + 1;
+      y
+
+  let or_ ?act d lits =
+    match canon lits with
+    | None -> true_ d
+    | Some [] -> false_ d
+    | Some [ l ] -> l
+    | Some lits -> hit d ?act (K_or lits) (fun y -> define_or ?act d.sat y lits)
+
+  let and_ ?act d lits =
+    match canon lits with
+    | None -> false_ d
+    | Some [] -> true_ d
+    | Some [ l ] -> l
+    | Some lits ->
+      hit d ?act (K_and lits) (fun y -> define_and ?act d.sat y lits)
+
+  let xor_ ?act d a b =
+    if a = b then false_ d
+    else if a = Sat.neg b then true_ d
+    else
+      let a, b = if a <= b then (a, b) else (b, a) in
+      hit d ?act (K_xor (a, b)) (fun y -> define_xor ?act d.sat y a b)
+
+  let ite_ ?act d c a b =
+    if a = b then a
+    else if c = a then or_ ?act d [ a; b ] (* c?c:b  =  c or b *)
+    else
+      hit d ?act (K_ite (c, a, b)) (fun y -> define_ite ?act d.sat y c a b)
+
+  let release d act =
+    let dead = Some act in
+    Hashtbl.iter
+      (fun ((a, _) as k) _ -> if a = dead then Hashtbl.remove d.tbl k)
+      (Hashtbl.copy d.tbl)
+
+  let defined d = d.defined
+  let interned d = d.interned
+end
 
 (* ------------------------------------------------------------------ *)
 (* Time-frame unroller                                                 *)
@@ -50,6 +146,7 @@ let at_most_one s = function
 module Unroller = struct
   type t = {
     sat : Sat.t;
+    act : Sat.act option;
     mutable n_states : int;
     mutable initial : bool array;
     mutable in_edges : int list array;  (* per state, edge ids into it *)
@@ -61,9 +158,10 @@ module Unroller = struct
     mutable n_frames : int;
   }
 
-  let create sat =
+  let create ?act sat =
     {
       sat;
+      act;
       n_states = 0;
       initial = Array.make 16 false;
       in_edges = Array.make 16 [];
@@ -74,6 +172,8 @@ module Unroller = struct
       evars = Array.make 8 [||];
       n_frames = 0;
     }
+
+  let clause u lits = Sat.add_clause ?act:u.act u.sat lits
 
   let grow a n fill =
     if n <= Array.length a then a
@@ -118,8 +218,7 @@ module Unroller = struct
     if f = 0 then begin
       let vars = fresh_state_frame u in
       for j = 0 to u.n_states - 1 do
-        if not u.initial.(j) then
-          Sat.add_clause u.sat [ Sat.neg_of vars.(j) ]
+        if not u.initial.(j) then clause u [ Sat.neg_of vars.(j) ]
       done;
       u.svars.(0) <- vars
     end
@@ -138,14 +237,13 @@ module Unroller = struct
         (* e_t -> s_{t,src}: an edge whose source does not yet exist at
            frame t can simply never be taken there. *)
         (if u.e_src.(e) < Array.length prev then
-           Sat.add_clause u.sat
-             [ Sat.neg_of v; Sat.pos prev.(u.e_src.(e)) ]
-         else Sat.add_clause u.sat [ Sat.neg_of v ]);
-        Sat.add_clause u.sat [ Sat.neg_of v; Sat.pos next.(u.e_dst.(e)) ]
+           clause u [ Sat.neg_of v; Sat.pos prev.(u.e_src.(e)) ]
+         else clause u [ Sat.neg_of v ]);
+        clause u [ Sat.neg_of v; Sat.pos next.(u.e_dst.(e)) ]
       done;
       (* support: s_{t+1,j} -> OR of in-edges at step t *)
       for j = 0 to u.n_states - 1 do
-        Sat.add_clause u.sat
+        clause u
           (Sat.neg_of next.(j)
           :: List.rev_map (fun e -> Sat.pos ev.(e)) u.in_edges.(j))
       done
@@ -187,4 +285,20 @@ module Unroller = struct
     | Some l when Sat.lit_true u.sat l -> ()
     | _ -> invalid_arg "Cnf.Unroller.decode_path: state not true in model");
     go frame state []
+
+  let retire u =
+    match u.act with
+    | None -> invalid_arg "Cnf.Unroller.retire: unroller has no activation"
+    | Some a ->
+      Sat.retire u.sat a;
+      (* The act's clauses are gone, so no live clause mentions these
+         variables: take them out of the branching heap for good. *)
+      Array.iter
+        (fun vars ->
+          Array.iter (fun v -> Sat.set_decidable u.sat v false) vars)
+        u.svars;
+      Array.iter
+        (fun ev ->
+          Array.iter (fun v -> if v >= 0 then Sat.set_decidable u.sat v false) ev)
+        u.evars
 end

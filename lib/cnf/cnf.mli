@@ -24,40 +24,95 @@
     ring-synchronized product unrolling of differentiation): states and
     edges added later simply do not exist in already-encoded frames,
     which is sound because a state first discovered at ring [d] can
-    only sit at positions [>= d] of any path. *)
+    only sit at positions [>= d] of any path.
+
+    Everything here threads {!Satg_sat.Sat}'s activation literals: a
+    [define_*] or an {!Unroller} created with [~act] emits only
+    act-guarded clauses, so a whole per-fault encoding can be switched
+    on per solve and deleted wholesale when the fault retires, while
+    act-free (shared, e.g. good-machine) clauses persist. *)
 
 open Satg_sat
 
 (** {1 Tseitin gate definitions}
 
     Each [define_*] constrains a fresh literal [y] to equal a boolean
-    function of its inputs, in the standard Tseitin clause set. *)
+    function of its inputs, in the standard Tseitin clause set.  With
+    [~act] the defining clauses are guarded by the activation literal
+    and the equivalence holds only under the {!Sat.act_lit}
+    assumption. *)
 
-val define_and : Sat.t -> Sat.lit -> Sat.lit list -> unit
+val define_and : ?act:Sat.act -> Sat.t -> Sat.lit -> Sat.lit list -> unit
 (** [define_and s y xs]: [y <-> AND xs].  [y <-> true] for [[]]. *)
 
-val define_or : Sat.t -> Sat.lit -> Sat.lit list -> unit
+val define_or : ?act:Sat.act -> Sat.t -> Sat.lit -> Sat.lit list -> unit
 (** [define_or s y xs]: [y <-> OR xs].  [y <-> false] for [[]]. *)
 
-val define_xor : Sat.t -> Sat.lit -> Sat.lit -> Sat.lit -> unit
+val define_xor : ?act:Sat.act -> Sat.t -> Sat.lit -> Sat.lit -> Sat.lit -> unit
 (** [define_xor s y a b]: [y <-> a XOR b]. *)
 
-val define_ite : Sat.t -> Sat.lit -> Sat.lit -> Sat.lit -> Sat.lit -> unit
+val define_ite :
+  ?act:Sat.act -> Sat.t -> Sat.lit -> Sat.lit -> Sat.lit -> Sat.lit -> unit
 (** [define_ite s y c a b]: [y <-> if c then a else b]. *)
 
-val define_eq : Sat.t -> Sat.lit -> Sat.lit -> unit
+val define_eq : ?act:Sat.act -> Sat.t -> Sat.lit -> Sat.lit -> unit
 (** [define_eq s a b]: [a <-> b]. *)
 
 val at_most_one : Sat.t -> Sat.lit list -> unit
-(** Ladder (sequential) encoding with fresh commander variables:
-    at most one of the literals is true. *)
+(** Ladder (sequential) encoding with fresh commander variables: at
+    most one of the literals is true.  For [n >= 2] literals this emits
+    exactly [n - 2] commander variables and [3n - 5] clauses — the last
+    element gets only its exclusion clause, since no suffix remains for
+    a final commander to guard. *)
+
+(** {1 Hash-consed definitions}
+
+    A structural-hashing layer over the [define_*] primitives: asking
+    for the same gate over the same (canonicalised) operands returns
+    the {e same} literal instead of re-Tseitin-ing a fresh one.
+    Operands of [and_]/[or_] are sorted and deduplicated, and trivial
+    cones ([x AND ¬x], singletons, …) fold to constants without
+    touching the table.  Definitions made under [~act] are interned per
+    activation and must be {!Defs.release}d when the activation
+    retires — their clauses are gone, so a later hit would be
+    unsound. *)
+
+module Defs : sig
+  type t
+
+  val create : Sat.t -> t
+
+  val true_ : t -> Sat.lit
+  (** A literal constrained true (allocated once, lazily). *)
+
+  val false_ : t -> Sat.lit
+
+  val or_ : ?act:Sat.act -> t -> Sat.lit list -> Sat.lit
+  val and_ : ?act:Sat.act -> t -> Sat.lit list -> Sat.lit
+  val xor_ : ?act:Sat.act -> t -> Sat.lit -> Sat.lit -> Sat.lit
+  val ite_ : ?act:Sat.act -> t -> Sat.lit -> Sat.lit -> Sat.lit -> Sat.lit
+
+  val release : t -> Sat.act -> unit
+  (** Forget every definition interned under the activation.  Call
+      after (or with) {!Sat.retire} — the defining clauses die with the
+      act. *)
+
+  val defined : t -> int
+  (** Fresh Tseitin definitions emitted. *)
+
+  val interned : t -> int
+  (** Structural-hashing hits (a definition served from the table). *)
+end
 
 (** {1 Time-frame unroller} *)
 
 module Unroller : sig
   type t
 
-  val create : Sat.t -> t
+  val create : ?act:Sat.act -> Sat.t -> t
+  (** With [~act], every clause the unroller emits is guarded by the
+      activation literal: the whole unrolling holds only under the
+      {!Sat.act_lit} assumption and can be deleted with {!retire}. *)
 
   val add_state : t -> initial:bool -> int
   (** New state; returns its dense id.  Adding a state after frames
@@ -91,4 +146,11 @@ module Unroller : sig
       [frame] path from an initial state to [state], in forward order.
       @raise Invalid_argument if the model does not support the walk
       (i.e. the assumed literal was not true). *)
+
+  val retire : t -> unit
+  (** For an unroller created with [~act]: {!Sat.retire} the activation
+      (deleting every clause of the unrolling) and mark all its state
+      and edge variables undecidable.  The unroller must not be used
+      afterwards.
+      @raise Invalid_argument on an act-free unroller. *)
 end

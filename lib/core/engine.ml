@@ -52,6 +52,7 @@ type result = {
   faults_searched : int;
   bdd_stats : Satg_bdd.Bdd.stats option;
   sat_stats : Satg_sat.Sat.stats option;
+  cnf_defs : (int * int) option;
 }
 
 let run ?(config = default_config) ?cssg ?guard ?settled ?on_outcome circuit
@@ -320,6 +321,19 @@ let run ?(config = default_config) ?cssg ?guard ?settled ?on_outcome circuit
                | Some se -> Satg_sat.Sat.add_stats acc (Sat_engine.stats se)
                | None -> acc)
              Satg_sat.Sat.zero_stats worker_sats)
+      | Explicit | Bdd -> None);
+    cnf_defs =
+      (match config.engine with
+      | Sat ->
+        Some
+          (Array.fold_left
+             (fun (d, i) se ->
+               match se with
+               | Some se ->
+                 let d', i' = Sat_engine.defs_stats se in
+                 (d + d', i + i')
+               | None -> (d, i))
+             (0, 0) worker_sats)
       | Explicit | Bdd -> None);
   }
 

@@ -69,6 +69,10 @@ type result = {
   sat_stats : Satg_sat.Sat.stats option;
       (** solver counters, aggregated across every per-fault SAT
           query, when the [Sat] engine ran *)
+  cnf_defs : (int * int) option;
+      (** [(defined, interned)] hash-consing counters summed over the
+          per-worker SAT engines: Tseitin definitions emitted vs
+          served structurally from the table *)
 }
 
 val run :

@@ -4,29 +4,36 @@ open Satg_sg
 module Sat = Satg_sat.Sat
 module Cnf = Satg_cnf.Cnf
 
-(* The shared justification instance: the static CSSG unrolled over as
-   many frames as queries have needed so far. *)
-type just = {
-  jsat : Sat.t;
-  junr : Cnf.Unroller.t;
-  jvec : bool array array;  (* unroller edge id -> input vector *)
+(* The long-lived core: one solver holding the good-machine time-frame
+   unrolling (shared by justification and, incrementally, by every
+   differentiation call), its edge vectors, BFS distances for the
+   product-to-good frame offset, and the hash-consing table. *)
+type core = {
+  sat : Sat.t;
+  good : Cnf.Unroller.t;
+  gvec : bool array array;  (* good unroller edge id -> input vector *)
+  gdist : int array;  (* state -> BFS distance from reset (-1 = unreachable) *)
+  defs : Cnf.Defs.t;
 }
 
 type t = {
   g : Cssg.t;
-  mutable just : just option;
-  mutable retired : Sat.stats;  (* from differentiation solvers *)
+  incremental : bool;
+  mutable core : core option;
+  mutable retired : Sat.stats;  (* from discarded fresh-mode solvers *)
 }
 
-let create g = { g; just = None; retired = Sat.zero_stats }
+let create ?(incremental = true) g =
+  { g; incremental; core = None; retired = Sat.zero_stats }
 
-let build_just g =
+let build_core g =
   let sat = Sat.create () in
   let unr = Cnf.Unroller.create sat in
   let n = Cssg.n_states g in
-  let initials = Cssg.initial g in
+  let init_mask = Array.make (max 1 n) false in
+  List.iter (fun i -> init_mask.(i) <- true) (Cssg.initial g);
   for i = 0 to n - 1 do
-    ignore (Cnf.Unroller.add_state unr ~initial:(List.mem i initials))
+    ignore (Cnf.Unroller.add_state unr ~initial:init_mask.(i))
   done;
   let vecs = ref [] in
   for i = 0 to n - 1 do
@@ -36,34 +43,61 @@ let build_just g =
         vecs := e.Cssg.vector :: !vecs)
       (Cssg.successors g i)
   done;
-  { jsat = sat; junr = unr; jvec = Array.of_list (List.rev !vecs) }
+  let gdist = Array.make (max 1 n) (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun i ->
+      if gdist.(i) < 0 then begin
+        gdist.(i) <- 0;
+        Queue.add i q
+      end)
+    (Cssg.initial g);
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun e ->
+        let j = e.Cssg.target in
+        if gdist.(j) < 0 then begin
+          gdist.(j) <- gdist.(i) + 1;
+          Queue.add j q
+        end)
+      (Cssg.successors g i)
+  done;
+  {
+    sat;
+    good = unr;
+    gvec = Array.of_list (List.rev !vecs);
+    gdist;
+    defs = Cnf.Defs.create sat;
+  }
+
+let core t =
+  match t.core with
+  | Some c -> c
+  | None ->
+    let c = build_core t.g in
+    t.core <- Some c;
+    c
 
 (* Exact-length BMC: the first satisfiable frame is the BFS distance.
    The frame bound is the trivial diameter bound; justification targets
    are BFS-reachable, so the loop never actually runs dry on them. *)
 let justify t guard target =
-  let j =
-    match t.just with
-    | Some j -> j
-    | None ->
-      let j = build_just t.g in
-      t.just <- Some j;
-      j
-  in
-  Sat.set_guard j.jsat guard;
+  let c = core t in
+  Sat.set_guard c.sat guard;
   let bound = Cssg.n_states t.g - 1 in
   let rec try_frame f =
     if f > bound then None
     else begin
-      Cnf.Unroller.ensure_frames j.junr ~upto:f;
-      match Cnf.Unroller.state_lit j.junr ~frame:f target with
+      Cnf.Unroller.ensure_frames c.good ~upto:f;
+      match Cnf.Unroller.state_lit c.good ~frame:f target with
       | None -> try_frame (f + 1)
       | Some l ->
-        if Sat.solve ~assumptions:[ l ] j.jsat then
+        if Sat.solve ~assumptions:[ l ] c.sat then
           Some
             (List.map
-               (fun e -> j.jvec.(e))
-               (Cnf.Unroller.decode_path j.junr ~frame:f ~state:target))
+               (fun e -> c.gvec.(e))
+               (Cnf.Unroller.decode_path c.good ~frame:f ~state:target))
         else try_frame (f + 1)
     end
   in
@@ -78,31 +112,97 @@ let set_key c fstates =
    every edge leaving distance <= t already exists — and a path
    position t only ever sits on a state of distance <= t, so the
    encoding is complete for exact-length queries despite the dynamic
-   graph. *)
+   graph.
+
+   Incremental mode shares the core solver across faults: the product
+   clauses (and the per-depth disjunction indicators) are guarded by a
+   per-fault activation literal, product frame [f] is linked to good
+   frame [dist(start) + f] so the shared good-machine clauses and any
+   learned clauses over them constrain every fault's search, and the
+   whole group is retired (clauses deleted, variables undecidable)
+   before the next fault arrives.  Fresh mode (the bench baseline and
+   the differential-testing oracle) builds a throwaway solver per call,
+   exactly the pre-incremental behaviour. *)
 let differentiate t guard config fm ~start ~fstates =
   let g = t.g in
   let c = Cssg.circuit g in
-  let sat = Sat.create ~guard () in
-  let unr = Cnf.Unroller.create sat in
+  let cr = core t in
+  let sat, act, defs, l0 =
+    if t.incremental then begin
+      Sat.set_guard cr.sat guard;
+      let a = Sat.new_act cr.sat in
+      (cr.sat, Some a, cr.defs, max 0 cr.gdist.(start))
+    end
+    else
+      let s = Sat.create ~guard () in
+      (s, None, Cnf.Defs.create s, 0)
+  in
+  let unr = Cnf.Unroller.create ?act sat in
   let key2pid = Hashtbl.create 256 in
   let info = Hashtbl.create 256 in (* pid -> (good state, faulty set) *)
   let evec = Hashtbl.create 256 in (* unroller edge id -> vector *)
+  let capped = ref false in
   let register i fsts =
     let k = (i, set_key c fsts) in
     match Hashtbl.find_opt key2pid k with
-    | Some pid -> (pid, false)
+    | Some pid -> Some (pid, false)
     | None ->
-      let pid =
-        Cnf.Unroller.add_state unr ~initial:(Hashtbl.length key2pid = 0)
-      in
-      Hashtbl.replace key2pid k pid;
-      Hashtbl.replace info pid (i, fsts);
-      (pid, true)
+      if Hashtbl.length key2pid >= config.Three_phase.max_product_states
+      then begin
+        (* fail-soft: remember the truncation instead of silently
+           pretending the frontier ended here *)
+        capped := true;
+        None
+      end
+      else begin
+        let pid =
+          Cnf.Unroller.add_state unr ~initial:(Hashtbl.length key2pid = 0)
+        in
+        Hashtbl.replace key2pid k pid;
+        Hashtbl.replace info pid (i, fsts);
+        Some (pid, true)
+      end
   in
-  let pid0, _ = register start fstates in
+  let pid0 =
+    match register start fstates with
+    | Some (pid, _) -> pid
+    | None -> assert false (* cap is >= 1 *)
+  in
   let frontier = ref [ pid0 ] in
   let result = ref None in
-  let finish sat_stats = t.retired <- Sat.add_stats t.retired sat_stats in
+  let linked_upto = ref 0 in
+  (* Product frame f implies good frame l0 + f for the good component:
+     every product path is a good path shifted by the start's BFS
+     distance.  This is what lets learned clauses over the shared good
+     frames transfer between faults. *)
+  let link_frames upto =
+    match act with
+    | None -> ()
+    | Some a ->
+      Cnf.Unroller.ensure_frames cr.good ~upto:(l0 + upto);
+      for f = !linked_upto to upto do
+        for pid = 0 to Cnf.Unroller.n_states unr - 1 do
+          match Cnf.Unroller.state_lit unr ~frame:f pid with
+          | None -> ()
+          | Some p ->
+            let i, _ = Hashtbl.find info pid in
+            (match Cnf.Unroller.state_lit cr.good ~frame:(l0 + f) i with
+            | Some sg -> Sat.add_clause ~act:a sat [ Sat.neg p; sg ]
+            | None -> ())
+        done
+      done;
+      linked_upto := upto + 1
+  in
+  let assumptions ind =
+    match act with None -> [ ind ] | Some a -> [ Sat.act_lit sat a; ind ]
+  in
+  let cleanup () =
+    match act with
+    | None -> t.retired <- Sat.add_stats t.retired (Sat.stats sat)
+    | Some a ->
+      Cnf.Defs.release defs a;
+      Cnf.Unroller.retire unr
+  in
   (try
      let depth = ref 0 in
      while
@@ -117,35 +217,34 @@ let differentiate t guard config fm ~start ~fstates =
            let i, fsts = Hashtbl.find info pid in
            List.iter
              (fun e ->
-               if
-                 Hashtbl.length key2pid
-                 < config.Three_phase.max_product_states
-               then begin
-                 Guard.spend_transition guard;
-                 match Detect.exact_apply fm fsts e.Cssg.vector with
-                 | None -> ()
-                 | Some fsts' ->
-                   let j = e.Cssg.target in
-                   let pid', is_new = register j fsts' in
+               Guard.spend_transition guard;
+               match Detect.exact_apply fm fsts e.Cssg.vector with
+               | None -> ()
+               | Some fsts' -> (
+                 let j = e.Cssg.target in
+                 match register j fsts' with
+                 | None -> () (* over the cap; recorded in [capped] *)
+                 | Some (pid', is_new) ->
                    let eid = Cnf.Unroller.add_edge unr ~src:pid ~dst:pid' in
                    Hashtbl.replace evec eid e.Cssg.vector;
                    if is_new then
                      if Detect.exact_differs g j fm fsts' then
                        fresh_diff := pid' :: !fresh_diff
-                     else fresh := pid' :: !fresh
-               end)
+                     else fresh := pid' :: !fresh))
              (Cssg.successors g i))
          !frontier;
        (* differentiating states are terminal: never expanded further *)
        frontier := !fresh;
        if !fresh_diff <> [] then begin
          Cnf.Unroller.ensure_frames unr ~upto:d;
-         let ind = Sat.pos (Sat.new_var sat) in
-         Cnf.define_or sat ind
-           (List.filter_map
-              (fun pid -> Cnf.Unroller.state_lit unr ~frame:d pid)
-              !fresh_diff);
-         if Sat.solve ~assumptions:[ ind ] sat then begin
+         link_frames d;
+         let ind =
+           Cnf.Defs.or_ ?act defs
+             (List.filter_map
+                (fun pid -> Cnf.Unroller.state_lit unr ~frame:d pid)
+                !fresh_diff)
+         in
+         if Sat.solve ~assumptions:(assumptions ind) sat then begin
            let final =
              List.find
                (fun pid ->
@@ -163,9 +262,13 @@ let differentiate t guard config fm ~start ~fstates =
        end
      done
    with Guard.Exhausted _ as ex ->
-     finish (Sat.stats sat);
+     cleanup ();
      raise ex);
-  finish (Sat.stats sat);
+  cleanup ();
+  if !result = None && !capped then
+    (* the product graph was truncated: "no differentiating sequence
+       found" would be a lie, so degrade exactly like a guard trip *)
+    raise (Guard.Exhausted Guard.State_limit);
   !result
 
 let backend t =
@@ -179,6 +282,11 @@ let backend t =
   }
 
 let stats t =
-  match t.just with
+  match t.core with
   | None -> t.retired
-  | Some j -> Sat.add_stats t.retired (Sat.stats j.jsat)
+  | Some c -> Sat.add_stats t.retired (Sat.stats c.sat)
+
+let defs_stats t =
+  match t.core with
+  | None -> (0, 0)
+  | Some c -> (Cnf.Defs.defined c.defs, Cnf.Defs.interned c.defs)

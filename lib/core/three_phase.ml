@@ -71,7 +71,11 @@ let set_key c fstates =
   List.map (Circuit.state_to_string c) fstates
   |> List.sort Stdlib.compare |> String.concat "|"
 
-(* Differentiation: BFS over (good state, exact faulty-state set). *)
+(* Differentiation: BFS over (good state, exact faulty-state set).
+   Hitting [max_product_states] is fail-soft: edges to known states and
+   difference checks still run, but once the frontier was truncated a
+   "no result" answer is no longer trustworthy, so it degrades like any
+   other guard trip instead of reporting undetectable. *)
 let differentiate config guard g fm start_good fstates prefix =
   let c = Cssg.circuit g in
   let seen = Hashtbl.create 256 in
@@ -79,13 +83,13 @@ let differentiate config guard g fm start_good fstates prefix =
   Hashtbl.replace seen (start_good, set_key c fstates) ();
   Queue.add (start_good, fstates, [], 0) queue;
   let result = ref None in
+  let capped = ref false in
   while !result = None && not (Queue.is_empty queue) do
     let i, fsts, path, depth = Queue.take queue in
     if depth < config.max_depth then
       List.iter
         (fun e ->
-          if !result = None && Hashtbl.length seen < config.max_product_states
-          then begin
+          if !result = None then begin
             Guard.spend_transition guard;
             let j = e.Cssg.target in
             match Detect.exact_apply fm fsts e.Cssg.vector with
@@ -95,14 +99,20 @@ let differentiate config guard g fm start_good fstates prefix =
                 result := Some (List.rev (e.Cssg.vector :: path))
               else begin
                 let k = (j, set_key c fsts') in
-                if not (Hashtbl.mem seen k) then begin
-                  Hashtbl.replace seen k ();
-                  Queue.add (j, fsts', e.Cssg.vector :: path, depth + 1) queue
-                end
+                if not (Hashtbl.mem seen k) then
+                  if Hashtbl.length seen >= config.max_product_states then
+                    capped := true
+                  else begin
+                    Hashtbl.replace seen k ();
+                    Queue.add (j, fsts', e.Cssg.vector :: path, depth + 1)
+                      queue
+                  end
               end
           end)
         (Cssg.successors g i)
   done;
+  if !result = None && !capped then
+    raise (Guard.Exhausted Guard.State_limit);
   Option.map (fun suffix -> prefix @ suffix) !result
 
 (* A pluggable justification/differentiation engine.  [None] fields

@@ -13,6 +13,13 @@ let v_undef = 0
 let v_true = 1
 let v_false = 2
 
+(* Arena headers pack the clause length with two flag bits: learned
+   clauses are tagged so cross-query reuse can be counted, dead clauses
+   (deleted by {!retire}) are tagged so compaction can skip them. *)
+let len_mask = (1 lsl 30) - 1
+let learned_flag = 1 lsl 30
+let dead_flag = 1 lsl 31
+
 type stats = {
   decisions : int;
   propagations : int;
@@ -22,6 +29,11 @@ type stats = {
   restarts : int;
   n_vars : int;
   n_clauses : int;
+  instances : int;
+  solves : int;
+  reused_shared : int;
+  reused_learned : int;
+  deleted_clauses : int;
 }
 
 let zero_stats =
@@ -34,6 +46,11 @@ let zero_stats =
     restarts = 0;
     n_vars = 0;
     n_clauses = 0;
+    instances = 0;
+    solves = 0;
+    reused_shared = 0;
+    reused_learned = 0;
+    deleted_clauses = 0;
   }
 
 let add_stats a b =
@@ -46,21 +63,29 @@ let add_stats a b =
     restarts = a.restarts + b.restarts;
     n_vars = max a.n_vars b.n_vars;
     n_clauses = max a.n_clauses b.n_clauses;
+    instances = a.instances + b.instances;
+    solves = a.solves + b.solves;
+    reused_shared = a.reused_shared + b.reused_shared;
+    reused_learned = a.reused_learned + b.reused_learned;
+    deleted_clauses = a.deleted_clauses + b.deleted_clauses;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "sat: %d vars, %d clauses; %d decisions, %d propagations, %d conflicts, \
-     %d learned (%.1f lits avg), %d restarts"
-    s.n_vars s.n_clauses s.decisions s.propagations s.conflicts s.learned
+    "sat: %d instances, %d solves; %d vars, %d clauses; %d decisions, %d \
+     propagations, %d conflicts, %d learned (%.1f lits avg), %d reused \
+     shared, %d reused learned, %d deleted, %d restarts"
+    s.instances s.solves s.n_vars s.n_clauses s.decisions s.propagations
+    s.conflicts s.learned
     (if s.learned = 0 then 0.0
      else float_of_int s.learned_lits /. float_of_int s.learned)
-    s.restarts
+    s.reused_shared s.reused_learned s.deleted_clauses s.restarts
 
 type t = {
   mutable guard : Guard.t;
-  (* Clause arena: [len; lit0; lit1; ...] blocks, refs are header
-     indices.  The two watched literals are always at ref+1 / ref+2. *)
+  (* Clause arena: [header; lit0; lit1; ...] blocks, refs are header
+     indices; the header packs the length with the learned/dead flags.
+     The two watched literals are always at ref+1 / ref+2. *)
   mutable arena : int array;
   mutable arena_top : int;
   (* Per-variable state, indexed by var. *)
@@ -71,6 +96,8 @@ type t = {
   mutable activity : float array;
   mutable saved_phase : bool array;
   mutable seen : bool array;  (* conflict-analysis scratch *)
+  mutable decidable : bool array;
+  mutable act_of_var : int array;  (* var -> activation id, or -1 *)
   (* Watch lists, indexed by literal. *)
   mutable watch : int array array;
   mutable watch_n : int array;
@@ -85,6 +112,13 @@ type t = {
   mutable heap_pos : int array;  (* var -> heap slot, or -1 *)
   mutable heap_n : int;
   mutable var_inc : float;
+  (* Activation literals: per-activation registered clause refs, so one
+     [retire] call deletes a whole fault's clause group. *)
+  mutable act_lits : int array;  (* activation id -> positive literal *)
+  mutable act_clauses : int list array;
+  mutable act_retired : bool array;
+  mutable n_acts : int;
+  mutable dead_space : int;  (* arena ints held by dead clauses *)
   (* Status / counters. *)
   mutable ok : bool;
   mutable decisions : int;
@@ -94,6 +128,12 @@ type t = {
   mutable learned_lits : int;
   mutable restarts : int;
   mutable n_clauses : int;
+  mutable solves : int;
+  mutable solve_top : int;  (* arena_top when the current solve began *)
+  mutable epoch_top : int;  (* arena_top when the latest act was created *)
+  mutable reused_shared : int;
+  mutable reused_learned : int;
+  mutable deleted_clauses : int;
 }
 
 let create ?(guard = Guard.none) () =
@@ -108,6 +148,8 @@ let create ?(guard = Guard.none) () =
     activity = [||];
     saved_phase = [||];
     seen = [||];
+    decidable = [||];
+    act_of_var = [||];
     watch = [||];
     watch_n = [||];
     trail = [||];
@@ -119,6 +161,11 @@ let create ?(guard = Guard.none) () =
     heap_pos = [||];
     heap_n = 0;
     var_inc = 1.0;
+    act_lits = Array.make 8 0;
+    act_clauses = Array.make 8 [];
+    act_retired = Array.make 8 false;
+    n_acts = 0;
+    dead_space = 0;
     ok = true;
     decisions = 0;
     propagations = 0;
@@ -127,6 +174,12 @@ let create ?(guard = Guard.none) () =
     learned_lits = 0;
     restarts = 0;
     n_clauses = 0;
+    solves = 0;
+    solve_top = 0;
+    epoch_top = 0;
+    reused_shared = 0;
+    reused_learned = 0;
+    deleted_clauses = 0;
   }
 
 let set_guard s g = s.guard <- g
@@ -141,6 +194,11 @@ let stats s =
     restarts = s.restarts;
     n_vars = s.nvars;
     n_clauses = s.n_clauses;
+    instances = 1;
+    solves = s.solves;
+    reused_shared = s.reused_shared;
+    reused_learned = s.reused_learned;
+    deleted_clauses = s.deleted_clauses;
   }
 
 (* --- growable flat storage ------------------------------------------------- *)
@@ -153,10 +211,10 @@ let grow_int a n def =
     b
   end
 
-let grow_bool a n =
+let grow_bool a n def =
   if Array.length a >= n then a
   else begin
-    let b = Array.make (max 16 (2 * n)) false in
+    let b = Array.make (max 16 (2 * n)) def in
     Array.blit a 0 b 0 (Array.length a);
     b
   end
@@ -165,6 +223,14 @@ let grow_float a n =
   if Array.length a >= n then a
   else begin
     let b = Array.make (max 16 (2 * n)) 0.0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_list a n =
+  if Array.length a >= n then a
+  else begin
+    let b = Array.make (max 16 (2 * n)) [] in
     Array.blit a 0 b 0 (Array.length a);
     b
   end
@@ -229,8 +295,10 @@ let new_var s =
   s.level <- grow_int s.level s.nvars 0;
   s.reason <- grow_int s.reason s.nvars (-1);
   s.activity <- grow_float s.activity s.nvars;
-  s.saved_phase <- grow_bool s.saved_phase s.nvars;
-  s.seen <- grow_bool s.seen s.nvars;
+  s.saved_phase <- grow_bool s.saved_phase s.nvars false;
+  s.seen <- grow_bool s.seen s.nvars false;
+  s.decidable <- grow_bool s.decidable s.nvars true;
+  s.act_of_var <- grow_int s.act_of_var s.nvars (-1);
   s.trail <- grow_int s.trail s.nvars 0;
   s.heap <- grow_int s.heap s.nvars 0;
   s.heap_pos <- grow_int s.heap_pos s.nvars (-1);
@@ -247,11 +315,18 @@ let new_var s =
   s.heap_pos.(v) <- -1;
   s.saved_phase.(v) <- false;
   s.seen.(v) <- false;
+  s.decidable.(v) <- true;
+  s.act_of_var.(v) <- -1;
   s.activity.(v) <- 0.0;
   heap_insert s v;
   v
 
 let nvars s = s.nvars
+
+let set_decidable s v b =
+  if v < 0 || v >= s.nvars then
+    invalid_arg "Sat.set_decidable: undeclared variable";
+  s.decidable.(v) <- b
 
 let check_var s l =
   let v = var_of l in
@@ -295,7 +370,21 @@ let watch_add s l cr =
   a.(n) <- cr;
   s.watch_n.(l) <- n + 1
 
-let arena_alloc s len =
+(* Stable removal, so the propagation visit order of the surviving
+   clauses — and with it the whole search trace — stays deterministic. *)
+let watch_remove s l cr =
+  let a = s.watch.(l) in
+  let n = s.watch_n.(l) in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if a.(i) <> cr then begin
+      a.(!j) <- a.(i);
+      incr j
+    end
+  done;
+  s.watch_n.(l) <- !j
+
+let arena_alloc s len ~learned =
   let need = s.arena_top + len + 1 in
   if need > Array.length s.arena then begin
     let b = Array.make (max need (2 * Array.length s.arena)) 0 in
@@ -303,13 +392,27 @@ let arena_alloc s len =
     s.arena <- b
   end;
   let cr = s.arena_top in
-  s.arena.(cr) <- len;
+  s.arena.(cr) <- (if learned then len lor learned_flag else len);
   s.arena_top <- need;
   cr
+
+let clause_len s cr = s.arena.(cr) land len_mask
+let clause_learned s cr = s.arena.(cr) land learned_flag <> 0
+let clause_dead s cr = s.arena.(cr) land dead_flag <> 0
 
 let attach s cr =
   watch_add s s.arena.(cr + 1) cr;
   watch_add s s.arena.(cr + 2) cr
+
+(* A clause allocated before the latest activation was created (the
+   shared good-machine unrolling, or anything learned while an earlier
+   fault was live) just steered this query: the cross-fault payoff of
+   the long-lived incremental instance.  Learned-clause reuse across
+   solves is tallied separately. *)
+let note_clause_used s cr =
+  if cr < s.epoch_top then s.reused_shared <- s.reused_shared + 1;
+  if clause_learned s cr && cr < s.solve_top then
+    s.reused_learned <- s.reused_learned + 1
 
 (* --- trail --------------------------------------------------------------------- *)
 
@@ -383,7 +486,7 @@ let propagate s =
           incr j
         end
         else begin
-          let len = s.arena.(cr) in
+          let len = clause_len s cr in
           let k = ref 3 in
           let moved = ref false in
           while (not !moved) && !k <= len do
@@ -400,6 +503,7 @@ let propagate s =
             (* unit or conflicting under the first literal *)
             ws.(!j) <- cr;
             incr j;
+            note_clause_used s cr;
             if val_lit s first = v_false then confl := cr
             else enqueue s first cr
           end
@@ -431,7 +535,7 @@ let analyze s confl0 learnt =
       while !uip < 0 do
         Guard.tick s.guard;
         let cr = !confl in
-        let len = s.arena.(cr) in
+        let len = clause_len s cr in
         (* slot 1 of a reason clause is the resolved literal: skip it *)
         let start = if !p < 0 then 1 else 2 in
         for k = start to len do
@@ -461,10 +565,47 @@ let analyze s confl0 learnt =
       learnt := (!uip lxor 1) :: !tail;
       List.fold_left (fun acc q -> max acc (s.level.(q lsr 1))) 0 !tail)
 
+(* --- activation literals ----------------------------------------------------------- *)
+
+type act = int
+
+let new_act s =
+  let v = new_var s in
+  (* clauses below this point predate the activation's owner: their use
+     from now on is cross-fault reuse *)
+  s.epoch_top <- s.arena_top;
+  let i = s.n_acts in
+  s.act_lits <- grow_int s.act_lits (i + 1) 0;
+  s.act_clauses <- grow_list s.act_clauses (i + 1);
+  s.act_retired <- grow_bool s.act_retired (i + 1) false;
+  s.act_lits.(i) <- pos v;
+  s.act_clauses.(i) <- [];
+  s.act_retired.(i) <- false;
+  s.act_of_var.(v) <- i;
+  s.n_acts <- i + 1;
+  i
+
+let act_lit s a =
+  if a < 0 || a >= s.n_acts then invalid_arg "Sat.act_lit: unknown activation";
+  s.act_lits.(a)
+
+let register_act_clause s a cr =
+  if not s.act_retired.(a) then s.act_clauses.(a) <- cr :: s.act_clauses.(a)
+
 (* --- clause addition --------------------------------------------------------------- *)
 
-let add_clause s lits =
+let add_clause ?act s lits =
   List.iter (check_var s) lits;
+  let lits =
+    match act with
+    | None -> lits
+    | Some a ->
+      if a < 0 || a >= s.n_acts then
+        invalid_arg "Sat.add_clause: unknown activation"
+      else if s.act_retired.(a) then
+        invalid_arg "Sat.add_clause: retired activation"
+      else neg s.act_lits.(a) :: lits
+  in
   cancel_until s 0;
   if s.ok then begin
     let sorted = List.sort_uniq compare lits in
@@ -486,10 +627,80 @@ let add_clause s lits =
         if propagate s >= 0 then s.ok <- false
       | live ->
         let len = List.length live in
-        let cr = arena_alloc s len in
+        let cr = arena_alloc s len ~learned:false in
         List.iteri (fun k l -> s.arena.(cr + 1 + k) <- l) live;
-        attach s cr
+        attach s cr;
+        Option.iter (fun a -> register_act_clause s a cr) act
     end
+  end
+
+(* --- clause deletion / arena compaction -------------------------------------------- *)
+
+(* Precondition: decision level 0.  Reason refs of root-level literals
+   are never dereferenced by [analyze] (it only resolves vars above
+   level 0), so they can be cleared wholesale before clause refs move. *)
+let compact s =
+  for i = 0 to s.trail_n - 1 do
+    s.reason.(s.trail.(i) lsr 1) <- -1
+  done;
+  let map = Hashtbl.create 256 in
+  let cr = ref 0 and top = ref 0 in
+  let new_epoch = ref 0 and new_solve = ref 0 in
+  while !cr < s.arena_top do
+    let len = clause_len s !cr in
+    if not (clause_dead s !cr) then begin
+      Array.blit s.arena !cr s.arena !top (len + 1);
+      Hashtbl.replace map !cr !top;
+      top := !top + len + 1;
+      (* keep the reuse watermarks pointing at the same boundary *)
+      if !cr < s.epoch_top then new_epoch := !top;
+      if !cr < s.solve_top then new_solve := !top
+    end;
+    cr := !cr + len + 1
+  done;
+  s.arena_top <- !top;
+  s.epoch_top <- !new_epoch;
+  s.solve_top <- !new_solve;
+  s.dead_space <- 0;
+  (* every live clause is watched exactly on its slot-1/2 literals, so
+     the watch lists can simply be rebuilt from the compacted arena *)
+  Array.fill s.watch_n 0 (Array.length s.watch_n) 0;
+  let cr = ref 0 in
+  while !cr < s.arena_top do
+    attach s !cr;
+    cr := !cr + clause_len s !cr + 1
+  done;
+  for a = 0 to s.n_acts - 1 do
+    if not s.act_retired.(a) then
+      s.act_clauses.(a) <-
+        List.filter_map (fun old -> Hashtbl.find_opt map old) s.act_clauses.(a)
+  done
+
+let delete_clause s cr =
+  if not (clause_dead s cr) then begin
+    watch_remove s s.arena.(cr + 1) cr;
+    watch_remove s s.arena.(cr + 2) cr;
+    s.arena.(cr) <- s.arena.(cr) lor dead_flag;
+    s.dead_space <- s.dead_space + clause_len s cr + 1;
+    s.deleted_clauses <- s.deleted_clauses + 1
+  end
+
+let retire s a =
+  if a < 0 || a >= s.n_acts then invalid_arg "Sat.retire: unknown activation";
+  if not s.act_retired.(a) then begin
+    cancel_until s 0;
+    (* the unit below may propagate; never let a tripped per-fault
+       guard abort the retirement bookkeeping itself *)
+    let saved_guard = s.guard in
+    s.guard <- Guard.none;
+    s.act_retired.(a) <- true;
+    List.iter (delete_clause s) s.act_clauses.(a);
+    s.act_clauses.(a) <- [];
+    (* permanently disable: any clause still mentioning the activation
+       (none, after deletion) is satisfied forever *)
+    add_clause s [ neg s.act_lits.(a) ];
+    if 2 * s.dead_space > s.arena_top then compact s;
+    s.guard <- saved_guard
   end
 
 (* --- search -------------------------------------------------------------------------- *)
@@ -527,7 +738,7 @@ let learn s learnt =
     (* the caller has backtracked already; watch the asserting literal
        and a literal of the backtrack level *)
     let len = 1 + List.length rest in
-    let cr = arena_alloc s len in
+    let cr = arena_alloc s len ~learned:true in
     s.arena.(cr + 1) <- l0;
     List.iteri (fun k l -> s.arena.(cr + 2 + k) <- l) rest;
     let best = ref 2 in
@@ -541,13 +752,23 @@ let learn s learnt =
       s.arena.(cr + !best) <- tmp
     end;
     attach s cr;
+    (* a learned clause mentioning an activation literal belongs to that
+       fault's clause group: register it so retirement deletes it too,
+       leaving the fault's variables in no live clause *)
+    List.iter
+      (fun l ->
+        let a = s.act_of_var.(l lsr 1) in
+        if a >= 0 then register_act_clause s a cr)
+      learnt;
     enqueue s l0 cr
 
 let solve ?(assumptions = []) s =
   List.iter (check_var s) assumptions;
+  s.solves <- s.solves + 1;
   if not s.ok then false
   else begin
     cancel_until s 0;
+    s.solve_top <- s.arena_top;
     let n_assumps = List.length assumptions in
     let assumps = Array.of_list assumptions in
     let learnt = ref [] in
@@ -602,7 +823,8 @@ let solve ?(assumptions = []) s =
                if s.heap_n = 0 then None
                else
                  let v = heap_pop s in
-                 if s.assign.(v) = v_undef then Some v else pick ()
+                 if s.assign.(v) = v_undef && s.decidable.(v) then Some v
+                 else pick ()
              in
              match pick () with
              | None -> raise Sat_found

@@ -12,6 +12,18 @@
     hold for that call only — the mechanism behind time-frame queries
     ("is state [s] reachable at frame [t]?") in {!Satg_cnf.Cnf}.
 
+    On top of plain assumptions the solver supports {e activation
+    literals} ({!new_act}): a clause added with [~act] is guarded by
+    the activation's negation, so it constrains a solve only when the
+    activation literal is passed as an assumption.  {!retire}
+    permanently disables an activation and {e deletes} its clause group
+    — the registered problem clauses plus every learned clause that
+    mentions the activation — detaching them from the watch lists and
+    compacting the arena once dead clauses dominate.  This is the
+    mechanism behind the one-solver-per-worker ATPG engine: each
+    fault's product clauses live and die under one activation while the
+    shared time-frame clauses and act-free learned clauses persist.
+
     Search is CDCL: two-watched-literal unit propagation, first-UIP
     conflict learning with VSIDS activity bumping, phase saving, and
     Luby-sequence restarts.
@@ -46,11 +58,44 @@ val set_guard : t -> Guard.t -> unit
 val new_var : t -> int
 val nvars : t -> int
 
-val add_clause : t -> lit list -> unit
+val set_decidable : t -> int -> bool -> unit
+(** Exclude a variable from (or re-admit it to) branching.  Only sound
+    for a variable that occurs in {e no live clause} — e.g. the product
+    variables of a retired fault, whose whole clause group {!retire}
+    just deleted: such a variable can never be forced, so leaving it
+    unassigned cannot mask an unsatisfied clause.  {!value} falls back
+    to the saved phase for it. *)
+
+(** {1 Activation literals} *)
+
+type act
+(** A clause-group handle.  The activation's positive literal
+    ({!act_lit}) is passed as an assumption to enable the group for one
+    solve; {!retire} disables and deletes the group permanently. *)
+
+val new_act : t -> act
+(** Allocate an activation (backed by a fresh variable). *)
+
+val act_lit : t -> act -> lit
+(** The assumption literal that activates the group's clauses. *)
+
+val retire : t -> act -> unit
+(** Permanently disable the activation: assert its negation at root
+    level, delete every clause registered to it ({!add_clause} [~act]
+    plus learned clauses mentioning the activation variable), and
+    compact the clause arena when dead clauses hold more than half of
+    it.  Idempotent.  After retirement the group's other variables
+    occur in no live clause, so the caller may {!set_decidable} them
+    off. *)
+
+val add_clause : ?act:act -> t -> lit list -> unit
 (** Add a problem clause (root level).  Satisfied clauses are dropped,
     root-false literals removed; deriving the empty clause makes the
-    instance permanently unsatisfiable.
-    @raise Invalid_argument on an undeclared variable. *)
+    instance permanently unsatisfiable.  With [~act] the clause is
+    guarded by the activation literal's negation (active only under the
+    {!act_lit} assumption) and registered for deletion at {!retire}.
+    @raise Invalid_argument on an undeclared variable or a retired
+    activation. *)
 
 val solve : ?assumptions:lit list -> t -> bool
 (** [true] = satisfiable under the assumptions (a model is available
@@ -75,14 +120,33 @@ type stats = {
   restarts : int;
   n_vars : int;
   n_clauses : int;  (** problem clauses *)
+  instances : int;
+      (** solver instances behind these counters: [1] for a live
+          solver's own {!stats}, summed by {!add_stats} — the ATPG
+          engine's "one instance per worker, not per fault" witness *)
+  solves : int;  (** {!solve} calls *)
+  reused_shared : int;
+      (** times a clause predating the latest activation — the shared
+          good-machine unrolling, or anything learned while an earlier
+          fault was live — served as a reason or conflict: the
+          cross-fault payoff of the long-lived instance *)
+  reused_learned : int;
+      (** times a clause learned in an {e earlier} solve served as a
+          reason or conflict in a later one — clause retention at work.
+          Zero on encodings whose queries never conflict (the
+          time-frame unrolling is propagation-complete on most
+          benchmark families); see [reused_shared] for the retention
+          signal that does not depend on conflicts *)
+  deleted_clauses : int;  (** clauses deleted by {!retire} *)
 }
 
 val stats : t -> stats
+(** This solver's counters ([instances = 1]). *)
 
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 (** Pointwise sum, except [n_vars]/[n_clauses] which take the max —
-    used to aggregate counters across the per-fault solvers of one
+    used to aggregate counters across the per-worker solvers of one
     ATPG run. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,10 +1,11 @@
 (* Cross-engine conformance over the generated benchmark families: the
    explicit BFS, BDD and SAT deterministic engines must report the same
    detected/undetected fault partition on every family instance, the
-   domain-pool pipeline must be invariant in -j, and bit-parallel fault
-   simulation must agree lane-for-lane with scalar ternary simulation —
-   on circuits big enough that the SAT backend performs real search
-   (nonzero decisions and conflicts). *)
+   domain-pool pipeline must be invariant in -j, the incremental
+   (one-solver, activation-literal) SAT mode must partition exactly
+   like the throwaway-solver-per-fault mode while keeping the instance
+   count at one per worker, and bit-parallel fault simulation must
+   agree lane-for-lane with scalar ternary simulation. *)
 
 open Satg_logic
 open Satg_circuit
@@ -102,8 +103,13 @@ let test_jobs_determinism () =
 
 let test_sat_searches_for_real () =
   (* Acceptance gate: at least one CI-tractable generated instance
-     forces the CDCL engine into genuine search — nonzero decisions
-     AND conflicts — while still agreeing with the explicit engine. *)
+     forces the CDCL engine into genuine search (nonzero decisions)
+     and exercises cross-fault clause retention (nonzero reused-shared
+     hits on the long-lived instance) — while still agreeing with the
+     explicit engine.  Conflicts are NOT required: the time-frame
+     encoding is propagation-complete on these families, so the shared
+     instance resolves every query by unit propagation alone (see
+     docs/PERF.md). *)
   let hits =
     List.filter_map
       (fun inst ->
@@ -119,13 +125,87 @@ let test_sat_searches_for_real () =
           Alcotest.(check (list (pair string string)))
             (nm ^ ": partition agrees under search") (partition exp)
             (partition sat);
-          if s.Sat.decisions > 0 && s.Sat.conflicts > 0 then Some (nm, s)
+          Alcotest.(check int)
+            (nm ^ ": one solver instance per sequential run")
+            1 s.Sat.instances;
+          if s.Sat.decisions > 0 && s.Sat.reused_shared > 0 then Some (nm, s)
           else None)
       instances
   in
   Alcotest.(check bool)
-    "some family instance yields nonzero SAT decisions and conflicts" true
-    (hits <> [])
+    "some family instance yields nonzero SAT decisions and shared-clause reuse"
+    true (hits <> [])
+
+let test_incremental_matches_fresh () =
+  (* The tentpole's conformance obligation: the one-solver
+     activation-literal mode and the throwaway-solver-per-fault mode
+     must report the same per-fault status over the full fault
+     universe of every ladder instance — and the incremental engine
+     must have spawned exactly one solver while the fresh engine
+     spawns one per differentiation call. *)
+  let strict = ref false in
+  List.iter
+    (fun inst ->
+      let nm, c = build inst in
+      let g = Satg_sg.Explicit.build c in
+      let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+      let run incremental =
+        let se = Sat_engine.create ~incremental g in
+        let statuses =
+          List.map
+            (fun f ->
+              ( Fault.to_string c f,
+                match
+                  Three_phase.find_test ~backend:(Sat_engine.backend se) g f
+                with
+                | Some _ -> "detected"
+                | None -> "undetected"
+                | exception Satg_guard.Guard.Exhausted _ -> "aborted" ))
+            faults
+        in
+        (statuses, Sat_engine.stats se)
+      in
+      let fresh, fresh_stats = run false in
+      let incr, incr_stats = run true in
+      Alcotest.(check (list (pair string string)))
+        (nm ^ ": incremental = fresh statuses") fresh incr;
+      Alcotest.(check int)
+        (nm ^ ": incremental spawns one instance") 1 incr_stats.Sat.instances;
+      (* fresh mode matches only when no fault ever reached
+         differentiation (every fault detected during prefix replay) *)
+      Alcotest.(check bool)
+        (nm ^ ": fresh never spawns fewer instances") true
+        (fresh_stats.Sat.instances >= incr_stats.Sat.instances);
+      if fresh_stats.Sat.instances > incr_stats.Sat.instances then
+        strict := true)
+    instances;
+  Alcotest.(check bool)
+    "some ladder instance shows O(faults) fresh instances vs 1 incremental"
+    true !strict
+
+let test_sat_instances_o_workers () =
+  (* Through the full pool: the per-run solver-instance count follows
+     the worker count, never the fault count. *)
+  let _, c = build ("pipeline", 3, `Complex) in
+  let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  let run jobs =
+    Engine.run
+      ~config:{ (deterministic_config Engine.Sat) with jobs }
+      c ~faults
+  in
+  let instances r =
+    match r.Engine.sat_stats with
+    | Some s -> s.Sat.instances
+    | None -> Alcotest.fail "sat engine reported no stats"
+  in
+  let r1 = run (Some 1) and r4 = run (Some 4) in
+  Alcotest.(check int) "-j1: one instance" 1 (instances r1);
+  Alcotest.(check bool) "-j4: at most one instance per worker" true
+    (instances r4 <= 4);
+  Alcotest.(check bool) "-j4: far fewer instances than faults" true
+    (instances r4 < List.length faults);
+  Alcotest.(check (list (pair string string)))
+    "-j1 = -j4 partition" (partition r1) (partition r4)
 
 let test_parallel_sim_lane_equality () =
   (* Bit-parallel fault packs vs standalone scalar ternary simulation,
@@ -210,6 +290,10 @@ let suites =
         Alcotest.test_case "-j1 = -j4 = sequential" `Quick test_jobs_determinism;
         Alcotest.test_case "SAT records real search" `Quick
           test_sat_searches_for_real;
+        Alcotest.test_case "SAT incremental = fresh partitions" `Quick
+          test_incremental_matches_fresh;
+        Alcotest.test_case "SAT instances follow workers" `Quick
+          test_sat_instances_o_workers;
         Alcotest.test_case "parallel-sim lane equality" `Quick
           test_parallel_sim_lane_equality;
       ]

@@ -95,6 +95,24 @@ let test_at_most_one () =
         (Sat.solve ~assumptions:(List.map2 assume_bit xs bits) s))
     (all_bools n)
 
+let test_at_most_one_counts () =
+  (* The commander-chain encoding must cost exactly (n-2) auxiliary
+     variables and (3n-5) clauses for n >= 2: the last element closes
+     the chain instead of getting a commander of its own.  Pins the
+     fix for the dead-variable variant (one unused commander plus two
+     vacuous clauses per call). *)
+  let count n =
+    let s = Sat.create () in
+    let xs = List.init n (fun _ -> fresh s) in
+    Cnf.at_most_one s xs;
+    (Sat.nvars s - n, (Sat.stats s).Sat.n_clauses)
+  in
+  Alcotest.(check (pair int int)) "n=0: free" (0, 0) (count 0);
+  Alcotest.(check (pair int int)) "n=1: free" (0, 0) (count 1);
+  Alcotest.(check (pair int int)) "n=2: one binary clause" (0, 1) (count 2);
+  Alcotest.(check (pair int int)) "n=3: 1 var, 4 clauses" (1, 4) (count 3);
+  Alcotest.(check (pair int int)) "n=5: 3 vars, 10 clauses" (3, 10) (count 5)
+
 (* --- CDCL basics ---------------------------------------------------------- *)
 
 let test_unit_propagation_chain () =
@@ -193,6 +211,125 @@ let test_random_3sat_vs_bruteforce () =
       Alcotest.(check bool) "model satisfies" true
         (List.for_all (List.exists (Sat.lit_true s)) clauses)
   done
+
+(* --- activation literals -------------------------------------------------- *)
+
+let test_activation_gating () =
+  let s = Sat.create () in
+  let a = fresh s in
+  let act = Sat.new_act s in
+  Sat.add_clause ~act s [ Sat.neg a ];
+  Sat.add_clause s [ a ];
+  Alcotest.(check bool) "inactive group does not constrain" true (Sat.solve s);
+  Alcotest.(check bool) "active group constrains" false
+    (Sat.solve ~assumptions:[ Sat.act_lit s act ] s);
+  Sat.retire s act;
+  Alcotest.(check bool) "retired group gone" true (Sat.solve s);
+  Alcotest.(check bool) "deletion counted" true
+    ((Sat.stats s).Sat.deleted_clauses > 0);
+  Sat.retire s act;
+  (* idempotent *)
+  match Sat.add_clause ~act s [ a ] with
+  | () -> Alcotest.fail "adding to a retired activation must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_retire_deletes_learned () =
+  (* A conflict-heavy group: php(5,4) pigeon clauses under one
+     activation, hole constraints act-free.  The clauses learned while
+     the group was active mention the activation literal (resolution
+     preserves the guard), so retirement must delete them too — the
+     residual act-free instance is satisfiable. *)
+  let s = Sat.create () in
+  let act = Sat.new_act s in
+  let v = Array.init 5 (fun _ -> Array.init 4 (fun _ -> fresh s)) in
+  for p = 0 to 4 do
+    Sat.add_clause ~act s (Array.to_list v.(p))
+  done;
+  for h = 0 to 3 do
+    Cnf.at_most_one s (List.init 5 (fun p -> v.(p).(h)))
+  done;
+  Alcotest.(check bool) "php(5,4) unsat when active" false
+    (Sat.solve ~assumptions:[ Sat.act_lit s act ] s);
+  Alcotest.(check bool) "real search happened" true
+    ((Sat.stats s).Sat.conflicts > 0);
+  Sat.retire s act;
+  Alcotest.(check bool) "satisfiable after retirement" true (Sat.solve s);
+  Alcotest.(check bool) "group clauses deleted" true
+    ((Sat.stats s).Sat.deleted_clauses >= 5)
+
+let test_activation_churn_compacts () =
+  (* Many short-lived groups on one instance: retirement-driven arena
+     compaction must keep the solver correct throughout (watch lists
+     rebuilt over moved clauses, shared clauses intact). *)
+  let s = Sat.create () in
+  let x = fresh s and y = fresh s in
+  Sat.add_clause s [ Sat.neg x; y ];
+  (* shared, must survive all churn *)
+  for round = 1 to 60 do
+    let act = Sat.new_act s in
+    let zs = List.init 8 (fun _ -> fresh s) in
+    List.iter (fun z -> Sat.add_clause ~act s [ Sat.neg x; z ]) zs;
+    Sat.add_clause ~act s (List.map Sat.neg zs);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: satisfiable without x" round)
+      true
+      (Sat.solve ~assumptions:[ Sat.act_lit s act; Sat.neg x ] s);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: group forces a conflict with x" round)
+      false
+      (Sat.solve ~assumptions:[ Sat.act_lit s act; x ] s);
+    Sat.retire s act;
+    List.iter (fun z -> Sat.set_decidable s (Sat.var_of z) false) zs
+  done;
+  Alcotest.(check bool) "deletions accumulated" true
+    ((Sat.stats s).Sat.deleted_clauses >= 60 * 9);
+  Alcotest.(check bool) "shared clause still propagates" true
+    (Sat.solve ~assumptions:[ x ] s && Sat.lit_true s y)
+
+let test_reused_shared_counter () =
+  (* Clauses predating the newest activation that serve as propagation
+     reasons under it are the cross-fault payoff; the counter must see
+     them and must not fire while no activation exists. *)
+  let s = Sat.create () in
+  let a = fresh s and b = fresh s and c = fresh s in
+  Sat.add_clause s [ Sat.neg a; b ];
+  Sat.add_clause s [ Sat.neg b; c ];
+  Alcotest.(check bool) "warm-up solve" true (Sat.solve ~assumptions:[ a ] s);
+  Alcotest.(check int) "no activation, no shared reuse" 0
+    (Sat.stats s).Sat.reused_shared;
+  let act = Sat.new_act s in
+  Sat.add_clause ~act s [ a ];
+  Alcotest.(check bool) "sat under activation" true
+    (Sat.solve ~assumptions:[ Sat.act_lit s act ] s);
+  Alcotest.(check bool) "chain propagated" true (Sat.lit_true s c);
+  Alcotest.(check bool) "pre-activation clauses counted as reused" true
+    ((Sat.stats s).Sat.reused_shared >= 2)
+
+let test_reused_learned_counter () =
+  (* A relaxed pigeonhole — unsat only under the ~r assumptions, so
+     the instance never becomes root-unsat and the clauses learned by
+     the first solve drive propagation in the second. *)
+  let s = Sat.create () in
+  let r1 = fresh s and r2 = fresh s in
+  let v = Array.init 5 (fun _ -> Array.init 4 (fun _ -> fresh s)) in
+  for p = 0 to 4 do
+    Sat.add_clause s ((if p mod 2 = 0 then r1 else r2) :: Array.to_list v.(p))
+  done;
+  for h = 0 to 3 do
+    Cnf.at_most_one s (List.init 5 (fun p -> v.(p).(h)))
+  done;
+  let asm = [ Sat.neg r1; Sat.neg r2 ] in
+  Alcotest.(check bool) "unsat under relaxation off" false
+    (Sat.solve ~assumptions:asm s);
+  let st1 = Sat.stats s in
+  Alcotest.(check bool) "first solve learned" true (st1.Sat.learned > 0);
+  Alcotest.(check int) "nothing learned earlier to reuse" 0
+    st1.Sat.reused_learned;
+  Alcotest.(check bool) "still unsat on the second ask" false
+    (Sat.solve ~assumptions:asm s);
+  Alcotest.(check bool) "second solve reused learned clauses" true
+    ((Sat.stats s).Sat.reused_learned > 0);
+  Alcotest.(check bool) "satisfiable with relaxation free" true (Sat.solve s)
 
 (* --- resource governance -------------------------------------------------- *)
 
@@ -327,6 +464,46 @@ let test_unroller_late_states () =
        ~assumptions:[ Option.get (Cnf.Unroller.state_lit u ~frame:2 s2) ]
        s)
 
+(* --- product-state cap: fail-soft, never silently undetectable ---------- *)
+
+let test_tiny_product_cap_fail_soft () =
+  (* Regression for the silent-stop bug: under a product-state cap the
+     search cannot honour, a fault that the uncapped run detects must
+     either still be detected (activation caught it before
+     differentiation) or raise Guard.Exhausted — NEVER come back as
+     "undetectable" from a product graph the search never finished.
+     Checked on both the SAT and the explicit differentiators. *)
+  let stg = Result.get_ok (Satg_concepts.Families.generate "latch" ~n:2) in
+  let c = Result.get_ok (Satg_stg.Synth.decomposed ~redundant:true stg) in
+  let g = Explicit.build c in
+  let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+  let tiny = { Three_phase.default_config with max_product_states = 1 } in
+  let run name config backend =
+    let capped = ref 0 in
+    List.iter
+      (fun f ->
+        let full = Three_phase.find_test ?backend g f in
+        let small =
+          match Three_phase.find_test ~config ?backend g f with
+          | r -> `Result r
+          | exception Guard.Exhausted reason -> `Exhausted reason
+        in
+        match (full, small) with
+        | Some _, `Result None ->
+          Alcotest.failf "%s: %s detectable but silently undetected under cap"
+            name (Fault.to_string c f)
+        | _, `Exhausted Guard.State_limit -> incr capped
+        | _, `Exhausted reason ->
+          Alcotest.failf "%s: wrong exhaustion reason %s" name
+            (Guard.reason_to_string reason)
+        | _ -> ())
+      faults;
+    Alcotest.(check bool) (name ^ ": the cap actually tripped") true (!capped > 0)
+  in
+  run "explicit" tiny None;
+  let se = Sat_engine.create g in
+  run "sat" tiny (Some (Sat_engine.backend se))
+
 (* --- differential oracle: SAT justification vs explicit BFS -------------- *)
 
 (* On random small circuits, for every CSSG state: SAT justification
@@ -362,6 +539,34 @@ let prop_sat_justification_matches_bfs =
               = Some i)
           (List.init (Cssg.n_states g) Fun.id))
 
+(* The tentpole's oracle: on random circuits the shared-solver
+   activation-literal mode and the fresh-solver-per-fault mode must
+   agree fault by fault — same status, and for detections the same
+   sequence length (prefixes are BFS-shortest, suffixes ring-exact, in
+   both modes). *)
+let prop_sat_incremental_matches_fresh =
+  QCheck.Test.make
+    ~name:"random circuits: incremental SAT = fresh-per-fault SAT" ~count:25
+    Test_random_circuits.spec_arb (fun spec ->
+      match Test_random_circuits.build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let g = Explicit.build c in
+        let faults = Fault.universe_input_sa c @ Fault.universe_output_sa c in
+        let statuses incremental =
+          let se = Sat_engine.create ~incremental g in
+          List.map
+            (fun f ->
+              match
+                Three_phase.find_test ~backend:(Sat_engine.backend se) g f
+              with
+              | Some seq -> `Detected (List.length seq)
+              | None -> `Undetected
+              | exception Guard.Exhausted _ -> `Aborted)
+            faults
+        in
+        statuses true = statuses false)
+
 let suites =
   [
     ( "sat.tseitin",
@@ -372,6 +577,20 @@ let suites =
         Alcotest.test_case "ite" `Quick test_tseitin_ite;
         Alcotest.test_case "eq" `Quick test_tseitin_eq;
         Alcotest.test_case "at-most-one ladder" `Quick test_at_most_one;
+        Alcotest.test_case "at-most-one exact cost" `Quick
+          test_at_most_one_counts;
+      ] );
+    ( "sat.activation",
+      [
+        Alcotest.test_case "gating and retirement" `Quick test_activation_gating;
+        Alcotest.test_case "retire deletes learned clauses" `Quick
+          test_retire_deletes_learned;
+        Alcotest.test_case "churn survives compaction" `Quick
+          test_activation_churn_compacts;
+        Alcotest.test_case "reused-shared counter" `Quick
+          test_reused_shared_counter;
+        Alcotest.test_case "reused-learned counter" `Quick
+          test_reused_learned_counter;
       ] );
     ( "sat.cdcl",
       [
@@ -401,6 +620,14 @@ let suites =
         Alcotest.test_case "diamond" `Quick test_unroller_diamond;
         Alcotest.test_case "late states" `Quick test_unroller_late_states;
       ] );
+    ( "sat.product_cap",
+      [
+        Alcotest.test_case "tiny cap fails soft" `Quick
+          test_tiny_product_cap_fail_soft;
+      ] );
     ( "sat.differential",
-      [ QCheck_alcotest.to_alcotest prop_sat_justification_matches_bfs ] );
+      [
+        QCheck_alcotest.to_alcotest prop_sat_justification_matches_bfs;
+        QCheck_alcotest.to_alcotest prop_sat_incremental_matches_fresh;
+      ] );
   ]
