@@ -1196,13 +1196,124 @@ let families_bench () =
   close_out oc;
   Printf.printf "-> BENCH_families.json\n"
 
+(* --- persistent-service latency: warm hits vs cold misses ------------------ *)
+
+(* Forks a real daemon (the [satg serve] library, not the binary) on a
+   private socket and measures request latency through the full wire
+   path: protocol round trips with no ATPG behind them ("ping"), one
+   cold miss that pays parse + CSSG build + fault search, then the
+   identical request repeated against the warm content-addressed store
+   (zero fault searches).  The bench *fails* unless the cold request
+   misses and every warm repeat hits, so the numbers cannot silently
+   measure the wrong path.  Results (plus [host_cores] — measured, not
+   assumed) go to BENCH_serve.json. *)
+
+let serve_bench () =
+  let module Proto = Satg_server.Proto in
+  let module Client = Satg_server.Client in
+  let host_cores = Domain.recommended_domain_count () in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "satg-bench-serve-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let socket = Filename.concat dir "satg.sock" in
+  let pid = Unix.fork () in
+  if pid = 0 then (
+    (* child: the daemon *)
+    try
+      let service = Satg_server.Service.create () in
+      match Satg_server.Server.serve ~socket service with
+      | Ok () -> Unix._exit 0
+      | Error _ -> Unix._exit 1
+    with _ -> Unix._exit 2);
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      (try Sys.remove socket with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let request req =
+    match Client.one_shot ~retry_for:10. ~socket req with
+    | Ok r -> r
+    | Error m -> failwith ("serve bench: " ^ m)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let circuit_name = "master-read" in
+  let netlist =
+    Parser.to_string (get_circuit Suite.speed_independent circuit_name)
+  in
+  let atpg =
+    Proto.Atpg
+      { netlist; universe = Session.Both; config = Engine.default_config }
+  in
+  let ping_runs = 50 in
+  let ping_total, () =
+    time (fun () ->
+        for _ = 1 to ping_runs do
+          match request Proto.Stats with
+          | Proto.Stats_r _ -> ()
+          | _ -> failwith "serve bench: expected stats"
+        done)
+  in
+  let cold_s, cold_hit =
+    time (fun () ->
+        match request atpg with
+        | Proto.Result { hit; _ } -> hit
+        | _ -> failwith "serve bench: expected a settled result")
+  in
+  if cold_hit then failwith "serve bench: cold request must miss";
+  let warm_runs = 20 in
+  let warm_total, warm_hits =
+    time (fun () ->
+        let hits = ref 0 in
+        for _ = 1 to warm_runs do
+          match request atpg with
+          | Proto.Result { hit = true; _ } -> incr hits
+          | Proto.Result { hit = false; _ } ->
+            failwith "serve bench: warm repeat missed the store"
+          | _ -> failwith "serve bench: expected a settled result"
+        done;
+        !hits)
+  in
+  if warm_hits <> warm_runs then failwith "serve bench: lost warm hits";
+  let ping_each = ping_total /. float_of_int ping_runs in
+  let warm_each = warm_total /. float_of_int warm_runs in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "serve",
+  "host_cores": %d,
+  "circuit": "%s",
+  "ping": { "runs": %d, "seconds_each": %.6f },
+  "cold": { "seconds": %.6f, "hit": false },
+  "warm": { "runs": %d, "seconds_each": %.6f, "hit": true },
+  "cold_over_warm": %.1f
+}
+|}
+      host_cores circuit_name ping_runs ping_each cold_s warm_runs warm_each
+      (cold_s /. warm_each)
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "cold %.6fs  warm %.6fs/req  ping %.6fs/req  -> BENCH_serve.json\n"
+    cold_s warm_each ping_each
+
 (* [--fault-sim [FILE.cct]] runs only the parallel fault-sim
    throughput bench, [--bdd] only the BDD engine head-to-head, [--sat]
    (alias [--sat-incremental]) the SAT-vs-BDD backend race plus the
    fresh-vs-incremental solver ladder — together they produce
-   BENCH_sat.json — and [--domains] only the domain-pool scaling +
-   intern benches (the CI smoke jobs); the default runs the full
-   bechamel suite and then every throughput bench. *)
+   BENCH_sat.json — [--domains] only the domain-pool scaling + intern
+   benches (the CI smoke jobs), and [--serve] the daemon warm-vs-cold
+   latency bench; the default runs the full bechamel suite and then
+   every throughput bench. *)
 let () =
   let argv = Array.to_list Sys.argv in
   match argv with
@@ -1213,10 +1324,12 @@ let () =
   | _ :: "--sat" :: _ | _ :: "--sat-incremental" :: _ -> sat_engine_bench ()
   | _ :: "--domains" :: _ -> domains_bench ()
   | _ :: "--families" :: _ -> families_bench ()
+  | _ :: "--serve" :: _ -> serve_bench ()
   | _ ->
     run_bechamel ();
     fault_sim_bench default_netlist;
     bdd_engine_bench ();
     sat_engine_bench ();
     domains_bench ();
-    families_bench ()
+    families_bench ();
+    serve_bench ()

@@ -28,6 +28,12 @@ open Satg_bench
 open Satg_inject
 open Satg_store
 
+(* [Session] below is the durable store's session (cache keys, journal);
+   the pure run/render layer both the CLI and the daemon share lives in
+   [Satg_core.Session]. *)
+module Core_session = Satg_core.Session
+module Proto = Satg_server.Proto
+
 let exit_partial = 2
 
 let read_circuit path =
@@ -202,54 +208,80 @@ let cssg_cmd =
 
 (* --- atpg ----------------------------------------------------------------- *)
 
+let universe_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("input", Core_session.Input); ("output", Core_session.Output);
+             ("both", Core_session.Both) ])
+        Core_session.Input
+    & info [ "universe"; "u" ] ~doc:"Fault universe.")
+
+let no_random_arg =
+  Arg.(value & flag & info [ "no-random" ] ~doc:"Skip the random TPG phase.")
+
+let seed_arg =
+  Arg.(value & opt int Random_tpg.default_config.Random_tpg.seed
+       & info [ "seed" ] ~docv:"N")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("explicit", Engine.Explicit); ("bdd", Engine.Bdd);
+             ("sat", Engine.Sat) ])
+        Engine.Explicit
+    & info [ "engine"; "e" ]
+        ~doc:
+          "Deterministic-phase backend: $(b,explicit) BFS (default), \
+           $(b,bdd) symbolic justification, or $(b,sat) CDCL time-frame \
+           search.  All three yield identical detected/undetected \
+           partitions.")
+
+let no_collapse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-collapse" ]
+        ~doc:
+          "Target the raw fault universe instead of one representative \
+           per structural-equivalence class.")
+
+(* The one-shot run, the daemon and the client all shape the same
+   engine configuration from the same flags. *)
+let make_config ~k ~no_random ~engine ~no_collapse ~jobs ~timeout ~max_states
+    ~max_transitions ~seed =
+  {
+    Engine.default_config with
+    k;
+    enable_random = not no_random;
+    engine;
+    collapse = not no_collapse;
+    jobs;
+    timeout;
+    max_states;
+    max_transitions;
+    random = { Random_tpg.default_config with seed };
+  }
+
 let atpg_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
-  let universe =
-    Arg.(
-      value
-      & opt (enum [ ("input", `Input); ("output", `Output); ("both", `Both) ])
-          `Input
-      & info [ "universe"; "u" ] ~doc:"Fault universe.")
-  in
-  let no_random =
-    Arg.(value & flag & info [ "no-random" ] ~doc:"Skip the random TPG phase.")
-  in
-  let seed =
-    Arg.(value & opt int Random_tpg.default_config.Random_tpg.seed
-         & info [ "seed" ] ~docv:"N")
-  in
-  let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
-  in
-  let engine =
-    Arg.(
-      value
-      & opt
-          (enum
-             [ ("explicit", Engine.Explicit); ("bdd", Engine.Bdd);
-               ("sat", Engine.Sat) ])
-          Engine.Explicit
-      & info [ "engine"; "e" ]
-          ~doc:
-            "Deterministic-phase backend: $(b,explicit) BFS (default), \
-             $(b,bdd) symbolic justification, or $(b,sat) CDCL time-frame \
-             search.  All three yield identical detected/undetected \
-             partitions.")
-  in
+  let universe = universe_arg in
+  let no_random = no_random_arg in
+  let seed = seed_arg in
+  let verbose = verbose_arg in
+  let engine = engine_arg in
   let symbolic =
     Arg.(
       value & flag
       & info [ "symbolic" ]
           ~doc:"Deprecated alias for $(b,--engine bdd).")
   in
-  let no_collapse =
-    Arg.(
-      value & flag
-      & info [ "no-collapse" ]
-          ~doc:
-            "Target the raw fault universe instead of one representative \
-             per structural-equivalence class.")
-  in
+  let no_collapse = no_collapse_arg in
   let cache_dir =
     Arg.(
       value
@@ -274,13 +306,13 @@ let atpg_cmd =
              not settle.  Output is bit-identical to the uninterrupted \
              run (timing aside).  Requires $(b,--cache-dir).")
   in
+  (* Live, cached and daemon-served runs all render through
+     [Core_session.render], so their stdout is diffable byte for byte
+     (the recorded cpu time travels with the summary — goldens strip
+     timing anyway). *)
   let print_result c verbose stats r =
-    if verbose then
-      List.iter
-        (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
-        r.Engine.outcomes;
-    Format.printf "%a@." Cssg.pp_stats r.Engine.cssg;
-    Format.printf "%a@." Engine.pp_summary r;
+    Core_session.render ~verbose Format.std_formatter c
+      (Core_session.summary_of_result r);
     (if stats then
        match (r.Engine.bdd_stats, r.Engine.sat_stats) with
        | Some s, _ -> Format.printf "%a@." Satg_bdd.Bdd.pp_stats s
@@ -296,59 +328,23 @@ let atpg_cmd =
            "engine stats: n/a (pass --engine bdd or --engine sat)@.");
     if Engine.partial r then exit exit_partial
   in
-  (* A cache hit re-renders the stored run: same outcome lines, same
-     CSSG stats line, same summary (the recorded cpu time — goldens
-     strip timing anyway).  Stdout is therefore diffable against the
-     run that produced the object; the hit marker goes to stderr. *)
   let print_cached c verbose stats (p : Codec.result_payload) =
-    let outcomes =
-      List.map
-        (fun (fault, status) -> { Testset.fault; status })
-        p.Codec.outcomes
-    in
-    if verbose then
-      List.iter
-        (fun o -> Format.printf "%a@." (Testset.pp_outcome c) o)
-        outcomes;
-    print_string (p.Codec.stats_line ^ "\n");
-    Format.printf "%t@."
-      (Engine.pp_summary_of ~circuit:c ~outcomes
-         ~faults_searched:p.Codec.faults_searched ~truncated:p.Codec.truncated
-         ~cpu_seconds:p.Codec.cpu_seconds);
+    Core_session.render ~verbose Format.std_formatter c p;
     if stats then Format.printf "engine stats: n/a (cached result)@.";
-    let partial =
-      p.Codec.truncated <> None
-      || List.exists (fun o -> Testset.is_aborted o.Testset.status) outcomes
-    in
-    if partial then exit exit_partial
+    if Core_session.degraded p then exit exit_partial
   in
   let run file universe no_random seed verbose engine symbolic no_collapse
       stats k jobs timeout max_states max_transitions cache_dir resume =
     let c = or_die (read_circuit file) in
-    let faults =
-      match universe with
-      | `Input -> Fault.universe_input_sa c
-      | `Output -> Fault.universe_output_sa c
-      | `Both -> Fault.universe_input_sa c @ Fault.universe_output_sa c
-    in
     let config =
-      {
-        Engine.default_config with
-        k;
-        enable_random = not no_random;
-        engine = (if symbolic then Engine.Bdd else engine);
-        collapse = not no_collapse;
-        jobs;
-        timeout;
-        max_states;
-        max_transitions;
-        random = { Random_tpg.default_config with seed };
-      }
+      make_config ~k ~no_random
+        ~engine:(if symbolic then Engine.Bdd else engine)
+        ~no_collapse ~jobs ~timeout ~max_states ~max_transitions ~seed
     in
     let guard = Guard.create ?timeout ?max_states ?max_transitions () in
     drain_on_signal guard;
     let engine_run ?settled ?on_outcome ~cleanup () =
-      try Engine.run ~config ~guard ?settled ?on_outcome c ~faults with
+      try Core_session.run ~guard ?settled ?on_outcome ~config c universe with
       | Inject.Injected m ->
         cleanup ();
         or_die (Error ("injected fault: " ^ m))
@@ -367,16 +363,7 @@ let atpg_cmd =
         or_die (Error "--resume needs --cache-dir (or SATG_CACHE_DIR)");
       print_result c verbose stats (engine_run ~cleanup:(fun () -> ()) ())
     | Some dir -> (
-      let universe_name =
-        match universe with
-        | `Input -> "input"
-        | `Output -> "output"
-        | `Both -> "both"
-      in
-      let key =
-        Session.key_of ~netlist:(read_file file) ~universe:universe_name
-          ~config
-      in
+      let key = Session.key_of ~netlist:(read_file file) ~universe ~config in
       match Session.cached ~dir ~key with
       | Some p ->
         Printf.eprintf
@@ -533,34 +520,33 @@ let gen_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
+(* Every diagnostic with its line number, then one clean nonzero exit —
+   not just the parser's first complaint.  Shared with [client check],
+   whose diagnostics arrive as a structured wire response. *)
+let print_diags file diags =
+  List.iter
+    (fun d ->
+      if d.Parser.line = 0 then Printf.eprintf "%s: %s\n" file d.Parser.msg
+      else Printf.eprintf "%s:%d: %s\n" file d.Parser.line d.Parser.msg)
+    diags;
+  Printf.eprintf "%s: %d problem(s)\n" file (List.length diags);
+  exit 1
+
 let check_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
   let run file =
-    (* Lint first: every diagnostic with its line number, then one
-       clean nonzero exit — not just the parser's first complaint. *)
+    (* Lint first. *)
     (match Parser.lint_file file with
     | [] -> ()
     | exception Sys_error m -> or_die (Error m)
-    | diags ->
-      List.iter
-        (fun d ->
-          if d.Parser.line = 0 then Printf.eprintf "%s: %s\n" file d.Parser.msg
-          else Printf.eprintf "%s:%d: %s\n" file d.Parser.line d.Parser.msg)
-        diags;
-      Printf.eprintf "%s: %d problem(s)\n" file (List.length diags);
-      exit 1);
+    | diags -> print_diags file diags);
     let c = or_die (read_circuit file) in
     (match Circuit.validate c with
     | Ok () -> ()
     | Error m -> or_die (Error m));
-    Format.printf "%a@." Circuit.pp_stats c;
-    let cyclic = Structure.cyclic_gates c in
-    Format.printf "feedback gates: %d; longest acyclic path: %d; default k: %d@."
-      (List.length cyclic) (Structure.longest_path c) (Structure.default_k c);
-    match Circuit.initial c with
-    | Some s ->
-      Format.printf "reset state: %s (stable)@." (Circuit.state_to_string c s)
-    | None -> Format.printf "no reset state@."
+    (* the success report is the session layer's, shared with the
+       daemon's [check] kind *)
+    print_string (Core_session.check_report c)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Validate a netlist and print structural stats.")
@@ -710,6 +696,224 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Graphviz export of a netlist, its CSSG, or an STG.")
     Term.(const run $ file $ what $ k_arg)
 
+(* --- serve / client -------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "SATG_SOCKET")
+        ~doc:"Unix-domain socket path of the ATPG daemon.")
+
+let serve_cmd =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info "SATG_CACHE_DIR")
+          ~doc:
+            "Back the daemon's warm store with the durable object store at \
+             $(docv) — shared, in both directions, with one-shot \
+             $(b,--cache-dir) runs.")
+  in
+  let run socket jobs cache_dir =
+    let service = Satg_server.Service.create ?cache_dir ?jobs () in
+    let on_ready () = Printf.eprintf "[serve] listening on %s\n%!" socket in
+    match Satg_server.Server.serve ~on_ready ~socket service with
+    | Ok () ->
+      (* the drain epilogue: final counters, visible to smoke tests *)
+      Printf.eprintf "[serve] drained: %s\n%!"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> k ^ "=" ^ v)
+              (Satg_server.Service.stats_fields service)))
+    | Error m -> or_die (Error m)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent ATPG daemon: batched requests, per-request \
+          QoS budgets, and a warm content-addressed result store.  \
+          SIGINT/SIGTERM drain gracefully.")
+    Term.(const run $ socket_arg $ jobs_arg $ cache_dir)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request QoS deadline in milliseconds; the daemon maps it \
+           onto the run's wall-clock guard budget, so a request that blows \
+           it degrades (truncated graph, aborted faults, exit 2) instead \
+           of hogging the daemon.  Overrides $(b,--timeout).")
+
+let retry_for = 5.0 (* seconds to wait out a daemon that is still booting *)
+
+let client_die = function
+  | Proto.Failure { code; msg } -> or_die (Error (code ^ ": " ^ msg))
+  | _ -> or_die (Error "unexpected response kind")
+
+let request_or_die socket req =
+  match Satg_server.Client.one_shot ~retry_for ~socket req with
+  | Error m -> or_die (Error m)
+  | Ok response -> response
+
+let effective_timeout ~deadline_ms ~timeout =
+  match deadline_ms with
+  | Some ms -> Some (float_of_int ms /. 1000.)
+  | None -> timeout
+
+(* Renders exactly like the one-shot [atpg] path — both run through
+   [Core_session.render] — and returns the member's exit code. *)
+let print_response c verbose = function
+  | Proto.Result { hit; payload } ->
+    if hit then
+      Printf.eprintf "[client] hit: settled result served, 0 fault searches\n%!";
+    Core_session.render ~verbose Format.std_formatter c payload;
+    if Core_session.degraded payload then exit_partial else 0
+  | r -> client_die r
+
+let client_atpg_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let run socket file universe no_random seed verbose engine no_collapse k
+      deadline_ms timeout max_states max_transitions =
+    let netlist = read_file file in
+    let c = or_die (read_circuit file) in
+    let config =
+      make_config ~k ~no_random ~engine ~no_collapse ~jobs:None
+        ~timeout:(effective_timeout ~deadline_ms ~timeout)
+        ~max_states ~max_transitions ~seed
+    in
+    let response =
+      request_or_die socket (Proto.Atpg { Proto.netlist; universe; config })
+    in
+    let code = print_response c verbose response in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "atpg"
+       ~doc:
+         "Run ATPG on the daemon.  Output (and exit code) is bit-identical \
+          to the one-shot $(b,satg atpg).")
+    Term.(
+      const run $ socket_arg $ file $ universe_arg $ no_random_arg $ seed_arg
+      $ verbose_arg $ engine_arg $ no_collapse_arg $ k_arg $ deadline_arg
+      $ timeout_arg $ max_states_arg $ max_transitions_arg)
+
+let client_cssg_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print every state and edge.")
+  in
+  let run socket file dump k deadline_ms timeout max_states max_transitions =
+    let response =
+      request_or_die socket
+        (Proto.Cssg
+           {
+             Proto.c_netlist = read_file file;
+             c_k = k;
+             c_dump = dump;
+             c_timeout = effective_timeout ~deadline_ms ~timeout;
+             c_max_states = max_states;
+             c_max_transitions = max_transitions;
+           })
+    in
+    match response with
+    | Proto.Text { degraded; text } ->
+      print_string text;
+      if degraded then exit exit_partial
+    | r -> client_die r
+  in
+  Cmd.v
+    (Cmd.info "cssg" ~doc:"Build a CSSG on the daemon (explicit engine).")
+    Term.(
+      const run $ socket_arg $ file $ dump $ k_arg $ deadline_arg $ timeout_arg
+      $ max_states_arg $ max_transitions_arg)
+
+let client_check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
+  let run socket file =
+    match request_or_die socket (Proto.Check (read_file file)) with
+    | Proto.Text { text; _ } -> print_string text
+    | Proto.Diags diags -> print_diags file diags
+    | r -> client_die r
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a netlist on the daemon; lint findings come back as a \
+          structured wire response.")
+    Term.(const run $ socket_arg $ file)
+
+let client_batch_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.cct")
+  in
+  let run socket files universe no_random seed verbose engine no_collapse k
+      deadline_ms timeout max_states max_transitions =
+    let members =
+      List.map (fun file -> (file, or_die (read_circuit file), read_file file))
+        files
+    in
+    let config =
+      make_config ~k ~no_random ~engine ~no_collapse ~jobs:None
+        ~timeout:(effective_timeout ~deadline_ms ~timeout)
+        ~max_states ~max_transitions ~seed
+    in
+    let requests =
+      List.map
+        (fun (_, _, netlist) -> Proto.Atpg { Proto.netlist; universe; config })
+        members
+    in
+    match request_or_die socket (Proto.Batch requests) with
+    | Proto.Batch_r responses when List.length responses = List.length members ->
+      let failed = ref false and degraded = ref false in
+      List.iter2
+        (fun (file, c, _) response ->
+          Format.printf "== %s ==@." file;
+          match response with
+          | Proto.Failure { code; msg } ->
+            (* per-member isolation: report and move on *)
+            Printf.eprintf "error: %s: %s: %s\n%!" file code msg;
+            failed := true
+          | r ->
+            if print_response c verbose r = exit_partial then degraded := true)
+        members responses;
+      if !failed then exit 1;
+      if !degraded then exit exit_partial
+    | r -> client_die r
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run one ATPG request per FILE as a single batch; same-netlist \
+          members share one CSSG build on the daemon, and a member that \
+          blows its budget degrades alone.")
+    Term.(
+      const run $ socket_arg $ files $ universe_arg $ no_random_arg $ seed_arg
+      $ verbose_arg $ engine_arg $ no_collapse_arg $ k_arg $ deadline_arg
+      $ timeout_arg $ max_states_arg $ max_transitions_arg)
+
+let client_stats_cmd =
+  let run socket =
+    match request_or_die socket Proto.Stats with
+    | Proto.Stats_r fields ->
+      List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) fields
+    | r -> client_die r
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's server-side counters.")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~doc:"Send requests to a running satg daemon.")
+    [ client_atpg_cmd; client_cssg_cmd; client_check_cmd; client_batch_cmd;
+      client_stats_cmd ]
+
 let () =
   (match Inject.configure_from_env () with
   | Ok () -> ()
@@ -722,4 +926,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ synth_cmd; cssg_cmd; atpg_cmd; program_cmd; delay_cmd; dft_cmd;
-            dot_cmd; bench_cmd; gen_cmd; check_cmd ]))
+            dot_cmd; bench_cmd; gen_cmd; check_cmd; serve_cmd; client_cmd ]))

@@ -55,8 +55,8 @@ type result = {
   cnf_defs : (int * int) option;
 }
 
-let run ?(config = default_config) ?cssg ?guard ?settled ?on_outcome circuit
-    ~faults =
+let run ?(config = default_config) ?cssg ?guard ?pool ?settled ?on_outcome
+    circuit ~faults =
   let t0 = Sys.time () in
   (* Structural fault collapsing: every phase searches one
      representative per equivalence class; afterwards each given fault
@@ -83,8 +83,16 @@ let run ?(config = default_config) ?cssg ?guard ?settled ?on_outcome circuit
     Guard.sub ?max_states:config.max_states
       ?max_transitions:config.max_transitions run_guard
   in
-  let pool = Option.map (fun jobs -> Pool.create ~jobs) config.jobs in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+  (* A caller-owned pool (the daemon's) is reused across runs and never
+     shut down here; otherwise the config's [jobs] owns a fresh one. *)
+  let owned_pool =
+    match pool with
+    | Some _ -> None
+    | None -> Option.map (fun jobs -> Pool.create ~jobs) config.jobs
+  in
+  let pool = match pool with Some _ -> pool | None -> owned_pool in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown owned_pool)
+  @@ fun () ->
   let g =
     match cssg with
     | Some g -> g

@@ -79,6 +79,7 @@ val run :
   ?config:config ->
   ?cssg:Cssg.t ->
   ?guard:Guard.t ->
+  ?pool:Satg_pool.Pool.t ->
   ?settled:(Fault.t -> Testset.status option) ->
   ?on_outcome:(Fault.t -> Testset.status -> unit) ->
   Circuit.t ->
@@ -86,6 +87,12 @@ val run :
   result
 (** [cssg] lets callers reuse a prebuilt graph (e.g. across the two
     fault universes of one benchmark).
+
+    [pool] substitutes a caller-owned worker pool for the one
+    [config.jobs] would create (and shut down) per run — the hook that
+    lets a long-lived service amortize domain spin-up across requests.
+    The run behaves as [jobs = Pool.jobs pool]; the pool is {e not}
+    shut down on return.
 
     Resource limits come from the config: the wall-clock deadline is
     global to the run, while state/transition counters are reset per

@@ -1,0 +1,37 @@
+type t = Unix.file_descr
+
+let connect ?(retry_for = 0.) ~socket () =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      (match e with
+      | (Unix.ECONNREFUSED | Unix.ENOENT)
+        when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.02;
+        go ()
+      | _ -> Error (Printf.sprintf "%s: %s" socket (Unix.error_message e)))
+  in
+  go ()
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request fd req =
+  match Proto.write_frame fd (Proto.encode_request req) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send: %s" (Unix.error_message e))
+  | () -> (
+    match Proto.read_frame fd with
+    | Ok payload -> Proto.decode_response payload
+    | Error Proto.Eof -> Error "connection closed by daemon"
+    | Error Proto.Interrupted -> Error "interrupted"
+    | Error (Proto.Malformed m) -> Error ("malformed response: " ^ m))
+
+let one_shot ?retry_for ~socket req =
+  match connect ?retry_for ~socket () with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect ~finally:(fun () -> close fd) (fun () -> request fd req)

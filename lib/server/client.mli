@@ -1,0 +1,24 @@
+(** Client side of the {!Proto} socket: connect, exchange frames,
+    decode.  Used by [satg client], the conformance tests and the
+    [--serve] benchmark. *)
+
+type t
+
+val connect :
+  ?retry_for:float -> socket:string -> unit -> (t, string) result
+(** Connect to the daemon's socket.  [retry_for] (seconds, default 0)
+    keeps retrying a missing or refusing socket — the "daemon still
+    booting" window after [satg serve] was forked. *)
+
+val request : t -> Proto.request -> (Proto.response, string) result
+(** One round trip.  [Error] on a dropped connection or an undecodable
+    response; the connection should be considered dead afterwards. *)
+
+val close : t -> unit
+
+val one_shot :
+  ?retry_for:float ->
+  socket:string ->
+  Proto.request ->
+  (Proto.response, string) result
+(** [connect], one {!request}, [close]. *)

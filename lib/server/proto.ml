@@ -1,0 +1,353 @@
+open Satg_core
+open Satg_circuit
+module Codec = Satg_store.Codec
+module Crc32 = Satg_store.Crc32
+
+type atpg_request = {
+  netlist : string;
+  universe : Session.universe;
+  config : Engine.config;
+}
+
+type cssg_request = {
+  c_netlist : string;
+  c_k : int option;
+  c_dump : bool;
+  c_timeout : float option;
+  c_max_states : int option;
+  c_max_transitions : int option;
+}
+
+type request =
+  | Atpg of atpg_request
+  | Cssg of cssg_request
+  | Check of string
+  | Batch of request list
+  | Stats
+
+type response =
+  | Result of { hit : bool; payload : Codec.result_payload }
+  | Text of { degraded : bool; text : string }
+  | Diags of Parser.diag list
+  | Failure of { code : string; msg : string }
+  | Batch_r of response list
+  | Stats_r of (string * string) list
+
+(* --- framing --------------------------------------------------------------- *)
+
+let max_frame_bytes = 1 lsl 26 (* 64 MiB: a netlist plus headroom *)
+
+type read_error = Eof | Interrupted | Malformed of string
+
+let rec write_all fd b pos len =
+  if len > 0 then
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame_bytes then invalid_arg "Proto.write_frame: frame too large";
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Int32.of_int (Crc32.string payload));
+  Bytes.blit_string payload 0 b 8 n;
+  write_all fd b 0 (8 + n)
+
+(* [`Eof n] = stream ended after [n] of the wanted bytes.  EINTR is
+   surfaced, not retried: a drain signal must be able to break an idle
+   daemon out of a blocking read. *)
+let really_read fd b len =
+  let rec go pos =
+    if pos >= len then `Ok
+    else
+      match Unix.read fd b pos (len - pos) with
+      | 0 -> `Eof pos
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Intr
+  in
+  go 0
+
+let u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let read_frame fd =
+  let header = Bytes.create 8 in
+  match really_read fd header 8 with
+  | `Eof 0 -> Error Eof
+  | `Eof _ -> Error (Malformed "torn frame header")
+  | `Intr -> Error Interrupted
+  | `Ok ->
+    let len = u32 header 0 and crc = u32 header 4 in
+    if len > max_frame_bytes then
+      Error (Malformed (Printf.sprintf "oversized frame (%d bytes)" len))
+    else
+      let body = Bytes.create len in
+      (match really_read fd body len with
+      | `Eof _ -> Error (Malformed "torn frame payload")
+      | `Intr -> Error Interrupted
+      | `Ok ->
+        let payload = Bytes.unsafe_to_string body in
+        if Crc32.string payload <> crc then
+          Error (Malformed "frame checksum mismatch")
+        else Ok payload)
+
+(* --- payload text ---------------------------------------------------------- *)
+
+let opt_int_str = function None -> "-" | Some n -> string_of_int n
+let opt_float_str = function None -> "-" | Some f -> Printf.sprintf "%.17g" f
+
+let opt_int_of = function
+  | "-" -> Some None
+  | s -> Option.map Option.some (int_of_string_opt s)
+
+let opt_float_of = function
+  | "-" -> Some None
+  | s -> Option.map Option.some (float_of_string_opt s)
+
+let fields_block fields =
+  String.concat "" (List.map (fun (k, v) -> k ^ " " ^ v ^ "\n") fields)
+
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(* [key value] lines up to one empty line; the rest is free bytes. *)
+let parse_header body =
+  let rec go acc pos =
+    match String.index_from_opt body pos '\n' with
+    | None -> Error "unterminated header block"
+    | Some i ->
+      let line = String.sub body pos (i - pos) in
+      if line = "" then
+        Ok (List.rev acc, String.sub body (i + 1) (String.length body - i - 1))
+      else (
+        match String.index_opt line ' ' with
+        | None -> Error (Printf.sprintf "malformed header line %S" line)
+        | Some j ->
+          go
+            ((String.sub line 0 j,
+              String.sub line (j + 1) (String.length line - j - 1))
+            :: acc)
+            (i + 1))
+  in
+  go [] 0
+
+let field fields k = List.assoc_opt k fields
+
+let cssg_fields (c : cssg_request) =
+  [
+    ("k", opt_int_str c.c_k);
+    ("timeout", opt_float_str c.c_timeout);
+    ("max-states", opt_int_str c.c_max_states);
+    ("max-transitions", opt_int_str c.c_max_transitions);
+  ]
+
+(* --- requests -------------------------------------------------------------- *)
+
+let rec encode_request = function
+  | Atpg a ->
+    "atpg\n"
+    ^ fields_block (Session.config_fields ~universe:a.universe a.config)
+    ^ "\n" ^ a.netlist
+  | Cssg c ->
+    Printf.sprintf "cssg %d\n" (Bool.to_int c.c_dump)
+    ^ fields_block (cssg_fields c)
+    ^ "\n" ^ c.c_netlist
+  | Check netlist -> "check\n\n" ^ netlist
+  | Stats -> "stats\n"
+  | Batch reqs ->
+    Printf.sprintf "batch %d\n" (List.length reqs)
+    ^ String.concat ""
+        (List.map
+           (fun r ->
+             let p = encode_request r in
+             Printf.sprintf "%d\n%s" (String.length p) p)
+           reqs)
+
+let decode_atpg body =
+  match parse_header body with
+  | Error m -> Error m
+  | Ok (fields, netlist) -> (
+    match Session.config_of_fields fields with
+    | None -> Error "bad atpg config block"
+    | Some (universe, config) -> Ok (Atpg { netlist; universe; config }))
+
+let decode_cssg arg body =
+  match (arg, parse_header body) with
+  | _, Error m -> Error m
+  | Some ("0" | "1"), Ok (fields, c_netlist) -> (
+    let c_dump = arg = Some "1" in
+    match
+      ( Option.bind (field fields "k") opt_int_of,
+        Option.bind (field fields "timeout") opt_float_of,
+        Option.bind (field fields "max-states") opt_int_of,
+        Option.bind (field fields "max-transitions") opt_int_of )
+    with
+    | Some c_k, Some c_timeout, Some c_max_states, Some c_max_transitions ->
+      Ok
+        (Cssg
+           {
+             c_netlist;
+             c_k;
+             c_dump;
+             c_timeout;
+             c_max_states;
+             c_max_transitions;
+           })
+    | _ -> Error "bad cssg config block")
+  | _, Ok _ -> Error "bad cssg dump flag"
+
+(* [len\n ++ bytes], repeated [n] times. *)
+let decode_nested decode_one n body =
+  let len = String.length body in
+  let rec go acc n pos =
+    if n = 0 then
+      if pos = len then Ok (List.rev acc) else Error "trailing batch bytes"
+    else
+      match String.index_from_opt body pos '\n' with
+      | None -> Error "torn batch member"
+      | Some i -> (
+        match int_of_string_opt (String.sub body pos (i - pos)) with
+        | Some l when l >= 0 && i + 1 + l <= len -> (
+          match decode_one (String.sub body (i + 1) l) with
+          | Ok r -> go (r :: acc) (n - 1) (i + 1 + l)
+          | Error m -> Error m)
+        | _ -> Error "bad batch member length")
+  in
+  go [] n 0
+
+let rec decode_request s =
+  let kind_line, body = split_first_line s in
+  let kind, arg =
+    match String.index_opt kind_line ' ' with
+    | None -> (kind_line, None)
+    | Some i ->
+      ( String.sub kind_line 0 i,
+        Some
+          (String.sub kind_line (i + 1) (String.length kind_line - i - 1)) )
+  in
+  let decode_member m =
+    let k, _ = split_first_line m in
+    let k = match String.index_opt k ' ' with
+      | None -> k
+      | Some i -> String.sub k 0 i
+    in
+    match k with
+    | "batch" -> Error "nested batch"
+    | "stats" -> Error "stats inside batch"
+    | _ -> decode_request m
+  in
+  match (kind, arg) with
+  | "atpg", None -> decode_atpg body
+  | "cssg", _ -> decode_cssg arg body
+  | "check", None -> (
+    match parse_header body with
+    | Error m -> Error m
+    | Ok ([], netlist) -> Ok (Check netlist)
+    | Ok (_ :: _, _) -> Error "unexpected check header fields")
+  | "stats", None -> Ok Stats
+  | "batch", Some n -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 && n <= 4096 ->
+      Result.map (fun rs -> Batch rs) (decode_nested decode_member n body)
+    | _ -> Error "bad batch count")
+  | _ -> Error (Printf.sprintf "unknown request kind %S" kind_line)
+
+(* --- responses ------------------------------------------------------------- *)
+
+let rec encode_response = function
+  | Result { hit; payload } ->
+    Printf.sprintf "result %d\n" (Bool.to_int hit)
+    ^ Codec.result_to_string payload
+  | Text { degraded; text } ->
+    Printf.sprintf "text %d\n" (Bool.to_int degraded) ^ text
+  | Diags ds ->
+    Printf.sprintf "diags %d\n" (List.length ds)
+    ^ String.concat ""
+        (List.map
+           (fun (d : Parser.diag) ->
+             Printf.sprintf "%d %s\n" d.Parser.line d.Parser.msg)
+           ds)
+  | Failure { code; msg } -> Printf.sprintf "error %s\n" code ^ msg
+  | Batch_r rs ->
+    Printf.sprintf "batch %d\n" (List.length rs)
+    ^ String.concat ""
+        (List.map
+           (fun r ->
+             let p = encode_response r in
+             Printf.sprintf "%d\n%s" (String.length p) p)
+           rs)
+  | Stats_r fields ->
+    Printf.sprintf "stats %d\n" (List.length fields) ^ fields_block fields
+
+let decode_diag line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+    match int_of_string_opt (String.sub line 0 i) with
+    | Some n when n >= 0 ->
+      Some
+        {
+          Parser.line = n;
+          msg = String.sub line (i + 1) (String.length line - i - 1);
+        }
+    | _ -> None)
+
+let decode_lines body n of_line what =
+  let rec go acc n pos =
+    if n = 0 then Ok (List.rev acc)
+    else
+      match String.index_from_opt body pos '\n' with
+      | None -> Error ("torn " ^ what)
+      | Some i -> (
+        match of_line (String.sub body pos (i - pos)) with
+        | Some d -> go (d :: acc) (n - 1) (i + 1)
+        | None -> Error ("bad " ^ what))
+  in
+  go [] n 0
+
+let rec decode_response s =
+  let kind_line, body = split_first_line s in
+  let kind, arg =
+    match String.index_opt kind_line ' ' with
+    | None -> (kind_line, None)
+    | Some i ->
+      ( String.sub kind_line 0 i,
+        Some
+          (String.sub kind_line (i + 1) (String.length kind_line - i - 1)) )
+  in
+  match (kind, arg) with
+  | "result", Some (("0" | "1") as hit) ->
+    Result.map
+      (fun payload -> Result { hit = hit = "1"; payload })
+      (Codec.result_of_string body)
+  | "text", Some (("0" | "1") as d) ->
+    Ok (Text { degraded = d = "1"; text = body })
+  | "diags", Some n -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Result.map (fun ds -> Diags ds) (decode_lines body n decode_diag "diag")
+    | _ -> Error "bad diags count")
+  | "error", Some code -> Ok (Failure { code; msg = body })
+  | "batch", Some n -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 && n <= 4096 ->
+      Result.map (fun rs -> Batch_r rs) (decode_nested decode_response n body)
+    | _ -> Error "bad batch count")
+  | "stats", Some n -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Result.map
+        (fun fields -> Stats_r fields)
+        (decode_lines body n
+           (fun line ->
+             match String.index_opt line ' ' with
+             | None -> None
+             | Some i ->
+               Some
+                 ( String.sub line 0 i,
+                   String.sub line (i + 1) (String.length line - i - 1) ))
+           "stats field")
+    | _ -> Error "bad stats count")
+  | _ -> Error (Printf.sprintf "unknown response kind %S" kind_line)

@@ -97,7 +97,7 @@ let entry_of_string s =
     | Some f, Some st -> Some (f, st)
     | _ -> None)
 
-type result_payload = {
+type result_payload = Satg_core.Session.summary = {
   faults_searched : int;
   truncated : Guard.reason option;
   cpu_seconds : float;

@@ -30,8 +30,10 @@ val entry_of_string : string -> (Fault.t * Testset.status) option
 
 (** A complete, settled run — what the content-addressed cache stores:
     enough to reproduce the CLI's output (outcome lines, CSSG stats
-    line, summary) without rebuilding anything. *)
-type result_payload = {
+    line, summary) without rebuilding anything.  The type {e is} the
+    session layer's {!Satg_core.Session.summary}: the cache object,
+    the daemon's wire response and the renderer all share one value. *)
+type result_payload = Satg_core.Session.summary = {
   faults_searched : int;
   truncated : Guard.reason option;
   cpu_seconds : float;  (** of the run that produced the object *)

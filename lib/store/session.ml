@@ -1,44 +1,20 @@
 open Satg_guard
 open Satg_fault
-open Satg_sg
 open Satg_core
 
 let ( // ) = Filename.concat
 
-let engine_name = function
-  | Engine.Explicit -> "explicit"
-  | Engine.Bdd -> "bdd"
-  | Engine.Sat -> "sat"
-
 let key_of ~netlist ~universe ~config =
-  let c = config in
-  let opt_int = function None -> "-" | Some n -> string_of_int n in
-  let opt_float = function None -> "-" | Some f -> Printf.sprintf "%.17g" f in
-  (* Everything outcome-determining goes in; [jobs] stays out (the wave
-     merge is j-invariant).  [format] guards against wire-format or
-     semantics changes across versions of this code. *)
+  (* Everything outcome-determining goes in, via the session layer's
+     one exhaustive field list ([jobs] stays out: the wave merge is
+     j-invariant).  The typed [universe] kills a whole bug class — a
+     caller passing "Input" vs "input" used to mint two keys for one
+     request.  [format] guards against wire-format or semantics
+     changes across versions of this code. *)
   Cache.key_of_parts
-    [
-      ("format", "1");
-      ("netlist", Digest.to_hex (Digest.string netlist));
-      ("universe", universe);
-      ("k", opt_int c.Engine.k);
-      ("random", string_of_bool c.Engine.enable_random);
-      ("fault-sim", string_of_bool c.Engine.enable_fault_sim);
-      ("engine", engine_name c.Engine.engine);
-      ("collapse", string_of_bool c.Engine.collapse);
-      ("timeout", opt_float c.Engine.timeout);
-      ("max-states", opt_int c.Engine.max_states);
-      ("max-transitions", opt_int c.Engine.max_transitions);
-      ("walks", string_of_int c.Engine.random.Random_tpg.walks);
-      ("walk-length", string_of_int c.Engine.random.Random_tpg.walk_length);
-      ("seed", string_of_int c.Engine.random.Random_tpg.seed);
-      ("max-depth", string_of_int c.Engine.three_phase.Three_phase.max_depth);
-      ( "max-product-states",
-        string_of_int c.Engine.three_phase.Three_phase.max_product_states );
-      ( "max-activation-tries",
-        string_of_int c.Engine.three_phase.Three_phase.max_activation_tries );
-    ]
+    (("format", "1")
+    :: ("netlist", Digest.to_hex (Digest.string netlist))
+    :: Satg_core.Session.config_fields ~universe config)
 
 let cached ~dir ~key =
   match Cache.lookup ~dir key with
@@ -63,17 +39,7 @@ let cacheable (r : Engine.result) =
          | Testset.Detected _ | Testset.Undetected -> true)
        r.Engine.outcomes
 
-let payload_of_result (r : Engine.result) =
-  {
-    Codec.faults_searched = r.Engine.faults_searched;
-    truncated = Engine.truncated r;
-    cpu_seconds = r.Engine.cpu_seconds;
-    stats_line = Format.asprintf "%a" Cssg.pp_stats r.Engine.cssg;
-    outcomes =
-      List.map
-        (fun o -> (o.Testset.fault, o.Testset.status))
-        r.Engine.outcomes;
-  }
+let payload_of_result = Satg_core.Session.summary_of_result
 
 let publish ~dir ~key payload =
   Cache.publish ~dir key (Codec.result_to_string payload)

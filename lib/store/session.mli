@@ -30,10 +30,16 @@ open Satg_fault
 open Satg_core
 
 val key_of :
-  netlist:string -> universe:string -> config:Engine.config -> string
+  netlist:string ->
+  universe:Satg_core.Session.universe ->
+  config:Engine.config ->
+  string
 (** Content-addressed key of a (netlist, configuration) pair.
-    [netlist] is the raw file bytes; [universe] names the fault model
-    ("input" / "output" / "both"). *)
+    [netlist] is the raw file bytes; [universe] is the fault model.
+    The fields hashed are exactly
+    {!Satg_core.Session.config_fields} — the one exhaustive list of
+    outcome-relevant configuration — so the key and the daemon's wire
+    format can never disagree about what matters. *)
 
 val cached : dir:string -> key:string -> Codec.result_payload option
 (** Serve a settled run from the object store.  Any corruption

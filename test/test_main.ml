@@ -22,4 +22,5 @@ let () =
          Test_store.suites;
          Test_concepts.suites;
          Test_families.suites;
+         Test_server.suites;
        ])

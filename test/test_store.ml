@@ -446,14 +446,14 @@ let test_cache_roundtrip_and_corruption () =
 
 let test_session_key_sensitivity () =
   let base = Engine.default_config in
-  let k ?(netlist = "net") ?(universe = "input") config =
+  let k ?(netlist = "net") ?(universe = Satg_core.Session.Input) config =
     Session.key_of ~netlist ~universe ~config
   in
   Alcotest.(check string) "deterministic" (k base) (k base);
   Alcotest.(check bool) "netlist matters" true
     (k base <> k ~netlist:"other" base);
   Alcotest.(check bool) "universe matters" true
-    (k base <> k ~universe:"both" base);
+    (k base <> k ~universe:Satg_core.Session.Both base);
   Alcotest.(check bool) "k matters" true
     (k base <> k { base with Engine.k = Some 9 });
   Alcotest.(check bool) "seed matters" true
@@ -463,9 +463,27 @@ let test_session_key_sensitivity () =
            base with
            Engine.random = { base.Engine.random with Random_tpg.seed = 99 };
          });
+  (* every outcome-shaping budget and toggle must split the key: a
+     budget-capped (deterministically degraded) result is cacheable,
+     so serving it to an uncapped request would be a lie *)
+  Alcotest.(check bool) "max-states matters" true
+    (k base <> k { base with Engine.max_states = Some 7 });
+  Alcotest.(check bool) "max-transitions matters" true
+    (k base <> k { base with Engine.max_transitions = Some 7 });
+  Alcotest.(check bool) "timeout matters" true
+    (k base <> k { base with Engine.timeout = Some 0.5 });
+  Alcotest.(check bool) "engine matters" true
+    (k base <> k { base with Engine.engine = Engine.Sat });
+  Alcotest.(check bool) "collapse matters" true
+    (k base <> k { base with Engine.collapse = false });
+  Alcotest.(check bool) "random phase toggle matters" true
+    (k base <> k { base with Engine.enable_random = false });
   Alcotest.(check string) "jobs does not matter (j-invariant outcomes)"
     (k base)
-    (k { base with Engine.jobs = Some 4 })
+    (k { base with Engine.jobs = Some 4 });
+  Alcotest.(check string) "jobs does not matter under caps either"
+    (k { base with Engine.jobs = Some 2; Engine.max_states = Some 7 })
+    (k { base with Engine.jobs = Some 8; Engine.max_states = Some 7 })
 
 (* --- session resume ------------------------------------------------------- *)
 
@@ -497,7 +515,7 @@ let test_session_resume_equals_uninterrupted () =
   List.iter
     (fun cut ->
       with_dir @@ fun d ->
-      let key = Session.key_of ~netlist:"n" ~universe:"input" ~config:Engine.default_config in
+      let key = Session.key_of ~netlist:"n" ~universe:Satg_core.Session.Input ~config:Engine.default_config in
       (* run 1: journal the first [cut] commits, then "crash" *)
       (let t =
          match Session.start ~dir:d ~key () with
@@ -587,7 +605,7 @@ let test_session_cacheable () =
   Alcotest.(check bool) "budget abort is" true
     (Session.cacheable (doctor (Testset.Aborted Guard.Transition_limit)));
   with_dir @@ fun d ->
-  let key = Session.key_of ~netlist:"x" ~universe:"input" ~config:Engine.default_config in
+  let key = Session.key_of ~netlist:"x" ~universe:Satg_core.Session.Input ~config:Engine.default_config in
   Session.publish ~dir:d ~key (Session.payload_of_result r);
   match Session.cached ~dir:d ~key with
   | None -> Alcotest.fail "published result must be served"
