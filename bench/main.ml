@@ -574,6 +574,202 @@ let bdd_netlists =
     "examples/netlists/toggle_farm.cct";
   ]
 
+(* --- partitioned vs monolithic symbolic builds ------------------------------ *)
+
+(* Style and reorder head-to-heads through [Symbolic.build] itself, in
+   three regimes.  The two small circuits run to completion — every
+   style × reorder combination must agree on the reachable count, and
+   the rows show reordering is free below the sifting trigger.
+   ring_storm runs under a states-only cap, so both styles perform the
+   same semantic work before tripping and the comparison isolates the
+   image pipeline: partitioned never materialises R_delta, which shows
+   up as a several-fold smaller retained-node footprint (asserted
+   here; the per-step relational products cost somewhat more, recorded
+   honestly in the timings).  toggle_farm runs under the full
+   deterministic caps, where monolithic burns most of its budget
+   constructing R_delta before the first image — the time-to-budget
+   win for the partitioned form.  Lands in the "symbolic" section of
+   BENCH_bdd.json. *)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type sym_cell = {
+  sc_style : string;
+  sc_reorder : string;
+  sc_seconds : float;
+  sc_reachable : int;
+  sc_truncated : bool;
+  sc_live : int;
+  sc_reorders : int;
+  sc_swaps : int;
+}
+
+let sym_cell c ~style ~reorder ~guard_of =
+  let st_name = match style with `Partitioned -> "partitioned" | `Monolithic -> "monolithic" in
+  let ro_name = match reorder with Bdd.Reorder_none -> "none" | Bdd.Reorder_sift -> "sift" in
+  let t, seconds =
+    timed (fun () -> Symbolic.build ~style ~reorder ~guard:(guard_of ()) c)
+  in
+  let st = Symbolic.bdd_stats t in
+  {
+    sc_style = st_name;
+    sc_reorder = ro_name;
+    sc_seconds = seconds;
+    sc_reachable = Symbolic.n_reachable t;
+    sc_truncated = Symbolic.truncated t <> None;
+    sc_live = Symbolic.live_nodes t;
+    sc_reorders = st.Bdd.reorders;
+    sc_swaps = st.Bdd.swaps;
+  }
+
+let sym_cell_json indent cell =
+  Printf.sprintf
+    {|%s{ "style": "%s", "reorder": "%s", "seconds": %.6f,
+%s  "reachable": %d, "truncated": %b, "live_nodes": %d,
+%s  "reorders": %d, "swaps": %d }|}
+    indent cell.sc_style cell.sc_reorder cell.sc_seconds indent
+    cell.sc_reachable cell.sc_truncated cell.sc_live indent cell.sc_reorders
+    cell.sc_swaps
+
+let sym_print cell =
+  Printf.printf
+    "  %-11s %-4s: %8.4f s  reachable=%d%s live=%d  (%d reorders, %d swaps)\n"
+    cell.sc_style cell.sc_reorder cell.sc_seconds cell.sc_reachable
+    (if cell.sc_truncated then " (truncated)" else "")
+    cell.sc_live cell.sc_reorders cell.sc_swaps
+
+(* The deterministic caps shared with the SAT race and the CI
+   backend-agreement job. *)
+let sat_cap_states = 500
+let sat_cap_transitions = 200_000
+
+let symbolic_style_bench () =
+  (* Regime 1: uncapped small circuits, full style × reorder grid. *)
+  let complete_rows =
+    List.map
+      (fun path ->
+        let c = load_netlist path in
+        let cells =
+          List.map
+            (fun (style, reorder) ->
+              sym_cell c ~style ~reorder ~guard_of:(fun () ->
+                  Satg_guard.Guard.none))
+            [
+              (`Partitioned, Bdd.Reorder_none);
+              (`Partitioned, Bdd.Reorder_sift);
+              (`Monolithic, Bdd.Reorder_none);
+              (`Monolithic, Bdd.Reorder_sift);
+            ]
+        in
+        Printf.printf "symbolic (%s): uncapped\n" (Circuit.name c);
+        List.iter sym_print cells;
+        (match cells with
+        | first :: rest ->
+          List.iter
+            (fun cl ->
+              if cl.sc_reachable <> first.sc_reachable || cl.sc_truncated then
+                failwith
+                  (Printf.sprintf
+                     "%s: %s/%s disagrees on reachable states (%d vs %d)"
+                     (Circuit.name c) cl.sc_style cl.sc_reorder cl.sc_reachable
+                     first.sc_reachable))
+            rest
+        | [] -> assert false);
+        Printf.sprintf
+          {|      { "circuit": "%s",
+        "cells": [
+%s
+        ] }|}
+          (Circuit.name c)
+          (String.concat ",\n" (List.map (sym_cell_json "          ") cells)))
+      [
+        "examples/netlists/celem_handshake.cct";
+        "examples/netlists/mutex_latch.cct";
+      ]
+  in
+  (* Regime 2: ring_storm under a states-only cap — equal semantic work
+     on both sides, relation footprint is the partitioned win. *)
+  let ring_cap = sat_cap_states in
+  let ring =
+    let c = load_netlist "examples/netlists/ring_storm.cct" in
+    let guard_of () = Satg_guard.Guard.create ~max_states:ring_cap () in
+    let part = sym_cell c ~style:`Partitioned ~reorder:Bdd.Reorder_none ~guard_of in
+    let mono = sym_cell c ~style:`Monolithic ~reorder:Bdd.Reorder_none ~guard_of in
+    Printf.printf "symbolic (%s): states cap %d\n" (Circuit.name c) ring_cap;
+    sym_print part;
+    sym_print mono;
+    if part.sc_reachable <> mono.sc_reachable then
+      failwith
+        (Printf.sprintf "%s: styles disagree under equal state cap (%d vs %d)"
+           (Circuit.name c) part.sc_reachable mono.sc_reachable);
+    if mono.sc_live < part.sc_live then
+      failwith
+        (Printf.sprintf
+           "%s: monolithic retained fewer nodes than partitioned (%d < %d)"
+           (Circuit.name c) mono.sc_live part.sc_live);
+    Printf.printf "  footprint ratio (mono/part): %.2fx\n"
+      (float_of_int mono.sc_live /. float_of_int part.sc_live);
+    Printf.sprintf
+      {|      "circuit": "ring_storm",
+      "max_states": %d,
+      "partitioned": %s,
+      "monolithic": %s,
+      "footprint_ratio": %.2f|}
+      ring_cap
+      (sym_cell_json "" part |> String.trim)
+      (sym_cell_json "" mono |> String.trim)
+      (float_of_int mono.sc_live /. float_of_int part.sc_live)
+  in
+  (* Regime 3: toggle_farm under the full deterministic caps —
+     time-to-budget, where relation construction itself is on the
+     clock. *)
+  let toggle =
+    let c = load_netlist "examples/netlists/toggle_farm.cct" in
+    let guard_of () =
+      Satg_guard.Guard.create ~max_states:sat_cap_states
+        ~max_transitions:sat_cap_transitions ()
+    in
+    let part = sym_cell c ~style:`Partitioned ~reorder:Bdd.Reorder_none ~guard_of in
+    let mono = sym_cell c ~style:`Monolithic ~reorder:Bdd.Reorder_none ~guard_of in
+    let part_sift = sym_cell c ~style:`Partitioned ~reorder:Bdd.Reorder_sift ~guard_of in
+    Printf.printf "symbolic (%s): caps %d states / %d transitions\n"
+      (Circuit.name c) sat_cap_states sat_cap_transitions;
+    sym_print part;
+    sym_print mono;
+    sym_print part_sift;
+    Printf.printf "  time-to-budget speedup (mono/part): %.2fx\n"
+      (mono.sc_seconds /. part.sc_seconds);
+    Printf.sprintf
+      {|      "circuit": "toggle_farm",
+      "caps": { "max_states": %d, "max_transitions": %d },
+      "partitioned": %s,
+      "monolithic": %s,
+      "partitioned_sift": %s,
+      "time_to_budget_speedup": %.2f|}
+      sat_cap_states sat_cap_transitions
+      (sym_cell_json "" part |> String.trim)
+      (sym_cell_json "" mono |> String.trim)
+      (sym_cell_json "" part_sift |> String.trim)
+      (mono.sc_seconds /. part.sc_seconds)
+  in
+  Printf.sprintf
+    {|  "symbolic": {
+    "complete": [
+%s
+    ],
+    "ring_storm_states_cap": {
+%s
+    },
+    "toggle_farm_full_caps": {
+%s
+    }
+  }|}
+    (String.concat ",\n" complete_rows)
+    ring toggle
+
 let bdd_engine_bench () =
   let row path =
     let c = load_netlist path in
@@ -603,7 +799,8 @@ let bdd_engine_bench () =
       "circuit": "%s",
       "nvars": %d,
       "packed": { "seconds": %.6f, "apply_ops": %d, "ops_per_sec": %.1f,
-                  "peak_nodes": %d, "cache_hit_rate": %.4f },
+                  "peak_nodes": %d, "cache_hit_rate": %.4f,
+                  "unique_buckets_init": %d, "cache_threshold": %d },
       "legacy": { "seconds": %.6f, "apply_ops": %d, "ops_per_sec": %.1f,
                   "peak_nodes": %d },
       "speedup": %.2f
@@ -611,7 +808,8 @@ let bdd_engine_bench () =
       (Circuit.name c)
       (2 * Circuit.n_nodes c)
       packed_seconds packed_ops packed_ops_s stats.Bdd.peak_nodes
-      (Bdd.cache_hit_rate stats) legacy_seconds legacy_ops legacy_ops_s
+      (Bdd.cache_hit_rate stats) stats.Bdd.unique_buckets_init
+      stats.Bdd.cache_threshold legacy_seconds legacy_ops legacy_ops_s
       legacy.Legacy.n speedup
     |> fun json -> (json, speedup)
   in
@@ -619,6 +817,7 @@ let bdd_engine_bench () =
   let max_speedup =
     List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 rows
   in
+  let symbolic_json = symbolic_style_bench () in
   let json =
     Printf.sprintf
       {|{
@@ -626,11 +825,12 @@ let bdd_engine_bench () =
   "circuits": [
 %s
   ],
+%s,
   "max_speedup": %.2f
 }
 |}
       (String.concat ",\n" (List.map fst rows))
-      max_speedup
+      symbolic_json max_speedup
   in
   let oc = open_out "BENCH_bdd.json" in
   output_string oc json;
@@ -649,9 +849,6 @@ let bdd_engine_bench () =
 
 let sat_netlists =
   [ "examples/netlists/ring_storm.cct"; "examples/netlists/toggle_farm.cct" ]
-
-let sat_cap_states = 500
-let sat_cap_transitions = 200_000
 
 (* Fresh-solver-per-fault vs one long-lived incremental solver, raced
    over the full fault universe of the pipeline family at n = 1..8.
@@ -767,16 +964,24 @@ let sat_engine_bench () =
         max_transitions = Some sat_cap_transitions;
       }
     in
+    let sift_config =
+      { (config Engine.Bdd) with Engine.reorder = Bdd.Reorder_sift }
+    in
     let run engine = Engine.run ~config:(config engine) ~cssg:g c ~faults in
+    let run_sift () = Engine.run ~config:sift_config ~cssg:g c ~faults in
     let sat_r = ref (run Engine.Sat) in
     let bdd_r = ref (run Engine.Bdd) in
+    let sift_r = ref (run_sift ()) in
     let sat_seconds = time_thunk (fun () -> sat_r := run Engine.Sat) in
     let bdd_seconds = time_thunk (fun () -> bdd_r := run Engine.Bdd) in
-    let sat_r = !sat_r and bdd_r = !bdd_r in
+    let sift_seconds = time_thunk (fun () -> sift_r := run_sift ()) in
+    let sat_r = !sat_r and bdd_r = !bdd_r and sift_r = !sift_r in
     let partition r =
       List.map (fun o -> Testset.is_detected o.Testset.status) r.Engine.outcomes
     in
-    let agree = partition sat_r = partition bdd_r in
+    let agree =
+      partition sat_r = partition bdd_r && partition sat_r = partition sift_r
+    in
     let speedup = bdd_seconds /. sat_seconds in
     let ss =
       match sat_r.Engine.sat_stats with
@@ -785,13 +990,16 @@ let sat_engine_bench () =
     in
     Printf.printf
       "sat engine (%s): %d faults, caps %d states / %d transitions\n\
-      \  sat: %8.4f s  (%d detected, %d aborted; %d conflicts, %d learned)\n\
-      \  bdd: %8.4f s  (%d detected, %d aborted)\n\
+      \  sat     : %8.4f s  (%d detected, %d aborted; %d conflicts, %d \
+       learned)\n\
+      \  bdd     : %8.4f s  (%d detected, %d aborted)\n\
+      \  bdd+sift: %8.4f s  (%d detected, %d aborted)\n\
       \  partitions agree: %b   speedup: %.2fx\n"
       (Circuit.name c) (List.length faults) sat_cap_states sat_cap_transitions
       sat_seconds (Engine.detected sat_r) (Engine.aborted sat_r)
       ss.Satg_sat.Sat.conflicts ss.Satg_sat.Sat.learned bdd_seconds
-      (Engine.detected bdd_r) (Engine.aborted bdd_r) agree speedup;
+      (Engine.detected bdd_r) (Engine.aborted bdd_r) sift_seconds
+      (Engine.detected sift_r) (Engine.aborted sift_r) agree speedup;
     if not agree then failwith (Circuit.name c ^ ": backend partitions differ");
     Printf.sprintf
       {|    {
@@ -802,6 +1010,7 @@ let sat_engine_bench () =
                "decisions": %d, "propagations": %d, "conflicts": %d,
                "learned": %d, "restarts": %d, "vars": %d, "clauses": %d },
       "bdd": { "seconds": %.6f, "detected": %d, "aborted": %d },
+      "bdd_sift": { "seconds": %.6f, "detected": %d, "aborted": %d },
       "partitions_agree": %b,
       "speedup": %.2f
     }|}
@@ -811,7 +1020,8 @@ let sat_engine_bench () =
       ss.Satg_sat.Sat.conflicts ss.Satg_sat.Sat.learned
       ss.Satg_sat.Sat.restarts ss.Satg_sat.Sat.n_vars
       ss.Satg_sat.Sat.n_clauses bdd_seconds (Engine.detected bdd_r)
-      (Engine.aborted bdd_r) agree speedup
+      (Engine.aborted bdd_r) sift_seconds (Engine.detected sift_r)
+      (Engine.aborted sift_r) agree speedup
   in
   let rows = List.map row sat_netlists in
   let ladder = sat_incremental_ladder () in
@@ -929,9 +1139,68 @@ let intern_bench () =
     (float_of_int n_lookups /. packed_seconds)
     speedup
 
+(* Frontier-chunk sizing for [Explicit.build_par], relative to the host:
+   few cores want larger batches (amortise dispatch), many cores want
+   smaller ones (balance load).  The untruncated graph is identical for
+   every chunk (asserted below), so this measures pure scheduling
+   overhead.  Runs on an uncapped mid-size family circuit where the
+   sequential build completes. *)
+let build_par_chunk_bench ~host_cores =
+  let entry =
+    match Suite.generate "pipeline" ~n:8 with
+    | Ok e -> e
+    | Error m -> failwith ("pipeline n=8: " ^ m)
+  in
+  let c =
+    match Synth.complex_gate entry.Suite.stg with
+    | Ok c -> c
+    | Error m -> failwith (entry.Suite.name ^ ": synth: " ^ m)
+  in
+  let sized_chunk = max 4 (256 / host_cores) in
+  Satg_pool.Pool.with_pool ~jobs:host_cores (fun pool ->
+      let seq = Explicit.build c in
+      let default_g = ref (Explicit.build_par ~pool c) in
+      let sized_g = ref (Explicit.build_par ~chunk:sized_chunk ~pool c) in
+      let default_seconds =
+        time_thunk (fun () -> default_g := Explicit.build_par ~pool c)
+      in
+      let sized_seconds =
+        time_thunk (fun () ->
+            sized_g := Explicit.build_par ~chunk:sized_chunk ~pool c)
+      in
+      let shape g = (Cssg.n_states g, Cssg.n_edges g) in
+      if shape !default_g <> shape seq || shape !sized_g <> shape seq then
+        failwith "build_par: chunk size changed the untruncated graph";
+      let n_states, n_edges = shape seq in
+      Printf.printf
+        "build_par chunks (%s): %d states, %d edges, jobs %d\n\
+        \  chunk  32 (default)  : %8.4f s\n\
+        \  chunk %3d (host-sized): %8.4f s\n"
+        (Circuit.name c) n_states n_edges host_cores default_seconds
+        sized_chunk sized_seconds;
+      Printf.sprintf
+        {|  "build_par_chunk": { "circuit": "%s", "jobs": %d,
+              "n_states": %d, "n_edges": %d,
+              "default": { "chunk": 32, "seconds": %.6f },
+              "host_sized": { "chunk": %d, "seconds": %.6f },
+              "graphs_equal": true }|}
+        (Circuit.name c) host_cores n_states n_edges default_seconds
+        sized_chunk sized_seconds)
+
 let domains_bench () =
   let host_cores = Domain.recommended_domain_count () in
+  (* Honest rows only: an oversubscribed -j on a small host measures
+     scheduler noise, not scaling.  -j 1 always runs (it anchors the
+     determinism contract); larger -j rows run only when the host
+     actually has the cores. *)
+  let js_run, js_skipped =
+    List.partition (fun j -> j = 1 || j <= host_cores) domains_js
+  in
+  if js_skipped <> [] then
+    Printf.printf "domains: host has %d core(s); skipping -j %s\n" host_cores
+      (String.concat "/" (List.map string_of_int js_skipped));
   let intern_json = intern_bench () in
+  let chunk_json = build_par_chunk_bench ~host_cores in
   let row path =
     let c = load_netlist path in
     let faults = Fault.universe_input_sa c in
@@ -955,7 +1224,7 @@ let domains_bench () =
           let seconds = time_thunk (fun () -> r := run (Some j)) in
           (j, seconds, partition_hash !r, Engine.detected !r,
            Engine.aborted !r))
-        domains_js
+        js_run
     in
     let j1_seconds =
       match cells with (1, s, _, _, _) :: _ -> s | _ -> seq_seconds
@@ -1005,13 +1274,17 @@ let domains_bench () =
       {|{
   "bench": "domains",
   "host_cores": %d,
+  "jobs_skipped": [%s],
+%s,
 %s,
   "circuits": [
 %s
   ]
 }
 |}
-      host_cores intern_json
+      host_cores
+      (String.concat ", " (List.map string_of_int js_skipped))
+      intern_json chunk_json
       (String.concat ",\n" rows)
   in
   let oc = open_out "BENCH_domains.json" in

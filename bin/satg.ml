@@ -153,6 +153,33 @@ let jobs_arg =
            engine's deterministic phase stays sequential under this flag \
            (single-domain manager).  Default: the sequential pipeline.")
 
+let reorder_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", Satg_bdd.Bdd.Reorder_none);
+             ("sift", Satg_bdd.Bdd.Reorder_sift) ])
+        Satg_bdd.Bdd.Reorder_none
+    & info [ "reorder" ]
+        ~doc:
+          "Dynamic BDD variable reordering for the symbolic engine: \
+           $(b,none) (default) or $(b,sift) (Rudell sifting, fired \
+           automatically when the node store crosses a growth trigger).  \
+           Reordering never changes the computed graph or the coverage \
+           partition, only the representation size.")
+
+let cluster_cap_arg =
+  Arg.(
+    value
+    & opt int Symbolic.default_cluster_cap
+    & info [ "cluster-cap" ] ~docv:"N"
+        ~doc:
+          "Node cap per frame-equality cluster in the symbolic engine's \
+           partitioned early-quantification schedule.  Smaller caps mean \
+           more, smaller conjuncts; the computed graph is identical for \
+           every value.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -173,7 +200,8 @@ let cssg_cmd =
   let dump =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print every state and edge.")
   in
-  let run file engine dump stats k jobs timeout max_states max_transitions =
+  let run file engine dump stats k jobs timeout max_states max_transitions
+      reorder cluster_cap =
     let c = or_die (read_circuit file) in
     let guard = Guard.create ?timeout ?max_states ?max_transitions () in
     let g, bdd_stats =
@@ -186,7 +214,7 @@ let cssg_cmd =
             None )
         | None -> (Explicit.build ?k ~guard c, None))
       | `Symbolic ->
-        let sym = Symbolic.build ?k ~guard c in
+        let sym = Symbolic.build ?k ~reorder ~cluster_cap ~guard c in
         let g = Symbolic.to_cssg sym in
         (* sampled after enumeration so the whole build is covered *)
         (g, Some (Symbolic.bdd_stats sym))
@@ -204,7 +232,8 @@ let cssg_cmd =
        ~doc:"Build the Confluent Stable State Graph of a netlist.")
     Term.(
       const run $ file $ engine $ dump $ stats_arg $ k_arg $ jobs_arg
-      $ timeout_arg $ max_states_arg $ max_transitions_arg)
+      $ timeout_arg $ max_states_arg $ max_transitions_arg $ reorder_arg
+      $ cluster_cap_arg)
 
 (* --- atpg ----------------------------------------------------------------- *)
 
@@ -254,7 +283,7 @@ let no_collapse_arg =
 (* The one-shot run, the daemon and the client all shape the same
    engine configuration from the same flags. *)
 let make_config ~k ~no_random ~engine ~no_collapse ~jobs ~timeout ~max_states
-    ~max_transitions ~seed =
+    ~max_transitions ~reorder ~cluster_cap ~seed =
   {
     Engine.default_config with
     k;
@@ -265,6 +294,8 @@ let make_config ~k ~no_random ~engine ~no_collapse ~jobs ~timeout ~max_states
     timeout;
     max_states;
     max_transitions;
+    reorder;
+    cluster_cap;
     random = { Random_tpg.default_config with seed };
   }
 
@@ -334,12 +365,14 @@ let atpg_cmd =
     if Core_session.degraded p then exit exit_partial
   in
   let run file universe no_random seed verbose engine symbolic no_collapse
-      stats k jobs timeout max_states max_transitions cache_dir resume =
+      stats k jobs timeout max_states max_transitions reorder cluster_cap
+      cache_dir resume =
     let c = or_die (read_circuit file) in
     let config =
       make_config ~k ~no_random
         ~engine:(if symbolic then Engine.Bdd else engine)
-        ~no_collapse ~jobs ~timeout ~max_states ~max_transitions ~seed
+        ~no_collapse ~jobs ~timeout ~max_states ~max_transitions ~reorder
+        ~cluster_cap ~seed
     in
     let guard = Guard.create ?timeout ?max_states ?max_transitions () in
     drain_on_signal guard;
@@ -416,7 +449,8 @@ let atpg_cmd =
     Term.(
       const run $ file $ universe $ no_random $ seed $ verbose $ engine
       $ symbolic $ no_collapse $ stats_arg $ k_arg $ jobs_arg $ timeout_arg
-      $ max_states_arg $ max_transitions_arg $ cache_dir $ resume)
+      $ max_states_arg $ max_transitions_arg $ reorder_arg $ cluster_cap_arg
+      $ cache_dir $ resume)
 
 (* --- bench ---------------------------------------------------------------- *)
 
@@ -779,13 +813,13 @@ let print_response c verbose = function
 let client_atpg_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
   let run socket file universe no_random seed verbose engine no_collapse k
-      deadline_ms timeout max_states max_transitions =
+      deadline_ms timeout max_states max_transitions reorder cluster_cap =
     let netlist = read_file file in
     let c = or_die (read_circuit file) in
     let config =
       make_config ~k ~no_random ~engine ~no_collapse ~jobs:None
         ~timeout:(effective_timeout ~deadline_ms ~timeout)
-        ~max_states ~max_transitions ~seed
+        ~max_states ~max_transitions ~reorder ~cluster_cap ~seed
     in
     let response =
       request_or_die socket (Proto.Atpg { Proto.netlist; universe; config })
@@ -801,7 +835,8 @@ let client_atpg_cmd =
     Term.(
       const run $ socket_arg $ file $ universe_arg $ no_random_arg $ seed_arg
       $ verbose_arg $ engine_arg $ no_collapse_arg $ k_arg $ deadline_arg
-      $ timeout_arg $ max_states_arg $ max_transitions_arg)
+      $ timeout_arg $ max_states_arg $ max_transitions_arg $ reorder_arg
+      $ cluster_cap_arg)
 
 let client_cssg_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cct") in
@@ -853,7 +888,7 @@ let client_batch_cmd =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.cct")
   in
   let run socket files universe no_random seed verbose engine no_collapse k
-      deadline_ms timeout max_states max_transitions =
+      deadline_ms timeout max_states max_transitions reorder cluster_cap =
     let members =
       List.map (fun file -> (file, or_die (read_circuit file), read_file file))
         files
@@ -861,7 +896,7 @@ let client_batch_cmd =
     let config =
       make_config ~k ~no_random ~engine ~no_collapse ~jobs:None
         ~timeout:(effective_timeout ~deadline_ms ~timeout)
-        ~max_states ~max_transitions ~seed
+        ~max_states ~max_transitions ~reorder ~cluster_cap ~seed
     in
     let requests =
       List.map
@@ -895,7 +930,8 @@ let client_batch_cmd =
     Term.(
       const run $ socket_arg $ files $ universe_arg $ no_random_arg $ seed_arg
       $ verbose_arg $ engine_arg $ no_collapse_arg $ k_arg $ deadline_arg
-      $ timeout_arg $ max_states_arg $ max_transitions_arg)
+      $ timeout_arg $ max_states_arg $ max_transitions_arg $ reorder_arg
+      $ cluster_cap_arg)
 
 let client_stats_cmd =
   let run socket =

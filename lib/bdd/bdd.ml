@@ -5,20 +5,33 @@
    The hot paths (mk / apply / ite / not) are allocation-free:
 
    - The unique table is open addressing with linear probing over one
-     int array.  A bucket holds [node id + 1] (0 = empty); the key
-     (var, low, high) is never materialised — it is hashed inline and
-     compared against the struct-of-arrays store.  The table grows at
-     3/4 occupancy; nodes are never deleted, so probing needs no
-     tombstones.
+     int array.  A bucket holds [node id + 1] (0 = empty, -1 =
+     tombstone); the key (var, low, high) is never materialised — it
+     is hashed inline and compared against the struct-of-arrays store.
+     The table grows at 3/4 occupancy.  Tombstones exist only because
+     dynamic reordering rewrites nodes in place (the key of a
+     rewritten node changes, so its old bucket must die); a manager
+     that never reorders never produces one.
    - All operation results share one fixed-size direct-mapped cache
      (CUDD-style): a flat int array of 4-int entries
      [key1; key2; key3; result], where key1 packs the first operand
      and the op tag ((a lsl 3) lor op).  Collisions simply overwrite
      (lossy); correctness never depends on the cache, only speed.
+     Below [cache_threshold] store nodes the cache is not even probed:
+     tiny workloads lose more to the probe than they gain from hits.
    - [Guard.tick] is probed on every cache miss and node allocation,
      so a deadline (or an already-tripped guard) aborts a runaway
      symbolic computation from *inside* the recursion instead of
-     waiting for the caller's next loop boundary. *)
+     waiting for the caller's next loop boundary.
+
+   Dynamic variable ordering: the variable order is a permutation held
+   in [var_at] (level -> var) / [level_of] (var -> level), identity at
+   creation.  Every ordering comparison in the operations goes through
+   [level_of], so adjacent levels can be swapped in place (Rudell
+   sifting): a swap rewrites only the upper level's nodes whose
+   children live at the lower level, preserving what every node id
+   *denotes* — external handles and op-cache entries stay valid across
+   a reorder. *)
 
 open Satg_guard
 
@@ -32,24 +45,42 @@ let op_or = 1
 let op_xor = 2
 let op_not = 3
 let op_ite = 4
-let n_ops = 5
+let op_flip = 5
+let n_ops = 6
+
+type reorder_mode = Reorder_none | Reorder_sift
 
 type man = {
   mutable var_of : int array;
   mutable low_of : int array;
   mutable high_of : int array;
   mutable n_nodes : int;
-  (* unique table: open addressing, bucket = node id + 1, 0 = empty *)
+  (* unique table: open addressing, bucket = node id + 1, 0 = empty,
+     -1 = tombstone (left behind by in-place reordering) *)
   mutable table : int array;
   mutable umask : int;  (* Array.length table - 1 (power of two) *)
   mutable ulimit : int;  (* rehash threshold: 3/4 of the buckets *)
+  mutable u_entries : int;  (* live keys in the table *)
+  mutable u_used : int;  (* live keys + tombstones *)
   (* shared direct-mapped op cache: 4 ints per entry *)
   cache : int array;
   cmask : int;  (* entry count - 1 (power of two) *)
+  cache_threshold : int;  (* skip cache probing while n_nodes < this *)
   hits : int array;  (* per op tag *)
   misses : int array;
   mutable n_vars : int;
   mutable guard : Guard.t;
+  (* dynamic ordering *)
+  mutable var_at : int array;  (* level -> variable *)
+  mutable level_of : int array;  (* variable -> level *)
+  mutable reorder : reorder_mode;
+  mutable reorder_trigger : int;  (* auto-sift when n_nodes crosses this *)
+  mutable reorder_bound : int;  (* remaining automatic passes *)
+  mutable in_reorder : bool;
+  mutable reorders : int;
+  mutable swaps : int;
+  mutable reorder_time : float;
+  unique_init : int;  (* chosen initial bucket count, for stats *)
 }
 
 let rec pow2_ge n acc = if acc >= n then acc else pow2_ge n (acc * 2)
@@ -66,11 +97,37 @@ let mix a b c =
   let h = h * 0x27D4EB2F165667C in
   h lxor (h lsr 32)
 
-let create ?(unique_size = 1024) ?(cache_size = 8192) ?(guard = Guard.none)
+(* Table sizes scale with the variable count unless the caller pins
+   them: a 10-var manager used to pay for (and zero) the same 256 KiB
+   op cache as a 100-var one, which is exactly why the packed manager
+   lost to a plain Hashtbl on small circuits.  The cache-probe skip
+   applies only to auto-sized managers — explicit sizes mean the
+   caller knows the workload. *)
+let create ?unique_size ?cache_size ?cache_threshold ?(guard = Guard.none)
     ~nvars () =
-  let cap = 1024 in
-  let usize = pow2_ge (max 16 unique_size) 16 in
-  let csize = pow2_ge (max 256 cache_size) 256 in
+  let auto = cache_size = None in
+  let usize =
+    let wanted =
+      match unique_size with
+      | Some s -> max 16 s
+      | None -> max 64 (min 1024 (8 * nvars))
+    in
+    pow2_ge wanted 16
+  in
+  let csize =
+    let wanted =
+      match cache_size with
+      | Some s -> max 256 s
+      | None -> max 256 (min 8192 (nvars * nvars))
+    in
+    pow2_ge wanted 256
+  in
+  let threshold =
+    match cache_threshold with
+    | Some t -> t
+    | None -> if auto then 64 else 0
+  in
+  let cap = max 64 (min 1024 (4 * nvars)) in
   {
     var_of = Array.make cap terminal_var;
     low_of = Array.make cap (-1);
@@ -79,12 +136,25 @@ let create ?(unique_size = 1024) ?(cache_size = 8192) ?(guard = Guard.none)
     table = Array.make usize 0;
     umask = usize - 1;
     ulimit = usize * 3 / 4;
+    u_entries = 0;
+    u_used = 0;
     cache = Array.make (csize * 4) (-1);
     cmask = csize - 1;
+    cache_threshold = threshold;
     hits = Array.make n_ops 0;
     misses = Array.make n_ops 0;
     n_vars = nvars;
     guard;
+    var_at = Array.init (max 1 nvars) Fun.id;
+    level_of = Array.init (max 1 nvars) Fun.id;
+    reorder = Reorder_none;
+    reorder_trigger = 4096;
+    reorder_bound = max_int;
+    in_reorder = false;
+    reorders = 0;
+    swaps = 0;
+    reorder_time = 0.0;
+    unique_init = usize;
   }
 
 let set_guard m g = m.guard <- g
@@ -94,6 +164,18 @@ let nvars m = m.n_vars
 let add_var m =
   let v = m.n_vars in
   m.n_vars <- v + 1;
+  if v >= Array.length m.var_at then begin
+    let extend a =
+      let a' = Array.make (2 * Array.length a) 0 in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    m.var_at <- extend m.var_at;
+    m.level_of <- extend m.level_of
+  end;
+  (* a fresh variable enters at the bottom of the order *)
+  m.var_at.(v) <- v;
+  m.level_of.(v) <- v;
   v
 
 let zero (_ : man) = 0
@@ -104,6 +186,12 @@ let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (t : t) = t
 let var_id m id = m.var_of.(id)
+let level_of_var m v = m.level_of.(v)
+let var_at_level m l = m.var_at.(l)
+let order m = Array.sub m.var_at 0 m.n_vars
+
+(* level of a node: its variable's position in the current order *)
+let lvl m t = if t < 2 then max_int else m.level_of.(m.var_of.(t))
 
 let grow m =
   let cap = Array.length m.var_of in
@@ -119,25 +207,35 @@ let grow m =
     m.high_of <- extend m.high_of (-1)
   end
 
+(* Rebuild from the old table (never from the store: nodes orphaned by
+   reordering stay out).  Doubles only when live keys justify it —
+   otherwise same size, purging tombstones. *)
 let rehash m =
-  let size = (m.umask + 1) * 2 in
+  let old = m.table in
+  let osize = m.umask + 1 in
+  let size = if m.u_entries * 8 >= osize * 3 then osize * 2 else osize in
   let table = Array.make size 0 in
   let mask = size - 1 in
-  for id = 2 to m.n_nodes - 1 do
-    let j = ref (mix m.var_of.(id) m.low_of.(id) m.high_of.(id) land mask) in
-    while table.(!j) <> 0 do
-      j := (!j + 1) land mask
-    done;
-    table.(!j) <- id + 1
+  for s = 0 to osize - 1 do
+    let e = old.(s) in
+    if e > 0 then begin
+      let id = e - 1 in
+      let j = ref (mix m.var_of.(id) m.low_of.(id) m.high_of.(id) land mask) in
+      while table.(!j) <> 0 do
+        j := (!j + 1) land mask
+      done;
+      table.(!j) <- e
+    end
   done;
   m.table <- table;
   m.umask <- mask;
-  m.ulimit <- size * 3 / 4
+  m.ulimit <- size * 3 / 4;
+  m.u_used <- m.u_entries
 
 let mk m v l h =
   if l = h then l
   else begin
-    let rec probe i =
+    let rec probe i tomb =
       let e = m.table.(i) in
       if e = 0 then begin
         (* miss: allocate in place *)
@@ -148,18 +246,55 @@ let mk m v l h =
         m.var_of.(id) <- v;
         m.low_of.(id) <- l;
         m.high_of.(id) <- h;
-        m.table.(i) <- id + 1;
-        (* n_nodes - 2 entries occupy the table (terminals are not in it) *)
-        if m.n_nodes - 2 >= m.ulimit then rehash m;
+        let slot = if tomb >= 0 then tomb else i in
+        m.table.(slot) <- id + 1;
+        m.u_entries <- m.u_entries + 1;
+        if slot = i then begin
+          m.u_used <- m.u_used + 1;
+          if m.u_used >= m.ulimit then rehash m
+        end;
         id
       end
+      else if e = -1 then
+        probe ((i + 1) land m.umask) (if tomb >= 0 then tomb else i)
       else
         let n = e - 1 in
         if m.var_of.(n) = v && m.low_of.(n) = l && m.high_of.(n) = h then n
-        else probe ((i + 1) land m.umask)
+        else probe ((i + 1) land m.umask) tomb
     in
-    probe (mix v l h land m.umask)
+    probe (mix v l h land m.umask) (-1)
   end
+
+(* Insert an existing (rewritten) node under its current key. *)
+let insert_key m id =
+  let rec probe i tomb =
+    let e = m.table.(i) in
+    if e = 0 then begin
+      let slot = if tomb >= 0 then tomb else i in
+      m.table.(slot) <- id + 1;
+      m.u_entries <- m.u_entries + 1;
+      if slot = i then begin
+        m.u_used <- m.u_used + 1;
+        if m.u_used >= m.ulimit then rehash m
+      end
+    end
+    else if e = -1 then
+      probe ((i + 1) land m.umask) (if tomb >= 0 then tomb else i)
+    else probe ((i + 1) land m.umask) tomb
+  in
+  probe (mix m.var_of.(id) m.low_of.(id) m.high_of.(id) land m.umask) (-1)
+
+(* Tombstone the bucket holding [id] (keyed by its *current* triple). *)
+let delete_key m id =
+  let rec probe i =
+    let e = m.table.(i) in
+    if e = id + 1 then begin
+      m.table.(i) <- -1;
+      m.u_entries <- m.u_entries - 1
+    end
+    else if e <> 0 then probe ((i + 1) land m.umask)
+  in
+  probe (mix m.var_of.(id) m.low_of.(id) m.high_of.(id) land m.umask)
 
 let var m v =
   if v < 0 || v >= m.n_vars then invalid_arg "Bdd.var: out of range";
@@ -182,10 +317,19 @@ let high m t =
   m.high_of.(t)
 
 (* NOT, binary APPLY (and/or/xor) and ITE share the op cache; each is
-   written so the cached path touches only int arrays. *)
+   written so the cached path touches only int arrays.  The [_rec]
+   variants are the internal recursions: they never trigger a reorder,
+   so traversals that destructure nodes across calls (quantify,
+   compose, permute, ...) stay coherent.  Public wrappers below probe
+   the reorder trigger once at entry. *)
 
-let rec not_ m t =
+let rec not_rec m t =
   if t < 2 then t lxor 1
+  else if m.n_nodes < m.cache_threshold then begin
+    m.misses.(op_not) <- m.misses.(op_not) + 1;
+    Guard.tick m.guard;
+    mk m m.var_of.(t) (not_rec m m.low_of.(t)) (not_rec m m.high_of.(t))
+  end
   else begin
     let idx = (mix op_not t 0 land m.cmask) * 4 in
     let c = m.cache in
@@ -197,7 +341,9 @@ let rec not_ m t =
     else begin
       m.misses.(op_not) <- m.misses.(op_not) + 1;
       Guard.tick m.guard;
-      let r = mk m m.var_of.(t) (not_ m m.low_of.(t)) (not_ m m.high_of.(t)) in
+      let r =
+        mk m m.var_of.(t) (not_rec m m.low_of.(t)) (not_rec m m.high_of.(t))
+      in
       c.(idx) <- k1;
       c.(idx + 3) <- r;
       r
@@ -206,32 +352,44 @@ let rec not_ m t =
 
 (* [a] and [b] are internal and a < b (callers normalise). *)
 let rec apply_slow m op a b =
-  let idx = (mix op a b land m.cmask) * 4 in
-  let c = m.cache in
-  let k1 = (a lsl 3) lor op in
-  if c.(idx) = k1 && c.(idx + 1) = b then begin
-    m.hits.(op) <- m.hits.(op) + 1;
-    c.(idx + 3)
-  end
-  else begin
+  if m.n_nodes < m.cache_threshold then begin
     m.misses.(op) <- m.misses.(op) + 1;
     Guard.tick m.guard;
-    let va = m.var_of.(a) and vb = m.var_of.(b) in
-    let v = if va < vb then va else vb in
-    let a0 = if va = v then m.low_of.(a) else a in
-    let a1 = if va = v then m.high_of.(a) else a in
-    let b0 = if vb = v then m.low_of.(b) else b in
-    let b1 = if vb = v then m.high_of.(b) else b in
-    let r0 = apply m op a0 b0 in
-    let r1 = apply m op a1 b1 in
-    let r = mk m v r0 r1 in
-    c.(idx) <- k1;
-    c.(idx + 1) <- b;
-    c.(idx + 3) <- r;
-    r
+    apply_node m op a b
+  end
+  else begin
+    let idx = (mix op a b land m.cmask) * 4 in
+    let c = m.cache in
+    let k1 = (a lsl 3) lor op in
+    if c.(idx) = k1 && c.(idx + 1) = b then begin
+      m.hits.(op) <- m.hits.(op) + 1;
+      c.(idx + 3)
+    end
+    else begin
+      m.misses.(op) <- m.misses.(op) + 1;
+      Guard.tick m.guard;
+      let r = apply_node m op a b in
+      (* recompute the slot: a rehash-free op, but [apply_node] may
+         have evicted this entry — rewriting is harmless either way *)
+      c.(idx) <- k1;
+      c.(idx + 1) <- b;
+      c.(idx + 3) <- r;
+      r
+    end
   end
 
-and apply m op a b =
+and apply_node m op a b =
+  let la = m.level_of.(m.var_of.(a)) and lb = m.level_of.(m.var_of.(b)) in
+  let v = if la <= lb then m.var_of.(a) else m.var_of.(b) in
+  let a0 = if la <= lb then m.low_of.(a) else a in
+  let a1 = if la <= lb then m.high_of.(a) else a in
+  let b0 = if lb <= la then m.low_of.(b) else b in
+  let b1 = if lb <= la then m.high_of.(b) else b in
+  let r0 = apply_rec m op a0 b0 in
+  let r1 = apply_rec m op a1 b1 in
+  mk m v r0 r1
+
+and apply_rec m op a b =
   if op = op_and then
     if a = 0 || b = 0 then 0
     else if a = 1 then b
@@ -249,24 +407,22 @@ and apply m op a b =
   else if a = b then 0
   else if a = 0 then b
   else if b = 0 then a
-  else if a = 1 then not_ m b
-  else if b = 1 then not_ m a
+  else if a = 1 then not_rec m b
+  else if b = 1 then not_rec m a
   else if a < b then apply_slow m op_xor a b
   else apply_slow m op_xor b a
 
-let and_ m a b = apply m op_and a b
-let or_ m a b = apply m op_or a b
-let xor_ m a b = apply m op_xor a b
-let imp m a b = or_ m (not_ m a) b
-let iff m a b = not_ m (xor_ m a b)
-let diff m a b = and_ m a (not_ m b)
-
-let rec ite m f g h =
+let rec ite_rec m f g h =
   if f = 1 then g
   else if f = 0 then h
   else if g = h then g
   else if g = 1 && h = 0 then f
-  else if g = 0 && h = 1 then not_ m f
+  else if g = 0 && h = 1 then not_rec m f
+  else if m.n_nodes < m.cache_threshold then begin
+    m.misses.(op_ite) <- m.misses.(op_ite) + 1;
+    Guard.tick m.guard;
+    ite_node m f g h
+  end
   else begin
     let idx = (mix f g h land m.cmask) * 4 in
     let c = m.cache in
@@ -278,21 +434,7 @@ let rec ite m f g h =
     else begin
       m.misses.(op_ite) <- m.misses.(op_ite) + 1;
       Guard.tick m.guard;
-      (* f is internal here; g and h may be terminals *)
-      let vf = m.var_of.(f) in
-      let vg = if g < 2 then terminal_var else m.var_of.(g) in
-      let vh = if h < 2 then terminal_var else m.var_of.(h) in
-      let v = if vf < vg then if vf < vh then vf else vh
-              else if vg < vh then vg else vh in
-      let f0 = if vf = v then m.low_of.(f) else f in
-      let f1 = if vf = v then m.high_of.(f) else f in
-      let g0 = if vg = v then m.low_of.(g) else g in
-      let g1 = if vg = v then m.high_of.(g) else g in
-      let h0 = if vh = v then m.low_of.(h) else h in
-      let h1 = if vh = v then m.high_of.(h) else h in
-      let r0 = ite m f0 g0 h0 in
-      let r1 = ite m f1 g1 h1 in
-      let r = mk m v r0 r1 in
+      let r = ite_node m f g h in
       c.(idx) <- k1;
       c.(idx + 1) <- g;
       c.(idx + 2) <- h;
@@ -301,14 +443,278 @@ let rec ite m f g h =
     end
   end
 
+and ite_node m f g h =
+  (* f is internal here; g and h may be terminals *)
+  let lf = m.level_of.(m.var_of.(f)) in
+  let lg = lvl m g and lh = lvl m h in
+  let l = if lf < lg then if lf < lh then lf else lh
+          else if lg < lh then lg else lh in
+  let v = m.var_at.(l) in
+  let f0 = if lf = l then m.low_of.(f) else f in
+  let f1 = if lf = l then m.high_of.(f) else f in
+  let g0 = if lg = l then m.low_of.(g) else g in
+  let g1 = if lg = l then m.high_of.(g) else g in
+  let h0 = if lh = l then m.low_of.(h) else h in
+  let h1 = if lh = l then m.high_of.(h) else h in
+  let r0 = ite_rec m f0 g0 h0 in
+  let r1 = ite_rec m f1 g1 h1 in
+  mk m v r0 r1
+
+(* --- dynamic reordering --------------------------------------------------- *)
+
+(* Swap the variables at adjacent levels [l] (upper, var u) and [l+1]
+   (lower, var v), in place.  Only u-nodes with a v-child change: node
+   (u, f0, f1) becomes (v, mk(u, f0|v=0, f1|v=0), mk(u, f0|v=1, f1|v=1))
+   — same id, same denoted function.  Nobody else moves: u-nodes
+   without a v-child just find themselves one level lower, v-nodes'
+   parents (all at levels < l) and children (all at levels > l+1) are
+   untouched.  Key collisions cannot happen: a rewritten key always has
+   a u-labeled child (both [mk]s collapsing would mean f0 = f1), which
+   no pre-existing v-node key can mention, and two rewritten nodes
+   denote distinct functions.
+
+   [u_ids] is a conservative superset of the ids labeled [u] (stale
+   entries are filtered by a [var_of] check).  Returns
+   (kept_u_ids, fresh_u_ids, moved_to_v_ids) for bucket maintenance.
+   The whole swap runs with whatever guard is installed; sifting
+   installs [Guard.none] and probes the real guard between swaps, so a
+   swap is atomic and a trip always lands on a consistent order. *)
+let swap_core m u_ids l =
+  let u = m.var_at.(l) and v = m.var_at.(l + 1) in
+  let n0 = m.n_nodes in
+  let kept = ref [] and moved = ref [] in
+  List.iter
+    (fun id ->
+      if m.var_of.(id) = u then begin
+        let f0 = m.low_of.(id) and f1 = m.high_of.(id) in
+        let v0 = f0 >= 2 && m.var_of.(f0) = v in
+        let v1 = f1 >= 2 && m.var_of.(f1) = v in
+        if v0 || v1 then begin
+          delete_key m id;
+          let f00 = if v0 then m.low_of.(f0) else f0 in
+          let f01 = if v0 then m.high_of.(f0) else f0 in
+          let f10 = if v1 then m.low_of.(f1) else f1 in
+          let f11 = if v1 then m.high_of.(f1) else f1 in
+          let c0 = mk m u f00 f10 in
+          let c1 = mk m u f01 f11 in
+          m.var_of.(id) <- v;
+          m.low_of.(id) <- c0;
+          m.high_of.(id) <- c1;
+          insert_key m id;
+          moved := id :: !moved
+        end
+        else kept := id :: !kept
+      end)
+    u_ids;
+  let fresh = List.init (m.n_nodes - n0) (fun i -> n0 + i) in
+  m.var_at.(l) <- v;
+  m.var_at.(l + 1) <- u;
+  m.level_of.(u) <- l + 1;
+  m.level_of.(v) <- l;
+  m.swaps <- m.swaps + 1;
+  (!kept, fresh, !moved)
+
+let all_ids_of_var m u =
+  let acc = ref [] in
+  for id = m.n_nodes - 1 downto 2 do
+    if m.var_of.(id) = u then acc := id :: !acc
+  done;
+  !acc
+
+let swap_adjacent m l =
+  if l < 0 || l >= m.n_vars - 1 then invalid_arg "Bdd.swap_adjacent: level";
+  let saved = m.guard in
+  m.guard <- Guard.none;
+  Fun.protect
+    ~finally:(fun () -> m.guard <- saved)
+    (fun () ->
+      let u = m.var_at.(l) in
+      ignore (swap_core m (all_ids_of_var m u) l))
+
+(* One Rudell pass: visit variables in decreasing live-node-count
+   order; walk each to the bottom then the top by adjacent swaps,
+   tracking the live-key count, and park it at the smallest position
+   seen.  A walk direction aborts once the table grows past 1.2× the
+   best size seen for this variable (the standard max-growth cutoff).
+   No GC means orphaned nodes linger in the store (peak ≠ live), but
+   the table's live-key count is exact, so the minimisation target is
+   honest.  The caller's guard is probed between swaps, and the nodes
+   a swap allocates are charged to its transition budget (the same
+   allocation-proportional rule the symbolic build uses), so a
+   states/transitions-only guard bounds reordering work too — without
+   the charge, sifting a large store under a small budget could stall
+   indefinitely, since [Guard.tick] alone only watches the deadline.
+   A trip re-raises with the order consistent, which is what lets a
+   sift inside a guarded symbolic build degrade to a
+   truncated-but-sound graph instead of corrupting the manager. *)
+exception Abort_direction
+
+let sift m =
+  if m.in_reorder || m.n_vars < 2 then ()
+  else begin
+    m.in_reorder <- true;
+    let saved = m.guard in
+    m.guard <- Guard.none;
+    let t0 = Sys.time () in
+    Fun.protect
+      ~finally:(fun () ->
+        m.guard <- saved;
+        m.in_reorder <- false;
+        m.reorder_time <- m.reorder_time +. (Sys.time () -. t0))
+      (fun () ->
+        (* conservative var -> ids buckets, maintained across swaps *)
+        let buckets = Array.make m.n_vars [] in
+        for id = m.n_nodes - 1 downto 2 do
+          let v = m.var_of.(id) in
+          buckets.(v) <- id :: buckets.(v)
+        done;
+        let live_count v =
+          List.fold_left
+            (fun acc id -> if m.var_of.(id) = v then acc + 1 else acc)
+            0 buckets.(v)
+        in
+        let do_swap l =
+          let u = m.var_at.(l) and v = m.var_at.(l + 1) in
+          let kept, fresh, moved = swap_core m buckets.(u) l in
+          buckets.(u) <- List.rev_append fresh kept;
+          buckets.(v) <- List.rev_append moved buckets.(v)
+        in
+        let charged = ref m.n_nodes in
+        let probe () =
+          if m.n_nodes > !charged then begin
+            let d = m.n_nodes - !charged in
+            charged := m.n_nodes;
+            Guard.spend_transitions saved d
+          end;
+          Guard.tick saved
+        in
+        let vars =
+          List.sort
+            (fun a b ->
+              let ca = live_count a and cb = live_count b in
+              if ca <> cb then Stdlib.compare cb ca else Stdlib.compare a b)
+            (List.init m.n_vars Fun.id)
+        in
+        List.iter
+          (fun v ->
+            probe ();
+            let best = ref m.u_entries in
+            let best_l = ref m.level_of.(v) in
+            let walk step stop =
+              try
+                while m.level_of.(v) <> stop do
+                  probe ();
+                  let l = m.level_of.(v) in
+                  do_swap (if step > 0 then l else l - 1);
+                  let s = m.u_entries in
+                  if s < !best || (s = !best && m.level_of.(v) < !best_l)
+                  then begin
+                    best := s;
+                    best_l := m.level_of.(v)
+                  end
+                  else if s * 5 > !best * 6 then raise Abort_direction
+                done
+              with Abort_direction -> ()
+            in
+            walk 1 (m.n_vars - 1);
+            walk (-1) 0;
+            (* park at the best level seen *)
+            while m.level_of.(v) < !best_l do
+              do_swap m.level_of.(v)
+            done;
+            while m.level_of.(v) > !best_l do
+              do_swap (m.level_of.(v) - 1)
+            done)
+          vars;
+        m.reorders <- m.reorders + 1;
+        m.reorder_trigger <- max m.reorder_trigger (2 * m.n_nodes))
+  end
+
+let set_reorder m mode = m.reorder <- mode
+let reorder_mode m = m.reorder
+let set_reorder_bound m n = m.reorder_bound <- n
+let disable_reorder m = m.reorder <- Reorder_none
+
+let maybe_reorder m =
+  if
+    m.reorder == Reorder_sift && (not m.in_reorder)
+    && m.reorders < m.reorder_bound
+    && m.n_nodes >= m.reorder_trigger
+  then sift m
+
+(* public operation entry points *)
+
+let not_ m t =
+  maybe_reorder m;
+  not_rec m t
+
+let apply m op a b =
+  maybe_reorder m;
+  apply_rec m op a b
+
+let and_ m a b = apply m op_and a b
+let or_ m a b = apply m op_or a b
+let xor_ m a b = apply m op_xor a b
+let imp m a b = or_ m (not_rec m a) b
+let iff m a b = not_rec m (xor_ m a b)
+let diff m a b = and_ m a (not_rec m b)
+
+let ite m f g h =
+  maybe_reorder m;
+  ite_rec m f g h
+
 let and_list m ts = List.fold_left (and_ m) 1 ts
 let or_list m ts = List.fold_left (or_ m) 0 ts
 
+(* [f(¬v)]: exchange the cofactors by [v] everywhere.  An involution,
+   linear in the operand — the image of a one-variable toggle, so the
+   partitioned transition relation never needs a frame conjunct or a
+   relational product for the firing gate itself. *)
+let rec flip_rec m v t =
+  if t < 2 then t
+  else
+    let tv = m.var_of.(t) in
+    if m.level_of.(tv) > m.level_of.(v) then t
+    else if m.n_nodes < m.cache_threshold then begin
+      m.misses.(op_flip) <- m.misses.(op_flip) + 1;
+      Guard.tick m.guard;
+      if tv = v then mk m v m.high_of.(t) m.low_of.(t)
+      else mk m tv (flip_rec m v m.low_of.(t)) (flip_rec m v m.high_of.(t))
+    end
+    else begin
+      let idx = (mix op_flip t v land m.cmask) * 4 in
+      let c = m.cache in
+      let k1 = (t lsl 3) lor op_flip in
+      if c.(idx) = k1 && c.(idx + 1) = v then begin
+        m.hits.(op_flip) <- m.hits.(op_flip) + 1;
+        c.(idx + 3)
+      end
+      else begin
+        m.misses.(op_flip) <- m.misses.(op_flip) + 1;
+        Guard.tick m.guard;
+        let r =
+          if tv = v then mk m v m.high_of.(t) m.low_of.(t)
+          else mk m tv (flip_rec m v m.low_of.(t)) (flip_rec m v m.high_of.(t))
+        in
+        c.(idx) <- k1;
+        c.(idx + 1) <- v;
+        c.(idx + 3) <- r;
+        r
+      end
+    end
+
+let flip_var m ~var t =
+  if var < 0 || var >= m.n_vars then invalid_arg "Bdd.flip_var: bad variable";
+  maybe_reorder m;
+  flip_rec m var t
+
 let cofactor m t ~var ~value =
+  maybe_reorder m;
+  let vl = m.level_of.(var) in
   let cache = Hashtbl.create 64 in
   let rec go t =
     if t < 2 then t
-    else if m.var_of.(t) > var then t
+    else if m.level_of.(m.var_of.(t)) > vl then t
     else
       match Hashtbl.find_opt cache t with
       | Some r -> r
@@ -324,20 +730,22 @@ let cofactor m t ~var ~value =
   go t
 
 let compose m f ~var g =
+  maybe_reorder m;
+  let vl = m.level_of.(var) in
   let cache = Hashtbl.create 64 in
   let rec go f =
     if f < 2 then f
-    else if m.var_of.(f) > var then f
+    else if m.level_of.(m.var_of.(f)) > vl then f
     else
       match Hashtbl.find_opt cache f with
       | Some r -> r
       | None ->
         let r =
-          if m.var_of.(f) = var then ite m g m.high_of.(f) m.low_of.(f)
+          if m.var_of.(f) = var then ite_rec m g m.high_of.(f) m.low_of.(f)
           else
             (* Rebuild through ITE: children may now start above this
                variable after substitution deeper down. *)
-            ite m
+            ite_rec m
               (mk m m.var_of.(f) 0 1)
               (go m.high_of.(f))
               (go m.low_of.(f))
@@ -350,17 +758,20 @@ let compose m f ~var g =
 let quantify m ~vars ~disjunct t =
   if vars = [] then t
   else begin
-    let max_v = List.fold_left max 0 vars in
-    let in_set = Array.make (max_v + 1) false in
+    maybe_reorder m;
+    let in_set = Array.make m.n_vars false in
+    let max_lvl = ref 0 in
     List.iter
       (fun v ->
         if v < 0 || v >= m.n_vars then invalid_arg "Bdd.quantify: bad var";
-        in_set.(v) <- true)
+        in_set.(v) <- true;
+        if m.level_of.(v) > !max_lvl then max_lvl := m.level_of.(v))
       vars;
+    let max_lvl = !max_lvl in
     let cache = Hashtbl.create 256 in
     let rec go t =
       if t < 2 then t
-      else if m.var_of.(t) > max_v then t
+      else if m.level_of.(m.var_of.(t)) > max_lvl then t
       else
         match Hashtbl.find_opt cache t with
         | Some r -> r
@@ -369,7 +780,8 @@ let quantify m ~vars ~disjunct t =
           let l = go m.low_of.(t) and h = go m.high_of.(t) in
           let r =
             if in_set.(v) then
-              if disjunct then or_ m l h else and_ m l h
+              if disjunct then apply_rec m op_or l h
+              else apply_rec m op_and l h
             else mk m v l h
           in
           Hashtbl.replace cache t r;
@@ -384,13 +796,16 @@ let forall m ~vars t = quantify m ~vars ~disjunct:false t
 let and_exists m ~vars a b =
   if vars = [] then and_ m a b
   else begin
-    let max_v = List.fold_left max 0 vars in
-    let in_set = Array.make (max_v + 1) false in
+    maybe_reorder m;
+    let in_set = Array.make m.n_vars false in
+    let max_lvl = ref 0 in
     List.iter
       (fun v ->
         if v < 0 || v >= m.n_vars then invalid_arg "Bdd.and_exists: bad var";
-        in_set.(v) <- true)
+        in_set.(v) <- true;
+        if m.level_of.(v) > !max_lvl then max_lvl := m.level_of.(v))
       vars;
+    let max_lvl = !max_lvl in
     (* per-call memo keyed by the packed pair — node ids stay far below
        2^31, so the pack is injective *)
     let cache = Hashtbl.create 1024 in
@@ -403,22 +818,22 @@ let and_exists m ~vars a b =
         match Hashtbl.find_opt cache key with
         | Some r -> r
         | None ->
-          let var_or t = if t < 2 then terminal_var else m.var_of.(t) in
-          let va = var_or a and vb = var_or b in
-          let v = min va vb in
+          let la = lvl m a and lb = lvl m b in
+          let l = min la lb in
           let r =
-            if v > max_v then
+            if l > max_lvl then
               (* No quantified variable below: plain conjunction. *)
-              and_ m a b
+              apply_rec m op_and a b
             else begin
+              let v = m.var_at.(l) in
               let a0, a1 =
-                if va = v then (m.low_of.(a), m.high_of.(a)) else (a, a)
+                if la = l then (m.low_of.(a), m.high_of.(a)) else (a, a)
               and b0, b1 =
-                if vb = v then (m.low_of.(b), m.high_of.(b)) else (b, b)
+                if lb = l then (m.low_of.(b), m.high_of.(b)) else (b, b)
               in
               if in_set.(v) then begin
                 let r0 = go a0 b0 in
-                if r0 = 1 then 1 else or_ m r0 (go a1 b1)
+                if r0 = 1 then 1 else apply_rec m op_or r0 (go a1 b1)
               end
               else mk m v (go a0 b0) (go a1 b1)
             end
@@ -430,6 +845,7 @@ let and_exists m ~vars a b =
   end
 
 let permute m p t =
+  maybe_reorder m;
   let cache = Hashtbl.create 256 in
   let rec go t =
     if t < 2 then t
@@ -439,7 +855,7 @@ let permute m p t =
       | None ->
         let v' = p m.var_of.(t) in
         if v' < 0 || v' >= m.n_vars then invalid_arg "Bdd.permute: bad image";
-        let r = ite m (mk m v' 0 1) (go m.high_of.(t)) (go m.low_of.(t)) in
+        let r = ite_rec m (mk m v' 0 1) (go m.high_of.(t)) (go m.low_of.(t)) in
         Hashtbl.replace cache t r;
         r
   in
@@ -559,11 +975,12 @@ module Big = struct
 end
 
 (* Exact count over variables [0..nvars-1]: every internal variable of
-   [t] must be < nvars (same contract as before). *)
+   [t] must be < nvars (same contract as before).  Positions come from
+   the current order, so the count is order-independent. *)
 let sat_count_big m ~nvars t =
-  let level u = if u < 2 then nvars else m.var_of.(u) in
+  let level u = if u < 2 then nvars else m.level_of.(m.var_of.(u)) in
   let cache = Hashtbl.create 256 in
-  (* f u = exact count over variables [level u .. nvars-1] *)
+  (* f u = exact count over order positions [level u .. nvars-1] *)
   let rec f u =
     if u = 0 then Big.zero
     else if u = 1 then Big.of_pow2 0
@@ -571,12 +988,12 @@ let sat_count_big m ~nvars t =
       match Hashtbl.find_opt cache u with
       | Some r -> r
       | None ->
-        let v = m.var_of.(u) in
+        let lu = level u in
         let l = m.low_of.(u) and h = m.high_of.(u) in
         let r =
           Big.add
-            (Big.shl (f l) (level l - v - 1))
-            (Big.shl (f h) (level h - v - 1))
+            (Big.shl (f l) (level l - lu - 1))
+            (Big.shl (f h) (level h - lu - 1))
         in
         Hashtbl.replace cache u r;
         r
@@ -631,8 +1048,13 @@ type stats = {
   peak_nodes : int;
   n_vars : int;
   unique_buckets : int;
+  unique_buckets_init : int;
   unique_load : float;
   cache_slots : int;
+  cache_threshold : int;
+  reorders : int;
+  swaps : int;
+  reorder_seconds : float;
   and_hits : int;
   and_misses : int;
   or_hits : int;
@@ -643,18 +1065,26 @@ type stats = {
   not_misses : int;
   ite_hits : int;
   ite_misses : int;
+  flip_hits : int;
+  flip_misses : int;
 }
 
 let stats (m : man) =
   {
-    (* no garbage collection yet, so everything ever allocated is live
-       and the peak is the current count *)
-    live_nodes = m.n_nodes;
+    (* no garbage collection: the store only grows, so the peak is the
+       store size.  Reordering orphans nodes without reclaiming them,
+       which is the only way live can fall below peak. *)
+    live_nodes = m.u_entries + 2;
     peak_nodes = m.n_nodes;
     n_vars = m.n_vars;
     unique_buckets = m.umask + 1;
-    unique_load = float_of_int (m.n_nodes - 2) /. float_of_int (m.umask + 1);
+    unique_buckets_init = m.unique_init;
+    unique_load = float_of_int m.u_entries /. float_of_int (m.umask + 1);
     cache_slots = m.cmask + 1;
+    cache_threshold = m.cache_threshold;
+    reorders = m.reorders;
+    swaps = m.swaps;
+    reorder_seconds = m.reorder_time;
     and_hits = m.hits.(op_and);
     and_misses = m.misses.(op_and);
     or_hits = m.hits.(op_or);
@@ -665,15 +1095,19 @@ let stats (m : man) =
     not_misses = m.misses.(op_not);
     ite_hits = m.hits.(op_ite);
     ite_misses = m.misses.(op_ite);
+    flip_hits = m.hits.(op_flip);
+    flip_misses = m.misses.(op_flip);
   }
 
 let apply_ops s =
   s.and_hits + s.and_misses + s.or_hits + s.or_misses + s.xor_hits
   + s.xor_misses + s.not_hits + s.not_misses + s.ite_hits + s.ite_misses
+  + s.flip_hits + s.flip_misses
 
 let cache_hit_rate s =
   let hits =
     s.and_hits + s.or_hits + s.xor_hits + s.not_hits + s.ite_hits
+    + s.flip_hits
   in
   let total = apply_ops s in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
@@ -681,13 +1115,16 @@ let cache_hit_rate s =
 let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>bdd: %d nodes (peak %d), %d vars@,\
-     unique table: %d buckets, load %.3f@,\
-     op cache: %d slots, hit rate %.3f@,\
-     and %d/%d  or %d/%d  xor %d/%d  not %d/%d  ite %d/%d (hits/misses)@]"
-    s.live_nodes s.peak_nodes s.n_vars s.unique_buckets s.unique_load
-    s.cache_slots (cache_hit_rate s) s.and_hits s.and_misses s.or_hits
+     unique table: %d buckets (init %d), load %.3f@,\
+     op cache: %d slots (threshold %d), hit rate %.3f@,\
+     reorder: %d passes, %d swaps, %.3f s@,\
+     and %d/%d  or %d/%d  xor %d/%d  not %d/%d  ite %d/%d  flip %d/%d \
+     (hits/misses)@]"
+    s.live_nodes s.peak_nodes s.n_vars s.unique_buckets s.unique_buckets_init
+    s.unique_load s.cache_slots s.cache_threshold (cache_hit_rate s)
+    s.reorders s.swaps s.reorder_seconds s.and_hits s.and_misses s.or_hits
     s.or_misses s.xor_hits s.xor_misses s.not_hits s.not_misses s.ite_hits
-    s.ite_misses
+    s.ite_misses s.flip_hits s.flip_misses
 
 let pp m fmt t =
   let rec go fmt t =
@@ -700,6 +1137,7 @@ let pp m fmt t =
   go fmt t
 
 let transfer ~(src : man) ~(dst : man) map t =
+  maybe_reorder dst;
   let cache = Hashtbl.create 256 in
   let rec go t =
     if t < 2 then t
@@ -710,7 +1148,9 @@ let transfer ~(src : man) ~(dst : man) map t =
         let v = map src.var_of.(t) in
         if v < 0 || v >= dst.n_vars then
           invalid_arg "Bdd.transfer: mapped variable out of range";
-        let r = ite dst (mk dst v 0 1) (go src.high_of.(t)) (go src.low_of.(t)) in
+        let r =
+          ite_rec dst (mk dst v 0 1) (go src.high_of.(t)) (go src.low_of.(t))
+        in
         Hashtbl.replace cache t r;
         r
   in

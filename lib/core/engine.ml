@@ -16,6 +16,8 @@ type config = {
   timeout : float option;
   max_states : int option;
   max_transitions : int option;
+  reorder : Satg_bdd.Bdd.reorder_mode;
+  cluster_cap : int;
   random : Random_tpg.config;
   three_phase : Three_phase.config;
 }
@@ -31,6 +33,8 @@ let default_config =
     timeout = None;
     max_states = None;
     max_transitions = None;
+    reorder = Satg_bdd.Bdd.Reorder_none;
+    cluster_cap = Symbolic.default_cluster_cap;
     random = Random_tpg.default_config;
     three_phase = Three_phase.default_config;
   }
@@ -104,7 +108,10 @@ let run ?(config = default_config) ?cssg ?guard ?pool ?settled ?on_outcome
   in
   let symbolic =
     match config.engine with
-    | Bdd -> Some (Symbolic.build ~k:(Cssg.k g) ~guard:(sub_guard ()) circuit)
+    | Bdd ->
+      Some
+        (Symbolic.build ~k:(Cssg.k g) ~reorder:config.reorder
+           ~cluster_cap:config.cluster_cap ~guard:(sub_guard ()) circuit)
     | Explicit | Sat -> None
   in
   (* Per-worker deterministic-phase backends.  The SAT engine is a

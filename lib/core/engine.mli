@@ -44,7 +44,18 @@ type config = {
   max_states : int option;
       (** CSSG state ceiling, also the per-fault product-state ceiling *)
   max_transitions : int option;
-      (** transition-expansion ceiling, per phase / per fault *)
+      (** transition-expansion ceiling, per phase / per fault.  The
+          BDD engine charges it one transition per allocated node, so
+          the same cap bounds symbolic and explicit work alike *)
+  reorder : Satg_bdd.Bdd.reorder_mode;
+      (** dynamic variable reordering for the [Bdd] engine's manager
+          (default {!Satg_bdd.Bdd.Reorder_none}); ignored by the other
+          engines *)
+  cluster_cap : int;
+      (** node cap per frame-equality cluster in the [Bdd] engine's
+          partitioned early-quantification schedule (default
+          {!Satg_sg.Symbolic.default_cluster_cap}); ignored by the
+          other engines *)
   random : Random_tpg.config;
   three_phase : Three_phase.config;
 }

@@ -95,6 +95,15 @@ let engine_of_name = function
   | "sat" -> Some Engine.Sat
   | _ -> None
 
+let reorder_name = function
+  | Satg_bdd.Bdd.Reorder_none -> "none"
+  | Satg_bdd.Bdd.Reorder_sift -> "sift"
+
+let reorder_of_name = function
+  | "none" -> Some Satg_bdd.Bdd.Reorder_none
+  | "sift" -> Some Satg_bdd.Bdd.Reorder_sift
+  | _ -> None
+
 (* The field list is the one exhaustive enumeration of what determines
    an outcome partition: the store's cache key and the daemon's wire
    format both render it, so the two can never drift apart.  [jobs] is
@@ -114,6 +123,8 @@ let config_fields ~universe (c : Engine.config) =
     ("timeout", opt_float c.Engine.timeout);
     ("max-states", opt_int c.Engine.max_states);
     ("max-transitions", opt_int c.Engine.max_transitions);
+    ("reorder", reorder_name c.Engine.reorder);
+    ("cluster-cap", string_of_int c.Engine.cluster_cap);
     ("walks", string_of_int c.Engine.random.Random_tpg.walks);
     ("walk-length", string_of_int c.Engine.random.Random_tpg.walk_length);
     ("seed", string_of_int c.Engine.random.Random_tpg.seed);
@@ -158,6 +169,8 @@ let config_of_fields fields =
     let* timeout = opt_float_field "timeout" in
     let* max_states = opt_int_field "max-states" in
     let* max_transitions = opt_int_field "max-transitions" in
+    let* reorder = Option.bind (field "reorder") reorder_of_name in
+    let* cluster_cap = int_field "cluster-cap" in
     let* walks = int_field "walks" in
     let* walk_length = int_field "walk-length" in
     let* seed = int_field "seed" in
@@ -176,6 +189,8 @@ let config_of_fields fields =
           timeout;
           max_states;
           max_transitions;
+          reorder;
+          cluster_cap;
           random = { Random_tpg.walks; walk_length; seed };
           three_phase =
             { Three_phase.max_depth; max_product_states; max_activation_tries };

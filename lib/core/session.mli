@@ -36,6 +36,13 @@ val universe_name : universe -> string
 val universe_of_name : string -> universe option
 (** Inverse of {!universe_name}; anything else is [None]. *)
 
+val reorder_name : Satg_bdd.Bdd.reorder_mode -> string
+(** ["none"] / ["sift"] — the canonical names used by the CLI, the
+    cache key and the wire protocol. *)
+
+val reorder_of_name : string -> Satg_bdd.Bdd.reorder_mode option
+(** Inverse of {!reorder_name}; anything else is [None]. *)
+
 val faults_of : Circuit.t -> universe -> Fault.t list
 (** The given universe, in the deterministic order every front end
     agrees on (inputs first under [Both]). *)

@@ -182,15 +182,20 @@ type state_task = {
   worker_trip : Guard.reason option;  (* the task stopped early *)
 }
 
-(* How many frontier states fan out between merge barriers.  A fixed
-   constant (never derived from [jobs]) keeps the barrier schedule —
-   and therefore budget accounting and truncation points — identical
-   for every [-j], which is what the j-determinism contract rests on.
-   It also bounds speculative waste after a budget trip to one batch. *)
+(* How many frontier states fan out between merge barriers.  The
+   default is a fixed constant (never derived from [jobs]): that keeps
+   the barrier schedule — and therefore budget accounting and
+   truncation points — identical for every [-j], which is what the
+   j-determinism contract rests on.  It also bounds speculative waste
+   after a budget trip to one batch.  Callers that want wider batches
+   on wide hosts pass [?chunk] explicitly and own the consequence: the
+   truncation point then depends on the chunk size they chose (the
+   untruncated graph never does). *)
 let batch_states = 32
 
 let build_par ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
-    ?(guard = Guard.none) ~pool c =
+    ?(chunk = batch_states) ?(guard = Guard.none) ~pool c =
+  let chunk = max 1 chunk in
   let k = match k with Some k -> k | None -> Structure.default_k c in
   let reset = check_reset c in
   let n_in = Circuit.n_inputs c in
@@ -274,7 +279,7 @@ let build_par ?k ?(exploration = `Hybrid) ?(max_frontier = 20_000)
           classification commutes with the sequential build's
           state-by-state discovery. *)
        let batch = ref [] in
-       while (not (Queue.is_empty queue)) && List.length !batch < batch_states do
+       while (not (Queue.is_empty queue)) && List.length !batch < chunk do
          batch := Queue.take queue :: !batch
        done;
        let batch = Array.of_list (List.rev !batch) in

@@ -49,6 +49,7 @@ val build_par :
   ?k:int ->
   ?exploration:[ `Hybrid | `Pure ] ->
   ?max_frontier:int ->
+  ?chunk:int ->
   ?guard:Guard.t ->
   pool:Pool.t ->
   Circuit.t ->
@@ -61,6 +62,14 @@ val build_par :
     sequentially in the merge, so state numbering is identical to
     {!build} and the resulting graph is bit-identical for {e every}
     pool width, including a 1-worker pool.
+
+    [chunk] (default 32, clamped to ≥ 1) is the frontier batch size
+    between merge barriers.  The default is deliberately {e not}
+    derived from the pool width — that is what makes truncation points
+    [-j]-independent.  A caller sizing it to the measured host core
+    count (the benchmark does) trades that invariance for fuller
+    batches on wide machines; the untruncated graph is identical for
+    every [chunk].
 
     On an untruncated run the graph equals {!build}'s exactly.  Under
     a tripped budget the truncation point is deterministic across pool

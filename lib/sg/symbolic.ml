@@ -3,6 +3,30 @@ open Satg_guard
 open Satg_circuit
 open Satg_bdd
 
+(* The delta-step transition relation.  [Monolithic] is the paper's
+   literal construction: one BDD for R_delta over (z, y) — every
+   per-gate disjunct carries an explicit frame-equality product — and
+   images are a single relational product against it.  [Partitioned]
+   never forms it: the relation stays one small conjunct per gate
+   (its excitation, fanin-local support), and the image pushes early
+   quantification to its limit.  Under interleaved single-gate firing
+   the frame conjunct ∏_{i≠g}(y_i = z_i) quantifies each frame
+   variable out at the very equality that mentions it — an identity
+   rename — and the firing gate's own ∃z_g against (y_g = ¬z_g) is a
+   one-variable cofactor exchange: the gate-g disjunct of the image is
+   [Bdd.flip_var (T ∧ excited_g)].  No frame BDD is ever built, no
+   relational product is ever run, and no intermediate result carries
+   a dead variable. *)
+type schedule = int list * (Bdd.t * int list) list
+
+type rel =
+  | Monolithic of Bdd.t  (* R_delta over (z, y), pre-renamed for iteration *)
+  | Partitioned of {
+      excited_y : Bdd.t array;
+          (* per gate, in gate order: excitation over the y rail *)
+      stable_y : Bdd.t;  (* the stable self-loop disjunct's one conjunct *)
+    }
+
 type t = {
   circuit : Circuit.t;
   k : int;
@@ -11,9 +35,10 @@ type t = {
   node_of_rank : int array;
   stable : Bdd.t;
   r_input : Bdd.t;  (* R_I over (x, y) *)
-  r_delta_zy : Bdd.t;  (* R_delta over (z, y), pre-renamed for iteration *)
+  rel : rel;
   reachable : Bdd.t;  (* over x *)
   cssg : Bdd.t;  (* over (x, y) *)
+  cssg_sched : schedule;  (* CSSG as conjuncts, for scheduled images *)
   reset : bool array;
   truncated : Guard.reason option;
 }
@@ -32,6 +57,8 @@ let stable_set t = t.stable
 let reachable t = t.reachable
 let cssg_relation t = t.cssg
 let truncated t = t.truncated
+
+let default_cluster_cap = 1024
 
 (* --- building blocks ---------------------------------------------------- *)
 
@@ -77,9 +104,42 @@ let func_bdd m c var_of gid =
 
 let gate_function t gid = func_bdd t.man t.circuit (x_of t) gid
 
+(* --- clustered early-quantification schedules ---------------------------- *)
+
+(* A schedule evaluates [∃ quant. src ∧ c1 ∧ ... ∧ cm] left to right,
+   quantifying each variable of [quant] out at the {e last} conjunct
+   whose support mentions it — the earliest point where it is dead in
+   the remaining product, so no intermediate result carries a variable
+   longer than it must.  Variables no conjunct mentions are quantified
+   out of [src] up front.  Supports are computed once here, never per
+   image. *)
+let make_schedule m ~quant parts : schedule =
+  let nv = Bdd.nvars m in
+  let inq = Array.make nv false in
+  List.iter (fun v -> inq.(v) <- true) quant;
+  let last = Array.make nv (-1) in
+  List.iteri
+    (fun i p ->
+      List.iter (fun v -> if inq.(v) then last.(v) <- i) (Bdd.support m p))
+    parts;
+  let unseen = List.filter (fun v -> last.(v) < 0) quant in
+  let steps =
+    List.mapi (fun i p -> (p, List.filter (fun v -> last.(v) = i) quant)) parts
+  in
+  (unseen, steps)
+
+let run_schedule m ((unseen, steps) : schedule) src =
+  let acc = if unseen = [] then src else Bdd.exists m ~vars:unseen src in
+  List.fold_left
+    (fun acc (p, kill) ->
+      if kill = [] then Bdd.and_ m acc p
+      else Bdd.and_exists m ~vars:kill acc p)
+    acc steps
+
 (* --- construction -------------------------------------------------------- *)
 
-let build ?k ?node_order ?(guard = Guard.none) c =
+let build ?k ?node_order ?(style = `Partitioned) ?(reorder = Bdd.Reorder_none)
+    ?(cluster_cap = default_cluster_cap) ?(guard = Guard.none) c =
   let k = match k with Some k -> k | None -> Structure.default_k c in
   let reset =
     match Circuit.initial c with
@@ -109,6 +169,7 @@ let build ?k ?node_order ?(guard = Guard.none) c =
      cache miss, so a deadline trips mid-apply even when one image
      computation blows up between the loop-boundary checks below. *)
   let m = Bdd.create ~nvars:(3 * n) ~cache_size:(1 lsl 15) ~guard () in
+  Bdd.set_reorder m reorder;
   let xv i = 3 * rank.(i) and yv i = (3 * rank.(i)) + 1 in
   let zv i = (3 * rank.(i)) + 2 in
   let reset_bdd_of () =
@@ -119,45 +180,45 @@ let build ?k ?node_order ?(guard = Guard.none) c =
   try
   let gates = Circuit.gates c in
   let env = Circuit.inputs c in
-  let excited =
+  (* Work-proportional budgeting: one allocated BDD node charges one
+     transition, so [max_transitions] bounds the symbolic phase by the
+     same order of work it bounds the explicit one.  The seed charged
+     one transition per whole image step, which let a capped build burn
+     minutes of image computation against a budget meant to stop it in
+     milliseconds — and then threw the result away as truncated. *)
+  let charged = ref (Bdd.node_count m) in
+  let charge_alloc () =
+    let now = Bdd.node_count m in
+    if now > !charged then begin
+      let d = now - !charged in
+      charged := now;
+      Guard.spend_transitions guard d
+    end;
+    Guard.check_time guard
+  in
+  let y_to_x v = if v mod 3 = 1 then v - 1 else v in
+  (* Excitation over the next-state (y) rail, where the delta relation
+     iterates; the x-rail stable set is a rename of its complement
+     (each y sits one order position below its free x slot, so the
+     rename is order-preserving and linear). *)
+  let excited_y =
     Array.map
-      (fun gid -> Bdd.xor_ m (func_bdd m c xv gid) (Bdd.var m (xv gid)))
+      (fun gid -> Bdd.xor_ m (func_bdd m c yv gid) (Bdd.var m (yv gid)))
       gates
   in
-  let stable =
+  let stable_y =
     Array.fold_left
       (fun acc e -> Bdd.and_ m acc (Bdd.not_ m e))
-      (Bdd.one m) excited
+      (Bdd.one m) excited_y
   in
+  let stable = Bdd.permute m y_to_x stable_y in
   (* Equality chains over all nodes in rank order (keeps the
      conjunction shallow w.r.t. the chosen order). *)
   let eq_xy =
     Array.init n (fun i -> Bdd.iff m (Bdd.var m (xv i)) (Bdd.var m (yv i)))
   in
-  (* prefix.(r) = equality of the first r nodes in rank order *)
-  let prefix = Array.make (n + 1) (Bdd.one m) in
-  for r = 0 to n - 1 do
-    prefix.(r + 1) <- Bdd.and_ m prefix.(r) eq_xy.(node_of_rank.(r))
-  done;
-  let suffix = Array.make (n + 1) (Bdd.one m) in
-  for r = n - 1 downto 0 do
-    suffix.(r) <- Bdd.and_ m suffix.(r + 1) eq_xy.(node_of_rank.(r))
-  done;
-  let all_eq = prefix.(n) in
-  let fire_disjuncts =
-    Array.to_list
-      (Array.mapi
-         (fun idx gid ->
-           let flip =
-             Bdd.iff m (Bdd.var m (yv gid)) (Bdd.not_ m (Bdd.var m (xv gid)))
-           in
-           let r = rank.(gid) in
-           let frame = Bdd.and_ m prefix.(r) suffix.(r + 1) in
-           Bdd.and_list m [ excited.(idx); flip; frame ])
-         gates)
-  in
-  let r_delta =
-    Bdd.or_ m (Bdd.or_list m fire_disjuncts) (Bdd.and_ m stable all_eq)
+  let eq_zy =
+    Array.init n (fun i -> Bdd.iff m (Bdd.var m (zv i)) (Bdd.var m (yv i)))
   in
   let gates_eq =
     Array.fold_left (fun acc gid -> Bdd.and_ m acc eq_xy.(gid)) (Bdd.one m) gates
@@ -166,26 +227,103 @@ let build ?k ?node_order ?(guard = Guard.none) c =
     Array.fold_left (fun acc e -> Bdd.and_ m acc eq_xy.(e)) (Bdd.one m) env
   in
   let r_input = Bdd.and_list m [ stable; gates_eq; Bdd.not_ m env_all_eq ] in
-  let x_to_z v = if v mod 3 = 0 then v + 2 else if v mod 3 = 2 then v - 2 else v in
-  let r_delta_zy = Bdd.permute m x_to_z r_delta in
-  let y_to_z v = if v mod 3 = 1 then v + 1 else if v mod 3 = 2 then v - 1 else v in
   let z_vars = List.init n zv in
   let x_vars = List.init n xv in
+  let rel =
+    match style with
+    | `Monolithic ->
+      (* The paper's literal R_delta over (z, y): excitation rebuilt on
+         the z rail, every firing disjunct carrying an explicit
+         frame-equality product (prefix.(r) = equality of the first r
+         nodes in rank order). *)
+      let excited_z =
+        Array.map
+          (fun gid -> Bdd.xor_ m (func_bdd m c zv gid) (Bdd.var m (zv gid)))
+          gates
+      in
+      let stable_z =
+        Array.fold_left
+          (fun acc e -> Bdd.and_ m acc (Bdd.not_ m e))
+          (Bdd.one m) excited_z
+      in
+      let prefix = Array.make (n + 1) (Bdd.one m) in
+      for r = 0 to n - 1 do
+        prefix.(r + 1) <- Bdd.and_ m prefix.(r) eq_zy.(node_of_rank.(r))
+      done;
+      let suffix = Array.make (n + 1) (Bdd.one m) in
+      for r = n - 1 downto 0 do
+        suffix.(r) <- Bdd.and_ m suffix.(r + 1) eq_zy.(node_of_rank.(r))
+      done;
+      let all_eq_zy = prefix.(n) in
+      let fire_disjuncts =
+        Array.to_list
+          (Array.mapi
+             (fun idx gid ->
+               let flip =
+                 Bdd.iff m (Bdd.var m (yv gid))
+                   (Bdd.not_ m (Bdd.var m (zv gid)))
+               in
+               let r = rank.(gid) in
+               let frame = Bdd.and_ m prefix.(r) suffix.(r + 1) in
+               Bdd.and_list m [ excited_z.(idx); flip; frame ])
+             gates)
+      in
+      Monolithic
+        (Bdd.or_ m
+           (Bdd.or_list m fire_disjuncts)
+           (Bdd.and_ m stable_z all_eq_zy))
+    | `Partitioned -> Partitioned { excited_y; stable_y }
+  in
+  (* Relation construction is real work too; a budget small enough to
+     be tripped by it degrades (below) to the reset-only graph. *)
+  charge_alloc ();
+  let y_to_z v = if v mod 3 = 1 then v + 1 else if v mod 3 = 2 then v - 1 else v in
+  (* One delta step of the frontier relation T(x, y).  The partitioned
+     image needs no auxiliary rail at all: a firing of gate g toggles
+     exactly one variable, so its disjunct is the one-variable flip of
+     T ∧ excited_g — each frame variable is "quantified" at the very
+     equality conjunct that mentions it, which degenerates to the
+     identity rename, and the firing variable's ∃z_g collapses into
+     {!Bdd.flip_var}.  No frame BDD, no relational product. *)
+  let delta_image t =
+    match rel with
+    | Monolithic r_zy ->
+      Bdd.and_exists m ~vars:z_vars (Bdd.permute m y_to_z t) r_zy
+    | Partitioned { excited_y; stable_y } ->
+      let img = ref (Bdd.and_ m t stable_y) in
+      Array.iteri
+        (fun idx gid ->
+          let u = Bdd.and_ m t excited_y.(idx) in
+          img := Bdd.or_ m !img (Bdd.flip_var m ~var:(yv gid) u))
+        gates;
+      !img
+  in
+  (* The frontier sequence t_{i+1} = F(t_i) is deterministic, so it is
+     eventually periodic; unstable states bouncing around a ring make
+     the period small and the k horizon large (default 4·gates).  Once
+     a repeat is seen, t_k is read off the recorded cycle instead of
+     grinding the remaining steps — exact-step semantics preserved
+     (they are load-bearing: unstable states surviving at step k are
+     the non-settling witnesses of the confluence check). *)
   let tcr srcs =
     let t0 = Bdd.and_ m srcs r_input in
+    let hist = Array.make (k + 1) t0 in
+    let seen = Hashtbl.create 64 in
     let rec iterate i t =
       if i >= k then t
-      else begin
-        Guard.spend_transition guard;
-        Guard.check_time guard;
-        let t_xz = Bdd.permute m y_to_z t in
-        let t' = Bdd.and_exists m ~vars:z_vars t_xz r_delta_zy in
-        if Bdd.equal t' t then t else iterate (i + 1) t'
-      end
+      else
+        match Hashtbl.find_opt seen t with
+        | Some j ->
+          (* t_i = t_j with j < i: period i - j *)
+          hist.(j + ((k - j) mod (i - j)))
+        | None ->
+          Hashtbl.add seen t i;
+          hist.(i) <- t;
+          charge_alloc ();
+          iterate (i + 1) (delta_image t)
     in
     iterate 0 t0
   in
-  let stable_y = Bdd.permute m (fun v -> if v mod 3 = 0 then v + 1 else v) stable in
   let y_as_x = Bdd.permute m (fun v -> if v mod 3 = 1 then v - 1 else v) in
   let reset_bdd = reset_bdd_of () in
   (* Sets over x-vars only: each x-state contributes exactly 2^(2n)
@@ -219,8 +357,12 @@ let build ?k ?node_order ?(guard = Guard.none) c =
         truncated := Some r;
         (* The guard stays tripped; detach it so salvaging the partial
            result below (conflict pruning, CSSG conjunction) is not
-           re-tripped by the very probes that stopped the loop. *)
+           re-tripped by the very probes that stopped the loop.  Also
+           freeze the variable order: salvage must stay cheap, and an
+           unguarded sifting pass over whatever the store grew to
+           before the trip could dwarf the budget that just expired. *)
         Bdd.set_guard m Guard.none;
+        Bdd.disable_reorder m;
         `Stop
     with
     | `Stop -> (reach, t_prev)
@@ -229,24 +371,49 @@ let build ?k ?node_order ?(guard = Guard.none) c =
   in
   let reachable, tcr_final = reach_loop reset_bdd (Bdd.zero m) 1 in
   let tcr_xz = Bdd.permute m y_to_z tcr_final in
-  let env_eq_yz =
-    Array.fold_left
-      (fun acc e ->
-        Bdd.and_ m acc (Bdd.iff m (Bdd.var m (yv e)) (Bdd.var m (zv e))))
-      (Bdd.one m) env
+  (* Non-confluence check, ∃z. TCR(x,z) ∧ X_I(z)=X_I(y) ∧ z≠y, run as a
+     clustered early-quantification schedule: the input equalities are
+     chunked along the rank order under [cluster_cap] nodes per
+     cluster, the disequality conjunct goes first (it is the last
+     mention of every gate's z, so those die immediately), and each
+     input's z dies at its own cluster.  The monolithic conjunct
+     X_I(z)=X_I(y) ∧ z≠y is never built. *)
+  let env_eq_chunks =
+    let cap = max 16 cluster_cap in
+    let env_ranked =
+      List.sort
+        (fun a b -> Stdlib.compare rank.(a) rank.(b))
+        (Array.to_list env)
+    in
+    let open_chunk, closed =
+      List.fold_left
+        (fun (acc, closed) e ->
+          let eq = Bdd.iff m (Bdd.var m (yv e)) (Bdd.var m (zv e)) in
+          match acc with
+          | None -> (Some eq, closed)
+          | Some b ->
+            let b' = Bdd.and_ m b eq in
+            if Bdd.size m b' > cap then (Some eq, b :: closed)
+            else (Some b', closed))
+        (None, []) env_ranked
+    in
+    List.rev
+      (match open_chunk with None -> closed | Some b -> b :: closed)
   in
-  let all_eq_yz =
-    List.fold_left
-      (fun acc i ->
-        Bdd.and_ m acc (Bdd.iff m (Bdd.var m (yv i)) (Bdd.var m (zv i))))
-      (Bdd.one m)
-      (List.init n Fun.id)
+  let all_eq_yz = Array.fold_left (Bdd.and_ m) (Bdd.one m) eq_zy in
+  let conflict_sched =
+    make_schedule m ~quant:z_vars (Bdd.not_ m all_eq_yz :: env_eq_chunks)
   in
-  let conflict =
-    Bdd.and_exists m ~vars:z_vars tcr_xz
-      (Bdd.and_ m env_eq_yz (Bdd.not_ m all_eq_yz))
+  let conflict = run_schedule m conflict_sched tcr_xz in
+  let not_conflict = Bdd.not_ m conflict in
+  let cssg = Bdd.and_list m [ tcr_final; stable_y; not_conflict ] in
+  (* The CSSG kept as conjuncts: forward images during justification
+     reuse the same early-quantification machinery as the build
+     (stable_y mentions no x variable, so every x dies by the second
+     conjunct). *)
+  let cssg_sched =
+    make_schedule m ~quant:x_vars [ tcr_final; not_conflict; stable_y ]
   in
-  let cssg = Bdd.and_list m [ tcr_final; stable_y; Bdd.not_ m conflict ] in
   {
     circuit = c;
     k;
@@ -255,9 +422,10 @@ let build ?k ?node_order ?(guard = Guard.none) c =
     node_of_rank;
     stable;
     r_input;
-    r_delta_zy;
+    rel;
     reachable;
     cssg;
+    cssg_sched;
     reset;
     truncated = !truncated;
   }
@@ -267,6 +435,7 @@ let build ?k ?node_order ?(guard = Guard.none) c =
        Degrade to the smallest sound result: the reset state with no
        edges — every state and edge it contains is genuine. *)
     Bdd.set_guard m Guard.none;
+    Bdd.disable_reorder m;
     let reset_bdd = reset_bdd_of () in
     {
       circuit = c;
@@ -276,18 +445,27 @@ let build ?k ?node_order ?(guard = Guard.none) c =
       node_of_rank;
       stable = reset_bdd;
       r_input = Bdd.zero m;
-      r_delta_zy = Bdd.zero m;
+      rel = Monolithic (Bdd.zero m);
       reachable = reset_bdd;
       cssg = Bdd.zero m;
+      cssg_sched = ([], [ (Bdd.zero m, List.init n (fun i -> 3 * i)) ]);
       reset;
       truncated = Some r;
     }
 
 (* --- queries ------------------------------------------------------------- *)
 
+let rel_roots t =
+  match t.rel with
+  | Monolithic r -> [ r ]
+  | Partitioned { excited_y; stable_y } ->
+    stable_y :: Array.to_list excited_y
+
 let live_nodes t =
-  Bdd.size t.man t.cssg + Bdd.size t.man t.reachable
-  + Bdd.size t.man t.r_delta_zy + Bdd.size t.man t.r_input
+  List.fold_left
+    (fun acc root -> acc + Bdd.size t.man root)
+    0
+    (t.cssg :: t.reachable :: t.r_input :: rel_roots t)
 
 let n_reachable t =
   let n = Circuit.n_nodes t.circuit in
@@ -337,10 +515,10 @@ let enumerate_states t set =
       expand cube free @ acc)
   |> List.sort_uniq Stdlib.compare
 
-let apply_rel t rel src_bdd =
-  let n = Circuit.n_nodes t.circuit in
-  let x_vars = List.init n (fun i -> x_of t i) in
-  let img = Bdd.and_exists t.man ~vars:x_vars src_bdd rel in
+(* One forward CSSG image: successors (over x) of a set of states
+   (over x), through the scheduled conjunct form of the relation. *)
+let cssg_image t src_bdd =
+  let img = run_schedule t.man t.cssg_sched src_bdd in
   Bdd.permute t.man (fun v -> if v mod 3 = 1 then v - 1 else v) img
 
 let justify t ~target =
@@ -349,7 +527,7 @@ let justify t ~target =
   if not (Bdd.is_zero (Bdd.and_ m init target)) then Some ([], t.reset)
   else begin
     let rec forward rings seen front =
-      let next = Bdd.diff m (apply_rel t t.cssg front) seen in
+      let next = Bdd.diff m (cssg_image t front) seen in
       if Bdd.is_zero next then None
       else if not (Bdd.is_zero (Bdd.and_ m next target)) then
         Some (List.rev (front :: rings), Bdd.and_ m next target)
@@ -397,7 +575,7 @@ let to_cssg t =
     Array.map
       (fun s ->
         let src = state_to_bdd t s in
-        let succs_set = apply_rel t t.cssg src in
+        let succs_set = cssg_image t src in
         enumerate_states t (Bdd.and_ m succs_set t.reachable)
         |> List.map (fun s' ->
                {
@@ -411,12 +589,13 @@ let to_cssg t =
     ~initial:[ id_of t.reset ] ()
 
 (* Greedy sifting at node-triple granularity.  Candidate orders are
-   evaluated by transferring the two big artefacts (CSSG relation and
-   the pre-renamed R_delta) into a scratch manager with the candidate
-   order and measuring their combined size. *)
+   evaluated by transferring the retained artefacts (CSSG relation,
+   reachable set, R_I and the transition-relation conjuncts) into a
+   scratch manager with the candidate order and measuring their
+   combined size. *)
 let sift_order t =
   let n = Circuit.n_nodes t.circuit in
-  let roots = [ t.cssg; t.r_delta_zy; t.reachable; t.r_input ] in
+  let roots = t.cssg :: t.reachable :: t.r_input :: rel_roots t in
   let measure rank =
     let dst = Bdd.create ~nvars:(3 * n) () in
     (* variable v = 3*old_rank + j moves to 3*rank.(node) + j *)

@@ -15,9 +15,32 @@ open Satg_bdd
 
 type t
 
-val build : ?k:int -> ?node_order:int array -> ?guard:Guard.t -> Circuit.t -> t
+val default_cluster_cap : int
+
+val build :
+  ?k:int ->
+  ?node_order:int array ->
+  ?style:[ `Partitioned | `Monolithic ] ->
+  ?reorder:Bdd.reorder_mode ->
+  ?cluster_cap:int ->
+  ?guard:Guard.t ->
+  Circuit.t ->
+  t
 (** [node_order] maps each node id to its rank in the variable order
     (default: creation order, which interleaves inputs and gates).
+
+    [style] selects the transition-relation representation (default
+    [`Partitioned]): the partitioned form keeps one excited∧flip
+    conjunct per gate plus frame-equality clusters chunked along the
+    rank order under [cluster_cap] nodes each, and computes images by
+    a clustered [and_exists] schedule that quantifies every auxiliary
+    variable out at the last conjunct mentioning it.  [`Monolithic] is
+    the paper's literal single-BDD [R_delta] — kept as the reference
+    oracle for benchmarks and conformance runs; both styles produce
+    identical graphs.
+
+    [reorder] (default {!Bdd.Reorder_none}) enables sifting-based
+    dynamic variable reordering inside the manager.
 
     [guard] governs the traversal: one transition per relational
     product, states spent as the reachable set grows (counted by

@@ -145,7 +145,10 @@ let test_sat_count_exact () =
     (Bdd.sat_count_int m ~nvars:10 (Bdd.one m))
 
 let test_stats () =
-  let m = Bdd.create ~nvars:8 () in
+  (* Explicit sizes pin the original large-cache semantics: with
+     [cache_size] given the probe-skip threshold defaults to 0, so the
+     replay below really is pure cache hits. *)
+  let m = Bdd.create ~cache_size:8192 ~nvars:8 () in
   let f = ref (Bdd.zero m) in
   for v = 0 to 7 do
     f := Bdd.xor_ m !f (Bdd.var m v)
@@ -407,6 +410,213 @@ let prop_deep_bdd_matches_semantics =
       done;
       !ok)
 
+(* --- cofactor exchange (flip_var) ---------------------------------------- *)
+
+let test_flip_var () =
+  let m = Bdd.create ~nvars:3 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let f = Bdd.or_ m (Bdd.and_ m a b) (Bdd.and_ m (Bdd.not_ m a) c) in
+  let g = Bdd.flip_var m ~var:0 f in
+  (* flipping var 0 exchanges the roles of the two AND terms *)
+  for mask = 0 to 7 do
+    let assign v = mask land (1 lsl v) <> 0 in
+    let flipped v = if v = 0 then not (assign v) else assign v in
+    Alcotest.(check bool) "flip semantics" (Bdd.eval m f flipped)
+      (Bdd.eval m g assign)
+  done;
+  Alcotest.(check bool) "involution" true
+    (Bdd.equal (Bdd.flip_var m ~var:0 g) f);
+  (* variables absent from the support are no-ops, terminals too *)
+  Alcotest.(check bool) "absent var" true
+    (Bdd.equal (Bdd.flip_var m ~var:1 c) c);
+  Alcotest.(check bool) "terminal" true
+    (Bdd.is_one (Bdd.flip_var m ~var:0 (Bdd.one m)));
+  let s = Bdd.stats m in
+  Alcotest.(check bool) "flip misses counted" true (s.Bdd.flip_misses > 0)
+
+let prop_flip_var_matches =
+  QCheck.Test.make ~name:"flip_var = polarity exchange" ~count:200
+    QCheck.(pair expr_arb (int_bound (n_prop_vars - 1)))
+    (fun (e, v) ->
+      let m = Bdd.create ~nvars:n_prop_vars () in
+      let f = build m e in
+      let g = Bdd.flip_var m ~var:v f in
+      let ok = ref (Bdd.equal (Bdd.flip_var m ~var:v g) f) in
+      for mask = 0 to (1 lsl n_prop_vars) - 1 do
+        let assign u = mask land (1 lsl u) <> 0 in
+        let flipped u = if u = v then not (assign u) else assign u in
+        if Bdd.eval m g assign <> Bdd.eval m f flipped then ok := false
+      done;
+      !ok)
+
+(* --- dynamic variable reordering ------------------------------------------ *)
+
+(* Hand-built DAG: one adjacent swap must leave every function intact,
+   update the level maps, and tick the swap counter. *)
+let test_swap_adjacent () =
+  let m = Bdd.create ~nvars:4 () in
+  let f =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.and_ m (Bdd.var m 2) (Bdd.var m 3))
+  in
+  let g = Bdd.xor_ m (Bdd.var m 1) (Bdd.var m 2) in
+  let s0 = Bdd.stats m in
+  Bdd.swap_adjacent m 1;
+  Alcotest.(check int) "var 2 moved up" 1 (Bdd.level_of_var m 2);
+  Alcotest.(check int) "var 1 moved down" 2 (Bdd.level_of_var m 1);
+  Alcotest.(check int) "level 1 holds var 2" 2 (Bdd.var_at_level m 1);
+  let s1 = Bdd.stats m in
+  Alcotest.(check int) "one swap counted" (s0.Bdd.swaps + 1) s1.Bdd.swaps;
+  for mask = 0 to 15 do
+    let assign v = mask land (1 lsl v) <> 0 in
+    let direct_f =
+      (assign 0 && assign 1) || (assign 2 && assign 3)
+    in
+    Alcotest.(check bool) "f intact" direct_f (Bdd.eval m f assign);
+    Alcotest.(check bool) "g intact" (assign 1 <> assign 2)
+      (Bdd.eval m g assign)
+  done;
+  (* handles stay canonical across the swap: rebuilding finds them *)
+  let f' =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.and_ m (Bdd.var m 2) (Bdd.var m 3))
+  in
+  Alcotest.(check bool) "rebuild is physically equal" true (Bdd.equal f f');
+  (* swapping back restores the identity order *)
+  Bdd.swap_adjacent m 1;
+  Alcotest.(check (list int)) "identity order restored" [ 0; 1; 2; 3 ]
+    (Array.to_list (Bdd.order m));
+  let bad l = try Bdd.swap_adjacent m l; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "level -1 rejected" true (bad (-1));
+  Alcotest.(check bool) "last level rejected" true (bad 3)
+
+(* The canonical sifting showcase: a1·b1 + ... + an·bn with all the
+   a's ordered before all the b's is exponential; sifting must find an
+   interleaving and collapse it to the linear form. *)
+let interleaved_pairs m n =
+  let f = ref (Bdd.zero m) in
+  for i = 0 to n - 1 do
+    f := Bdd.or_ m !f (Bdd.and_ m (Bdd.var m i) (Bdd.var m (n + i)))
+  done;
+  !f
+
+let eval_pairs n assign =
+  let rec go i = i < n && ((assign i && assign (n + i)) || go (i + 1)) in
+  go 0
+
+let test_sift_explicit () =
+  let n = 6 in
+  let m = Bdd.create ~nvars:(2 * n) () in
+  let f = interleaved_pairs m n in
+  let before = Bdd.size m f in
+  let s0 = Bdd.stats m in
+  Bdd.sift m;
+  let s1 = Bdd.stats m in
+  let after = Bdd.size m f in
+  Alcotest.(check bool)
+    (Printf.sprintf "size shrank (%d -> %d)" before after)
+    true (after < before);
+  Alcotest.(check int) "one pass counted" (s0.Bdd.reorders + 1) s1.Bdd.reorders;
+  Alcotest.(check bool) "swaps counted" true (s1.Bdd.swaps > s0.Bdd.swaps);
+  Alcotest.(check bool) "reorder time counted" true
+    (s1.Bdd.reorder_seconds >= 0.0);
+  for mask = 0 to (1 lsl (2 * n)) - 1 do
+    let assign v = mask land (1 lsl v) <> 0 in
+    if Bdd.eval m f assign <> eval_pairs n assign then
+      Alcotest.failf "semantics changed at mask %d" mask
+  done;
+  (* canonicity survives the reorder *)
+  Alcotest.(check bool) "rebuild physically equal" true
+    (Bdd.equal (interleaved_pairs m n) f)
+
+(* Automatic reordering: build the pair function big enough to cross
+   the 4096-node growth trigger under [Reorder_sift]; a pass must have
+   fired, and the function must still be right.  With the pass budget
+   pinned to zero the same build must not reorder at all. *)
+let test_auto_reorder_trigger () =
+  let n = 13 in
+  let build_with setup =
+    let m = Bdd.create ~nvars:(2 * n) () in
+    setup m;
+    let f = interleaved_pairs m n in
+    (m, f)
+  in
+  let m, f = build_with (fun m -> Bdd.set_reorder m Bdd.Reorder_sift) in
+  Alcotest.(check bool) "mode readable" true
+    (Bdd.reorder_mode m = Bdd.Reorder_sift);
+  let s = Bdd.stats m in
+  Alcotest.(check bool) "a pass fired" true (s.Bdd.reorders >= 1);
+  (* spot-check semantics on a deterministic sample of assignments *)
+  let lcg = ref 12345 in
+  for _ = 1 to 500 do
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    let mask = !lcg in
+    let assign v = mask land (1 lsl v) <> 0 in
+    if Bdd.eval m f assign <> eval_pairs n assign then
+      Alcotest.failf "auto-reorder changed semantics at mask %d" mask
+  done;
+  let m0, _ =
+    build_with (fun m ->
+        Bdd.set_reorder m Bdd.Reorder_sift;
+        Bdd.set_reorder_bound m 0)
+  in
+  Alcotest.(check int) "bound 0 means no passes" 0 (Bdd.stats m0).Bdd.reorders;
+  let mn, _ = build_with (fun m -> Bdd.disable_reorder m) in
+  Alcotest.(check int) "disabled means no passes" 0 (Bdd.stats mn).Bdd.reorders
+
+(* A transition budget must bound sifting itself: swaps allocate nodes
+   and the saved guard is charged per allocation, so a tiny budget
+   trips mid-pass with the manager left consistent. *)
+let test_sift_guard_budget () =
+  let n = 6 in
+  let m = Bdd.create ~nvars:(2 * n) () in
+  let f = interleaved_pairs m n in
+  let g = Guard.create ~max_transitions:5 () in
+  Bdd.set_guard m g;
+  (match Bdd.sift m with
+  | () -> Alcotest.fail "a 5-transition budget cannot fund a sift pass"
+  | exception Guard.Exhausted Guard.Transition_limit -> ());
+  (* fail-soft: detach the guard and the manager is fully usable *)
+  Bdd.set_guard m Guard.none;
+  for mask = 0 to (1 lsl (2 * n)) - 1 do
+    let assign v = mask land (1 lsl v) <> 0 in
+    if Bdd.eval m f assign <> eval_pairs n assign then
+      Alcotest.failf "aborted sift corrupted the manager at mask %d" mask
+  done;
+  Alcotest.(check bool) "canonicity intact" true
+    (Bdd.equal (interleaved_pairs m n) f)
+
+(* Adaptive sizing: small managers get small tables and a cache-skip
+   threshold; explicit sizes opt out of the threshold entirely. *)
+let test_adaptive_sizes () =
+  let small = Bdd.stats (Bdd.create ~nvars:8 ()) in
+  let large = Bdd.stats (Bdd.create ~nvars:400 ()) in
+  Alcotest.(check bool) "small tables for small managers" true
+    (small.Bdd.unique_buckets_init < large.Bdd.unique_buckets_init);
+  Alcotest.(check bool) "small cache too" true
+    (small.Bdd.cache_slots < large.Bdd.cache_slots);
+  Alcotest.(check int) "auto threshold" 64 small.Bdd.cache_threshold;
+  let explicit = Bdd.stats (Bdd.create ~cache_size:4096 ~nvars:8 ()) in
+  Alcotest.(check int) "explicit cache size honoured" 4096
+    explicit.Bdd.cache_slots;
+  Alcotest.(check int) "explicit size disables threshold" 0
+    explicit.Bdd.cache_threshold
+
+let prop_sift_preserves_semantics =
+  QCheck.Test.make ~name:"sift preserves semantics and canonicity" ~count:100
+    deep_expr_arb (fun e ->
+      let m = Bdd.create ~nvars:n_deep_vars () in
+      let f = build m e in
+      Bdd.sift m;
+      let ok = ref (Bdd.equal (build m e) f) in
+      for mask = 0 to (1 lsl n_deep_vars) - 1 do
+        let assign v = mask land (1 lsl v) <> 0 in
+        if Bdd.eval m f assign <> eval_expr assign e then ok := false
+      done;
+      !ok)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -419,6 +629,8 @@ let qcheck_cases =
       prop_ite_decomposition;
       prop_forall_matches;
       prop_deep_bdd_matches_semantics;
+      prop_flip_var_matches;
+      prop_sift_preserves_semantics;
     ]
 
 let suites =
@@ -440,6 +652,12 @@ let suites =
         Alcotest.test_case "add_var" `Quick test_add_var;
         Alcotest.test_case "accessors" `Quick test_accessors;
         Alcotest.test_case "clear caches" `Quick test_clear_caches_preserves;
+        Alcotest.test_case "flip_var" `Quick test_flip_var;
+        Alcotest.test_case "swap adjacent" `Quick test_swap_adjacent;
+        Alcotest.test_case "sift explicit" `Quick test_sift_explicit;
+        Alcotest.test_case "auto reorder trigger" `Slow test_auto_reorder_trigger;
+        Alcotest.test_case "sift under budget" `Quick test_sift_guard_budget;
+        Alcotest.test_case "adaptive sizes" `Quick test_adaptive_sizes;
       ]
       @ qcheck_cases );
   ]

@@ -74,8 +74,28 @@ let test_engines_agree () =
       let exp = run Engine.Explicit in
       let bdd = run Engine.Bdd in
       let sat = run Engine.Sat in
+      let bdd_sift =
+        Engine.run
+          ~config:
+            {
+              (deterministic_config Engine.Bdd) with
+              Engine.reorder = Satg_bdd.Bdd.Reorder_sift;
+            }
+          c ~faults
+      in
+      let bdd_cap1 =
+        Engine.run
+          ~config:
+            { (deterministic_config Engine.Bdd) with Engine.cluster_cap = 1 }
+          c ~faults
+      in
       Alcotest.(check (list (pair string string)))
         (nm ^ ": explicit = bdd") (partition exp) (partition bdd);
+      Alcotest.(check (list (pair string string)))
+        (nm ^ ": explicit = bdd+sift") (partition exp) (partition bdd_sift);
+      Alcotest.(check (list (pair string string)))
+        (nm ^ ": explicit = bdd cluster-cap 1") (partition exp)
+        (partition bdd_cap1);
       Alcotest.(check (list (pair string string)))
         (nm ^ ": explicit = sat") (partition exp) (partition sat);
       Alcotest.(check bool) (nm ^ ": complete run") false (Engine.partial exp))

@@ -176,6 +176,28 @@ let prop_engines_agree =
         let sym = Symbolic.to_cssg (Symbolic.build ~k c) in
         canonical pure = canonical sym && canonical pure = canonical hybrid)
 
+(* Reordering is invisible semantically: the sifted build must produce
+   the identical CSSG partition (states, edges) and reachable count.
+   The monolithic reference style rides along under the same oracle. *)
+let prop_reorder_agrees =
+  QCheck.Test.make
+    ~name:"random circuits: sift reorder and style preserve symbolic CSSG"
+    ~count:40 spec_arb (fun spec ->
+      match build_spec spec with
+      | None -> QCheck.assume_fail ()
+      | Some c ->
+        let k = Structure.default_k c in
+        let plain = Symbolic.build ~k c in
+        let sifted =
+          Symbolic.build ~k ~reorder:Satg_bdd.Bdd.Reorder_sift c
+        in
+        let mono = Symbolic.build ~k ~style:`Monolithic c in
+        let reference = canonical (Symbolic.to_cssg plain) in
+        Symbolic.n_reachable plain = Symbolic.n_reachable sifted
+        && Symbolic.n_reachable plain = Symbolic.n_reachable mono
+        && canonical (Symbolic.to_cssg sifted) = reference
+        && canonical (Symbolic.to_cssg mono) = reference)
+
 (* --- P3: multi-word pack differential oracle ------------------------------- *)
 
 (* The strongest pack property: replicate the whole fault universe past
@@ -370,6 +392,7 @@ let qcheck_cases =
     [
       prop_ternary_sound;
       prop_engines_agree;
+      prop_reorder_agrees;
       prop_differential_oracle;
       prop_parser_roundtrip;
       prop_exact_dominates_when_settled;

@@ -62,6 +62,46 @@ let rendered c p =
     (fun fmt (c, p) -> Session.render ~verbose:true fmt c p)
     (c, p)
 
+(* The verbose render embeds elapsed wall-clock ("in 0.04s") — the one
+   legitimately nondeterministic byte between a daemon answer and a
+   fresh one-shot of the same request. Replace each "in D.DDs" token
+   with a fixed marker before comparing. *)
+let strip_seconds s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_digit ch = ch >= '0' && ch <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    let matched =
+      !i + 3 <= n
+      && String.sub s !i 3 = "in "
+      && (!i = 0 || s.[!i - 1] = ' ')
+      &&
+      let j = ref (!i + 3) in
+      let d0 = !j in
+      while !j < n && is_digit s.[!j] do incr j done;
+      if !j > d0 && !j + 1 < n && s.[!j] = '.' then begin
+        let d1 = !j + 1 in
+        j := d1;
+        while !j < n && is_digit s.[!j] do incr j done;
+        if !j > d1 && !j < n && s.[!j] = 's' then begin
+          Buffer.add_string buf "in <t>s";
+          i := !j + 1;
+          true
+        end
+        else false
+      end
+      else false
+    in
+    if not matched then begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let rendered_no_time c p = strip_seconds (rendered c p)
+
 (* The one-shot CLI path, distilled: same guard construction, same
    session entry point as [bin/satg.ml]. *)
 let oneshot ~jobs ~config c universe =
@@ -270,6 +310,16 @@ let conformance_configs =
     ("capped", { Engine.default_config with Engine.max_states = Some 2 });
     ( "capped-transitions",
       { Engine.default_config with Engine.max_transitions = Some 40 } );
+    (* symbolic engine with reordering and a non-default quantification
+       schedule: representation knobs must render identically up to the
+       elapsed wall-clock, which the comparison normalizes away. *)
+    ( "bdd-sift",
+      {
+        Engine.default_config with
+        Engine.engine = Engine.Bdd;
+        reorder = Satg_bdd.Bdd.Reorder_sift;
+        cluster_cap = 64;
+      } );
   ]
 
 let test_atpg_conformance () =
@@ -292,7 +342,7 @@ let test_atpg_conformance () =
                   (Printf.sprintf "%s/%s/-j%s" label
                      (Session.universe_name universe)
                      (match jobs with Some j -> string_of_int j | None -> "0"))
-                  (rendered c expected) (rendered c payload)
+                  (rendered_no_time c expected) (rendered_no_time c payload)
               | Proto.Result { hit = true; _ } ->
                 Alcotest.fail "fresh request must not be a warm hit"
               | _ -> Alcotest.fail "atpg must answer Result")
@@ -398,7 +448,56 @@ let test_warm_store_is_keyed () =
     (ask { Engine.default_config with Engine.max_states = Some 3 });
   (* jobs is not part of the identity: same key, warm *)
   Alcotest.(check bool) "jobs-only difference hits" true
-    (ask { Engine.default_config with Engine.jobs = Some 4 })
+    (ask { Engine.default_config with Engine.jobs = Some 4 });
+  (* reorder and cluster-cap are outcome-relevant config: both must be
+     part of the cache key even though they never change the graph *)
+  Alcotest.(check bool) "reorder-only difference misses" false
+    (ask
+       { Engine.default_config with Engine.reorder = Satg_bdd.Bdd.Reorder_sift });
+  Alcotest.(check bool) "cluster-cap-only difference misses" false
+    (ask { Engine.default_config with Engine.cluster_cap = 7 });
+  Alcotest.(check bool) "reorder repeat hits" true
+    (ask
+       { Engine.default_config with Engine.reorder = Satg_bdd.Bdd.Reorder_sift })
+
+(* config_fields is the single enumeration behind cache keys, batch
+   groups and the wire protocol: every new outcome-relevant field must
+   appear there and round-trip through the decoder. *)
+let test_config_fields_cover_reorder () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.engine = Engine.Bdd;
+      reorder = Satg_bdd.Bdd.Reorder_sift;
+      cluster_cap = 17;
+      max_states = Some 9;
+    }
+  in
+  let fields = Session.config_fields ~universe:Session.Input config in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> Alcotest.fail ("config_fields misses " ^ k)
+  in
+  Alcotest.(check string) "reorder row" "sift" (get "reorder");
+  Alcotest.(check string) "cluster-cap row" "17" (get "cluster-cap");
+  Alcotest.(check string) "default reorder name" "none"
+    (Session.reorder_name Engine.default_config.Engine.reorder);
+  (match Session.config_of_fields fields with
+  | Some (universe, c) ->
+    Alcotest.(check bool) "universe back" true (universe = Session.Input);
+    Alcotest.(check string) "reorder back" "sift"
+      (Session.reorder_name c.Engine.reorder);
+    Alcotest.(check int) "cluster-cap back" 17 c.Engine.cluster_cap
+  | None -> Alcotest.fail "fields must parse back");
+  (* a malformed reorder value is rejected, not defaulted *)
+  let broken =
+    List.map
+      (fun (k, v) -> if k = "reorder" then (k, "bogus") else (k, v))
+      fields
+  in
+  Alcotest.(check bool) "bogus reorder rejected" true
+    (Session.config_of_fields broken = None)
 
 let test_disk_store_shared () =
   (* daemon publishes to --cache-dir; a second daemon (fresh memory)
@@ -639,6 +738,29 @@ let test_daemon_reclaims_stale_socket () =
   Unix.kill second Sys.sigterm;
   expect_exit second 0 "second daemon"
 
+(* A guard trip while sifting is enabled must stay fail-soft all the
+   way out of the real binary: the partial graph renders and the exit
+   code is 2, never a hang or a crash. *)
+let test_cli_sift_trip_exits_partial () =
+  with_dir @@ fun d ->
+  let netlist_file = d // "celem.cct" in
+  let oc = open_out netlist_file in
+  output_string oc (Parser.to_string (Figures.celem_handshake ()));
+  close_out oc;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.close devnull)
+      (fun () ->
+        Unix.create_process satg_exe
+          [|
+            satg_exe; "cssg"; netlist_file; "--engine"; "symbolic";
+            "--reorder"; "sift"; "--max-transitions"; "2";
+          |]
+          Unix.stdin devnull devnull)
+  in
+  expect_exit pid 2 "tripped symbolic cssg with sift"
+
 let suites =
   [
     ( "server_proto",
@@ -662,6 +784,8 @@ let suites =
           test_warm_hit;
         Alcotest.test_case "warm store keyed by config" `Quick
           test_warm_store_is_keyed;
+        Alcotest.test_case "config fields cover reorder knobs" `Quick
+          test_config_fields_cover_reorder;
         Alcotest.test_case "disk store shared across daemons" `Quick
           test_disk_store_shared;
         Alcotest.test_case "batch: one CSSG build per group" `Quick
@@ -677,5 +801,7 @@ let suites =
           test_daemon_end_to_end;
         Alcotest.test_case "stale socket reclaimed" `Quick
           test_daemon_reclaims_stale_socket;
+        Alcotest.test_case "sift trip exits 2" `Quick
+          test_cli_sift_trip_exits_partial;
       ] );
   ]

@@ -238,6 +238,63 @@ let test_sift_order () =
   let b = canonical (Symbolic.to_cssg sifted) in
   Alcotest.(check bool) "same graph" true (a = b)
 
+(* Reordering, the monolithic reference style and extreme cluster caps
+   are all representation knobs: none may change the computed graph. *)
+let test_symbolic_variants_agree () =
+  List.iter
+    (fun make ->
+      let c = make () in
+      let base = Symbolic.build c in
+      let reference = canonical (Symbolic.to_cssg base) in
+      let check name sym =
+        Alcotest.(check int)
+          (Circuit.name c ^ ": " ^ name ^ " reachable")
+          (Symbolic.n_reachable base) (Symbolic.n_reachable sym);
+        Alcotest.(check bool)
+          (Circuit.name c ^ ": " ^ name ^ " graph")
+          true
+          (canonical (Symbolic.to_cssg sym) = reference)
+      in
+      check "sift" (Symbolic.build ~reorder:Satg_bdd.Bdd.Reorder_sift c);
+      check "monolithic" (Symbolic.build ~style:`Monolithic c);
+      check "cluster cap 1" (Symbolic.build ~cluster_cap:1 c);
+      (* forcing a sifting pass on the live manager must not disturb
+         the already-built artefacts: handles survive reordering *)
+      Satg_bdd.Bdd.sift (Symbolic.man base);
+      Alcotest.(check bool)
+        (Circuit.name c ^ ": post-sift enumeration")
+        true
+        (canonical (Symbolic.to_cssg base) = reference))
+    fixtures
+
+(* A guard trip with reordering enabled must fail soft: the build
+   returns a truncated-but-sound graph (a subgraph of the full one)
+   and every query still works — the salvage path detaches the guard
+   AND freezes the order, so no unguarded sifting pass can run. *)
+let test_symbolic_sift_fail_soft () =
+  let c = Figures.celem_handshake () in
+  let guard = Satg_guard.Guard.create ~max_transitions:2 () in
+  let sym =
+    Symbolic.build ~reorder:Satg_bdd.Bdd.Reorder_sift ~guard c
+  in
+  Alcotest.(check bool) "truncated" true (Symbolic.truncated sym <> None);
+  let partial = Symbolic.to_cssg sym in
+  Alcotest.(check bool) "tag carries over" true
+    (Cssg.truncated partial <> None);
+  Alcotest.(check bool) "at least the reset state" true
+    (Cssg.n_states partial >= 1);
+  let full = Explicit.build c in
+  let states g =
+    List.init (Cssg.n_states g) (fun i ->
+        Circuit.state_to_string (Cssg.circuit g) (Cssg.state g i))
+  in
+  let full_states = states full in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("sound state " ^ s) true
+        (List.mem s full_states))
+    (states partial)
+
 let test_bdd_transfer_roundtrip () =
   (* Transfer to a manager with a reversed order and back preserves the
      function. *)
@@ -281,6 +338,8 @@ let suites =
         Alcotest.test_case "justify" `Quick test_symbolic_justify;
         Alcotest.test_case "justify multi-step" `Quick test_symbolic_justify_multi_step;
         Alcotest.test_case "sift order" `Slow test_sift_order;
+        Alcotest.test_case "variants agree" `Slow test_symbolic_variants_agree;
+        Alcotest.test_case "sift fail-soft" `Quick test_symbolic_sift_fail_soft;
         Alcotest.test_case "bdd transfer" `Quick test_bdd_transfer_roundtrip;
       ] );
   ]
